@@ -1,0 +1,120 @@
+// Ablations of the documented design decisions (DESIGN.md §3): how much do
+// (a) SBU's opportunistic sibling-processor coalescing and (b) the iterated
+// (transitive) grouping technique matter, and (c) how often does the
+// three-loop server selection succeed where random selection fails.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ablation_variants.hpp"
+#include "core/downgrade.hpp"
+#include "core/server_selection.hpp"
+
+using namespace insp;
+using namespace insp::benchx;
+
+namespace {
+
+struct VariantStats {
+  SampleSet cost;
+  int attempts = 0;
+  int failures = 0;
+};
+
+void run_variant(const Problem& prob, const PlacementFn& place,
+                 std::uint64_t seed, bool three_loop, VariantStats* stats) {
+  ++stats->attempts;
+  Rng rng(seed);
+  PlacementState state(prob);
+  const PlacementOutcome placed = place(state, rng);
+  if (!placed.success) {
+    ++stats->failures;
+    return;
+  }
+  Allocation alloc = state.to_allocation();
+  const ServerSelectionResult sel =
+      three_loop ? select_servers_three_loop(prob, alloc)
+                 : select_servers_random(prob, alloc, rng);
+  if (!sel.success) {
+    ++stats->failures;
+    return;
+  }
+  downgrade_processors(prob, alloc);
+  stats->cost.add(alloc.total_cost(*prob.catalog));
+}
+
+void print_stats(const char* name, const VariantStats& s) {
+  if (s.cost.empty()) {
+    std::printf("  %-44s all %d runs failed\n", name, s.attempts);
+  } else {
+    std::printf("  %-44s mean $%-9.0f fail %d/%d\n", name, s.cost.mean(),
+                s.failures, s.attempts);
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = parse_flags(argc, argv);
+
+  std::printf("Ablations of documented design decisions\n"
+              "========================================\n\n");
+
+  // ---- (a) SBU coalescing, small objects, two alphas. ----------------------
+  for (double alpha : {0.9, 1.5}) {
+    for (int n : {40, 80}) {
+      VariantStats with_coalesce, without_coalesce;
+      for (int rep = 0; rep < flags.repetitions; ++rep) {
+        const Instance inst = make_instance(flags.seed + rep,
+                                            paper_instance(n, alpha));
+        const Problem prob = inst.problem();
+        run_variant(prob, place_subtree_bottom_up, flags.seed + rep, true,
+                    &with_coalesce);
+        run_variant(prob, place_subtree_bottom_up_no_coalesce,
+                    flags.seed + rep, true, &without_coalesce);
+      }
+      std::printf("SBU coalescing (N=%d, alpha=%.1f):\n", n, alpha);
+      print_stats("with sibling coalescing (default)", with_coalesce);
+      print_stats("without (paper-literal parent merge)", without_coalesce);
+    }
+  }
+
+  // ---- (b) grouping: iterated vs pair-only, large objects. -----------------
+  std::printf("\nGrouping technique (Random placement, large objects, "
+              "N=30, alpha=0.9):\n");
+  {
+    VariantStats iterated, pair_only;
+    for (int rep = 0; rep < flags.repetitions; ++rep) {
+      InstanceConfig cfg = paper_instance(30, 0.9);
+      cfg.tree.object_size_lo = 450.0;
+      cfg.tree.object_size_hi = 530.0;
+      const Instance inst = make_instance(flags.seed + rep, cfg);
+      const Problem prob = inst.problem();
+      run_variant(prob, place_random, flags.seed + rep, false, &iterated);
+      run_variant(prob, place_random_pair_grouping, flags.seed + rep, false,
+                  &pair_only);
+    }
+    print_stats("iterated transitive grouping (default)", iterated);
+    print_stats("pair-only grouping (paper-literal)", pair_only);
+  }
+
+  // ---- (c) server selection policy under download pressure. ----------------
+  std::printf("\nServer selection (Comp-Greedy placement, large objects, "
+              "N=30, alpha=0.9):\n");
+  {
+    VariantStats three_loop, random_sel;
+    for (int rep = 0; rep < flags.repetitions; ++rep) {
+      InstanceConfig cfg = paper_instance(30, 0.9);
+      cfg.tree.object_size_lo = 450.0;
+      cfg.tree.object_size_hi = 530.0;
+      const Instance inst = make_instance(flags.seed + rep, cfg);
+      const Problem prob = inst.problem();
+      run_variant(prob, place_comp_greedy, flags.seed + rep, true,
+                  &three_loop);
+      run_variant(prob, place_comp_greedy, flags.seed + rep, false,
+                  &random_sel);
+    }
+    print_stats("three-loop selection (default)", three_loop);
+    print_stats("random selection", random_sel);
+  }
+  return 0;
+}

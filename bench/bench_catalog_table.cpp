@@ -1,0 +1,37 @@
+// Reproduces paper Table 1: the platform cost catalog (Dell PowerEdge R900,
+// March 2008) with the derived performance/cost ratios.
+#include <cstdio>
+
+#include "platform/catalog.hpp"
+
+using namespace insp;
+
+int main() {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+
+  std::printf("Table 1: platform costs\n=======================\n\n");
+  std::printf("Processor\n%-18s %-16s %s\n", "Performance (GHz)", "Cost ($)",
+              "Ratio (GHz/$)");
+  for (const auto& cpu : cat.cpus()) {
+    const double ghz = cpu.speed / 1000.0;
+    const double cost = cat.base_price() + cpu.upgrade;
+    std::printf("%-18.2f %5.0f + %-8.0f %.2f e-3\n", ghz, cat.base_price(),
+                cpu.upgrade, 1000.0 * ghz / cost);
+  }
+  std::printf("\nNetwork Card\n%-18s %-16s %s\n", "Bandwidth (Gbps)",
+              "Cost ($)", "Ratio (Gbps/$)");
+  for (const auto& nic : cat.nics()) {
+    const double gbps = nic.bandwidth / 125.0;
+    const double cost = cat.base_price() + nic.upgrade;
+    std::printf("%-18.0f %5.0f + %-8.0f %.2f e-4\n", gbps, cat.base_price(),
+                nic.upgrade, 10000.0 * gbps / cost);
+  }
+
+  std::printf("\nDerived configurations: %d combinations, $%.0f (cheapest: %s)"
+              " to $%.0f (most expensive: %s)\n",
+              cat.num_configs(), cat.cost(cat.cheapest()),
+              cat.describe(cat.cheapest()).c_str(),
+              cat.cost(cat.most_expensive()),
+              cat.describe(cat.most_expensive()).c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared plumbing for the figure-replication bench binaries: standard CLI
+// flags, paper-default instance configs, and the print-table/chart/CSV
+// epilogue every bench emits.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bench_support/experiment.hpp"
+#include "bench_support/reporting.hpp"
+#include "util/cli.hpp"
+
+namespace insp::benchx {
+
+/// Paper §5 defaults: small objects [5,30] MB at 1/2 Hz, 15 types, 6 servers
+/// with 10 GB/s cards, rho = 1, Table 1 catalog.
+inline InstanceConfig paper_instance(int n_operators, double alpha) {
+  InstanceConfig cfg;
+  cfg.tree.num_operators = n_operators;
+  cfg.tree.alpha = alpha;
+  cfg.tree.num_object_types = 15;
+  cfg.tree.object_size_lo = 5.0;
+  cfg.tree.object_size_hi = 30.0;
+  cfg.tree.download_freq = 0.5;  // high frequency, 1/2 s^-1
+  cfg.tree.at_most_n = true;     // paper: trees "with at most N operators"
+  cfg.servers.num_servers = 6;
+  cfg.servers.num_object_types = 15;
+  cfg.rho = 1.0;
+  return cfg;
+}
+
+struct BenchFlags {
+  int repetitions;
+  std::uint64_t seed;
+  std::string csv_path;
+};
+
+inline BenchFlags parse_flags(int argc, char** argv, int default_reps = 20) {
+  CliArgs args(argc, argv);
+  BenchFlags f;
+  f.repetitions = static_cast<int>(args.get_int("reps", default_reps));
+  f.seed = args.get_u64("seed", 42);
+  f.csv_path = args.get("csv", "");
+  return f;
+}
+
+inline void report(const SweepResult& result, const std::string& title,
+                   const std::string& paper_expectation,
+                   const std::string& csv_path) {
+  std::printf("%s\n%s\n", title.c_str(),
+              std::string(title.size(), '=').c_str());
+  std::printf("paper-reported shape: %s\n\n", paper_expectation.c_str());
+  std::printf("mean platform cost ($):\n%s\n",
+              format_cost_table(result).c_str());
+  std::printf("mean processor count:\n%s\n",
+              format_processor_table(result).c_str());
+  std::printf("failure rate:\n%s\n", format_failure_table(result).c_str());
+  std::printf("%s\n", format_cost_chart(result, title).c_str());
+  if (!csv_path.empty()) {
+    write_sweep_csv(result, csv_path);
+    std::printf("csv written to %s\n", csv_path.c_str());
+  }
+}
+
+} // namespace insp::benchx

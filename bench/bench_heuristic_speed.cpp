@@ -1,0 +1,53 @@
+// Microbenchmarks (google-benchmark): runtime of each placement heuristic
+// as the tree grows — the paper's complexity claim is that all heuristics
+// are polynomial; this pins the practical scaling.
+#include <benchmark/benchmark.h>
+
+#include "bench_support/experiment.hpp"
+#include "core/allocator.hpp"
+
+using namespace insp;
+
+namespace {
+
+InstanceConfig speed_config(int n) {
+  InstanceConfig cfg;
+  cfg.tree.num_operators = n;
+  cfg.tree.alpha = 0.9;
+  cfg.tree.num_object_types = 15;
+  cfg.tree.object_size_lo = 5.0;
+  cfg.tree.object_size_hi = 30.0;
+  cfg.tree.download_freq = 0.5;
+  cfg.servers.num_servers = 6;
+  return cfg;
+}
+
+void run_heuristic(benchmark::State& state, HeuristicKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  const Instance inst = make_instance(1234, speed_config(n));
+  const Problem prob = inst.problem();
+  std::uint64_t seed = 99;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    AllocationOutcome out = allocate(prob, kind, rng);
+    benchmark::DoNotOptimize(out.cost);
+  }
+  state.SetComplexityN(n);
+}
+
+} // namespace
+
+#define CINSP_SPEED_BENCH(name, kind)                          \
+  static void name(benchmark::State& state) {                  \
+    run_heuristic(state, kind);                                \
+  }                                                            \
+  BENCHMARK(name)->RangeMultiplier(2)->Range(20, 320)->Complexity()
+
+CINSP_SPEED_BENCH(BM_Random, HeuristicKind::Random);
+CINSP_SPEED_BENCH(BM_CompGreedy, HeuristicKind::CompGreedy);
+CINSP_SPEED_BENCH(BM_CommGreedy, HeuristicKind::CommGreedy);
+CINSP_SPEED_BENCH(BM_SubtreeBottomUp, HeuristicKind::SubtreeBottomUp);
+CINSP_SPEED_BENCH(BM_ObjectGrouping, HeuristicKind::ObjectGrouping);
+CINSP_SPEED_BENCH(BM_ObjectAvailability, HeuristicKind::ObjectAvailability);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Large-object study (paper §5, text): same setting as Fig 2 but object
+// sizes in [450, 530] MB.  Downloads of ~240 MB/s each dominate; no
+// feasible solution exists once trees exceed ~45 nodes, Subtree-bottom-up
+// occasionally fails in server selection while others succeed, and
+// Comm-Greedy sometimes beats Subtree-bottom-up.
+#include "bench_common.hpp"
+
+using namespace insp;
+using namespace insp::benchx;
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = parse_flags(argc, argv);
+
+  SweepSpec spec;
+  spec.x_name = "N";
+  spec.xs = {10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60};
+  spec.repetitions = flags.repetitions;
+  spec.base_seed = flags.seed;
+  spec.config_for = [](double n) {
+    InstanceConfig cfg = paper_instance(static_cast<int>(n), 0.9);
+    cfg.tree.object_size_lo = 450.0;
+    cfg.tree.object_size_hi = 530.0;
+    return cfg;
+  };
+
+  const SweepResult result = run_sweep(spec);
+  report(result,
+         "Large objects: cost vs N (alpha=0.9, high frequency, 450-530 MB)",
+         "No feasible solution as soon as trees exceed ~45 nodes; "
+         "Subtree-bottom-up generally best but sometimes fails in server "
+         "selection or is beaten by Comm-Greedy.",
+         flags.csv_path);
+  return 0;
+}

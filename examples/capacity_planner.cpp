@@ -1,0 +1,130 @@
+// Capacity planner: a small CLI a platform operator would actually use.
+// Takes workload parameters (or a saved tree file), runs every heuristic
+// plus the cost lower bound, and recommends the cheapest verified purchase
+// plan together with its headroom (max sustainable throughput / target).
+//
+//   ./capacity_planner --ops 40 --alpha 1.3 --types 10 --servers 6
+//                      [--budget 30000]   # maximize throughput instead
+//                      [--size-lo 5 --size-hi 30] [--freq 0.5] [--rho 1]
+//                      [--seed 1] [--tree saved.tree] [--save plan.tree]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/allocator.hpp"
+#include "ilp/bounds.hpp"
+#include "planner/budget_planner.hpp"
+#include "platform/server_distribution.hpp"
+#include "report/allocation_report.hpp"
+#include "sim/flow_analyzer.hpp"
+#include "tree/tree_generator.hpp"
+#include "tree/tree_io.hpp"
+#include "util/cli.hpp"
+
+using namespace insp;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const double alpha = args.get_double("alpha", 1.3);
+  const double rho = args.get_double("rho", 1.0);
+
+  // --- Workload -------------------------------------------------------------
+  Rng rng(seed);
+  OperatorTree tree = [&] {
+    if (args.has("tree")) {
+      return load_tree(args.get("tree", ""));
+    }
+    TreeGenConfig cfg;
+    cfg.num_operators = static_cast<int>(args.get_int("ops", 40));
+    cfg.alpha = alpha;
+    cfg.num_object_types = static_cast<int>(args.get_int("types", 10));
+    cfg.object_size_lo = args.get_double("size-lo", 5.0);
+    cfg.object_size_hi = args.get_double("size-hi", 30.0);
+    cfg.download_freq = args.get_double("freq", 0.5);
+    return generate_random_tree(rng, cfg);
+  }();
+  if (args.has("save")) {
+    save_tree(tree, args.get("save", ""), alpha);
+    std::printf("tree saved to %s\n", args.get("save", "").c_str());
+  }
+
+  ServerDistConfig dist;
+  dist.num_servers = static_cast<int>(args.get_int("servers", 6));
+  dist.num_object_types = tree.catalog().count();
+  Platform platform = make_paper_platform(rng, dist);
+  PriceCatalog catalog = PriceCatalog::paper_default();
+
+  Problem problem;
+  problem.tree = &tree;
+  problem.platform = &platform;
+  problem.catalog = &catalog;
+  problem.rho = rho;
+
+  std::printf("workload: %d operators, %d leaves, target throughput %.2f/s\n",
+              tree.num_operators(), tree.num_leaves(), rho);
+  const CostLowerBound lb = cost_lower_bound(problem);
+  std::printf("no plan can cost less than $%.0f (%s)\n\n", lb.value,
+              lb.binding);
+
+  // --- Budget mode: maximize throughput under a spending cap ---------------
+  if (args.has("budget")) {
+    BudgetPlanConfig bcfg;
+    bcfg.budget = args.get_double("budget", 0.0);
+    Rng brng(seed);
+    const BudgetPlanResult plan = plan_for_budget(problem, bcfg, brng);
+    if (!plan.feasible) {
+      std::printf("budget $%.0f buys no feasible platform (cheapest "
+                  "processor is $7,548)\n",
+                  bcfg.budget);
+      return 1;
+    }
+    std::printf("budget $%.0f -> plan for %.3f results/s (sustains %.3f), "
+                "spending $%.0f on %d processor(s)\n\n%s",
+                bcfg.budget, plan.planned_rho, plan.sustainable_rho,
+                plan.outcome.cost, plan.outcome.num_processors,
+                plan_summary(problem, plan.outcome.allocation).c_str());
+    return 0;
+  }
+
+  // --- Compare plans ----------------------------------------------------------
+  AllocationOutcome best;
+  const char* best_name = nullptr;
+  std::printf("%-22s %-10s %-6s %s\n", "heuristic", "cost", "procs",
+              "throughput headroom");
+  for (HeuristicKind h : all_heuristics()) {
+    Rng hrng(seed);
+    const AllocationOutcome out = allocate(problem, h, hrng);
+    if (!out.success) {
+      std::printf("%-22s FAILED: %s\n", heuristic_name(h),
+                  out.failure_reason.c_str());
+      continue;
+    }
+    const FlowAnalysis flow = analyze_flow(problem, out.allocation);
+    std::printf("%-22s $%-9.0f %-6d %.2fx\n", heuristic_name(h), out.cost,
+                out.num_processors, flow.max_throughput / rho);
+    if (!best_name || out.cost < best.cost) {
+      best = out;
+      best_name = heuristic_name(h);
+    }
+  }
+  if (!best_name) {
+    std::printf("\nno feasible plan found — relax the target throughput or "
+                "add servers\n");
+    return 1;
+  }
+
+  std::printf("\nrecommended plan (%s, $%.0f, %.1f%% above the lower "
+              "bound):\n%s",
+              best_name, best.cost, 100.0 * (best.cost - lb.value) / lb.value,
+              best.allocation.describe(problem).c_str());
+
+  std::printf("\n%s", plan_summary(problem, best.allocation).c_str());
+  if (args.has("dot")) {
+    const std::string path = args.get("dot", "plan.dot");
+    std::ofstream f(path);
+    f << allocation_to_dot(problem, best.allocation);
+    std::printf("\nGraphviz rendering written to %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "bench_support/experiment.hpp"
+
+namespace insp {
+
+Instance::Instance(OperatorTree tree, Platform platform, PriceCatalog catalog,
+                   Throughput rho)
+    : tree_(std::move(tree)),
+      platform_(std::move(platform)),
+      catalog_(std::move(catalog)),
+      rho_(rho) {}
+
+Problem Instance::problem() const {
+  Problem p;
+  p.tree = &tree_;
+  p.platform = &platform_;
+  p.catalog = &catalog_;
+  p.rho = rho_;
+  return p;
+}
+
+Instance make_instance(std::uint64_t seed, const InstanceConfig& config) {
+  Rng master(seed);
+  Rng tree_rng = master.split();
+  Rng plat_rng = master.split();
+
+  ServerDistConfig servers = config.servers;
+  servers.num_object_types = config.tree.num_object_types;
+
+  OperatorTree tree = generate_random_tree(tree_rng, config.tree);
+  Platform platform = make_paper_platform(plat_rng, servers);
+  PriceCatalog catalog = config.homogeneous_catalog
+                             ? PriceCatalog::homogeneous()
+                             : PriceCatalog::paper_default();
+  return Instance(std::move(tree), std::move(platform), std::move(catalog),
+                  config.rho);
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  SweepResult result;
+  result.x_name = spec.x_name;
+  result.xs = spec.xs;
+  result.heuristics =
+      spec.heuristics.empty() ? all_heuristics() : spec.heuristics;
+  for (HeuristicKind h : result.heuristics) {
+    result.cells[h].resize(spec.xs.size());
+  }
+
+  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
+    const InstanceConfig cfg = spec.config_for(spec.xs[xi]);
+    for (int rep = 0; rep < spec.repetitions; ++rep) {
+      // One instance per (x, rep); all heuristics see the same instance,
+      // like the paper's per-configuration comparisons.
+      const std::uint64_t seed =
+          spec.base_seed * 1'000'003ull + xi * 7919ull + rep;
+      const Instance inst = make_instance(seed, cfg);
+      const Problem prob = inst.problem();
+      for (HeuristicKind h : result.heuristics) {
+        SweepCell& cell = result.cells[h][xi];
+        ++cell.attempts;
+        Rng run_rng(seed ^ (0x9e37ull + static_cast<std::uint64_t>(h)));
+        const AllocationOutcome out =
+            allocate(prob, h, run_rng, spec.allocator_options);
+        if (out.success) {
+          cell.cost.add(out.cost);
+          cell.processors.add(out.num_processors);
+        } else {
+          ++cell.failures;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+} // namespace insp

@@ -1,0 +1,83 @@
+// Experiment harness shared by every bench binary: builds seeded random
+// instances exactly per the paper's methodology (§5), runs the heuristic
+// pipelines, and aggregates costs/failures per sweep point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "platform/server_distribution.hpp"
+#include "tree/tree_generator.hpp"
+#include "util/stats.hpp"
+
+namespace insp {
+
+/// Everything a single allocation problem owns.  Problem::tree etc. point
+/// into this object, so it must outlive the Problem it hands out.
+class Instance {
+ public:
+  Instance(OperatorTree tree, Platform platform, PriceCatalog catalog,
+           Throughput rho);
+
+  Problem problem() const;
+  const OperatorTree& tree() const { return tree_; }
+  const Platform& platform() const { return platform_; }
+  const PriceCatalog& catalog() const { return catalog_; }
+
+ private:
+  OperatorTree tree_;
+  Platform platform_;
+  PriceCatalog catalog_;
+  Throughput rho_;
+};
+
+struct InstanceConfig {
+  TreeGenConfig tree;
+  ServerDistConfig servers;
+  Throughput rho = 1.0;
+  bool homogeneous_catalog = false;  ///< CONSTR-HOM instead of Table 1
+};
+
+/// Deterministic: the same (seed, config) always yields the same instance.
+Instance make_instance(std::uint64_t seed, const InstanceConfig& config);
+
+// ---------------------------------------------------------------------------
+
+struct SweepCell {
+  SampleSet cost;        ///< successful runs only (paper plots likewise)
+  SampleSet processors;  ///< processor counts of successful runs
+  int attempts = 0;
+  int failures = 0;
+  double failure_rate() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(failures) / attempts;
+  }
+};
+
+struct SweepResult {
+  std::string x_name;
+  std::vector<double> xs;
+  std::vector<HeuristicKind> heuristics;
+  /// cells[h][i]: aggregate for heuristic h at xs[i].
+  std::map<HeuristicKind, std::vector<SweepCell>> cells;
+};
+
+struct SweepSpec {
+  std::string x_name = "x";
+  std::vector<double> xs;
+  /// Instance for sweep value x and repetition seed.
+  std::function<InstanceConfig(double x)> config_for;
+  int repetitions = 30;
+  std::uint64_t base_seed = 42;
+  std::vector<HeuristicKind> heuristics;  ///< empty = all six
+  AllocatorOptions allocator_options;
+};
+
+SweepResult run_sweep(const SweepSpec& spec);
+
+} // namespace insp

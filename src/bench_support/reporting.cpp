@@ -1,0 +1,141 @@
+#include "bench_support/reporting.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+
+namespace insp {
+
+char heuristic_marker(HeuristicKind kind) {
+  switch (kind) {
+    case HeuristicKind::Random: return 'R';
+    case HeuristicKind::CompGreedy: return 'W';
+    case HeuristicKind::CommGreedy: return 'C';
+    case HeuristicKind::SubtreeBottomUp: return 'S';
+    case HeuristicKind::ObjectGrouping: return 'G';
+    case HeuristicKind::ObjectAvailability: return 'A';
+  }
+  return '?';
+}
+
+namespace {
+
+std::string money(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+using CellFormatter = std::string (*)(const SweepCell&);
+
+std::string generic_table(const SweepResult& r, CellFormatter fmt) {
+  std::ostringstream out;
+  const int name_w = 20;
+  out << std::left << std::setw(10) << r.x_name;
+  for (HeuristicKind h : r.heuristics) {
+    out << std::setw(name_w) << heuristic_name(h);
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < r.xs.size(); ++i) {
+    std::ostringstream xv;
+    xv << r.xs[i];
+    out << std::setw(10) << xv.str();
+    for (HeuristicKind h : r.heuristics) {
+      out << std::setw(name_w) << fmt(r.cells.at(h)[i]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string cost_cell(const SweepCell& c) {
+  if (c.cost.empty()) return "-";
+  std::string s = money(c.cost.mean());
+  if (c.failures > 0) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), " (%.0f%% fail)", 100.0 * c.failure_rate());
+    s += buf;
+  }
+  return s;
+}
+
+std::string proc_cell(const SweepCell& c) {
+  if (c.processors.empty()) return "-";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%.1f", c.processors.mean());
+  return buf;
+}
+
+std::string fail_cell(const SweepCell& c) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", 100.0 * c.failure_rate());
+  return buf;
+}
+
+} // namespace
+
+std::string format_cost_table(const SweepResult& result) {
+  return generic_table(result, cost_cell);
+}
+
+std::string format_processor_table(const SweepResult& result) {
+  return generic_table(result, proc_cell);
+}
+
+std::string format_failure_table(const SweepResult& result) {
+  return generic_table(result, fail_cell);
+}
+
+std::string format_cost_chart(const SweepResult& result,
+                              const std::string& title) {
+  std::vector<ChartSeries> series;
+  for (HeuristicKind h : result.heuristics) {
+    ChartSeries s;
+    s.name = heuristic_name(h);
+    s.marker = heuristic_marker(h);
+    const auto& cells = result.cells.at(h);
+    for (std::size_t i = 0; i < result.xs.size(); ++i) {
+      const double y = cells[i].cost.empty()
+                           ? std::numeric_limits<double>::quiet_NaN()
+                           : cells[i].cost.mean();
+      s.points.emplace_back(result.xs[i], y);
+    }
+    series.push_back(std::move(s));
+  }
+  ChartOptions opt;
+  opt.title = title;
+  opt.x_label = result.x_name;
+  opt.y_label = "mean cost ($)";
+  return render_ascii_chart(series, opt);
+}
+
+void write_sweep_csv(const SweepResult& result, const std::string& path) {
+  CsvWriter csv(path);
+  csv.header({"x", "heuristic", "attempts", "failures", "mean_cost",
+              "stddev_cost", "mean_processors"});
+  for (HeuristicKind h : result.heuristics) {
+    const auto& cells = result.cells.at(h);
+    for (std::size_t i = 0; i < result.xs.size(); ++i) {
+      const auto& c = cells[i];
+      csv.cell(result.xs[i]);
+      csv.cell(std::string(heuristic_name(h)));
+      csv.cell(static_cast<long long>(c.attempts));
+      csv.cell(static_cast<long long>(c.failures));
+      if (c.cost.empty()) {
+        csv.cell(std::string("")).cell(std::string("")).cell(std::string(""));
+      } else {
+        csv.cell(c.cost.mean());
+        csv.cell(c.cost.stddev());
+        csv.cell(c.processors.mean());
+      }
+      csv.end_row();
+    }
+  }
+}
+
+} // namespace insp

@@ -1,0 +1,32 @@
+// Rendering of sweep results: the text tables printed by the bench
+// binaries (paper-figure rows), ASCII charts, and CSV dumps.
+#pragma once
+
+#include <string>
+
+#include "bench_support/experiment.hpp"
+
+namespace insp {
+
+/// Table: one row per x value, one column per heuristic, cells "mean-cost
+/// (fail%)"; failed-only cells print "-".
+std::string format_cost_table(const SweepResult& result);
+
+/// Same layout, mean processor counts.
+std::string format_processor_table(const SweepResult& result);
+
+/// Failure-rate table (percent).
+std::string format_failure_table(const SweepResult& result);
+
+/// ASCII chart of mean cost vs x (NaN gaps where every run failed).
+std::string format_cost_chart(const SweepResult& result,
+                              const std::string& title);
+
+/// CSV: x, heuristic, attempts, failures, mean_cost, stddev_cost,
+/// mean_processors.
+void write_sweep_csv(const SweepResult& result, const std::string& path);
+
+/// Marker characters used consistently across charts/legends.
+char heuristic_marker(HeuristicKind kind);
+
+} // namespace insp

@@ -1,0 +1,93 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace insp {
+
+Dollars Allocation::total_cost(const PriceCatalog& catalog) const {
+  Dollars total = 0.0;
+  for (const auto& p : processors) total += catalog.cost(p.config);
+  return total;
+}
+
+std::string Allocation::describe(const Problem& problem) const {
+  std::ostringstream out;
+  const auto loads = compute_processor_loads(problem, *this);
+  out << "allocation: " << processors.size() << " processor(s), total $"
+      << total_cost(*problem.catalog) << "\n";
+  for (std::size_t u = 0; u < processors.size(); ++u) {
+    const auto& p = processors[u];
+    out << "  P" << u << " " << problem.catalog->describe(p.config) << " ops[";
+    for (std::size_t i = 0; i < p.ops.size(); ++i) {
+      out << (i ? "," : "") << p.ops[i];
+    }
+    out << "] cpu=" << loads[u].cpu_demand << "/"
+        << problem.catalog->speed(p.config)
+        << " nic=" << loads[u].nic_total() << "/"
+        << problem.catalog->bandwidth(p.config);
+    if (!p.downloads.empty()) {
+      out << " dl{";
+      for (std::size_t i = 0; i < p.downloads.size(); ++i) {
+        out << (i ? "," : "") << "o" << p.downloads[i].object_type << "<-S"
+            << p.downloads[i].server;
+      }
+      out << "}";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<ProcessorLoads> compute_processor_loads(const Problem& problem,
+                                                    const Allocation& alloc) {
+  const OperatorTree& tree = *problem.tree;
+  std::vector<ProcessorLoads> loads(alloc.processors.size());
+
+  for (std::size_t u = 0; u < alloc.processors.size(); ++u) {
+    for (int op : alloc.processors[u].ops) {
+      loads[u].cpu_demand += problem.rho * tree.op(op).work;
+    }
+  }
+
+  // Downloads: distinct types per processor.
+  const auto types = needed_types_per_processor(problem, alloc);
+  for (std::size_t u = 0; u < types.size(); ++u) {
+    for (int t : types[u]) {
+      loads[u].download += tree.catalog().type(t).rate();
+    }
+  }
+
+  // Crossing tree edges.
+  for (const auto& n : tree.operators()) {
+    if (n.parent == kNoNode) continue;
+    const int uc = alloc.op_to_proc[static_cast<std::size_t>(n.id)];
+    const int up = alloc.op_to_proc[static_cast<std::size_t>(n.parent)];
+    if (uc == kNoNode || up == kNoNode || uc == up) continue;
+    const MBps v = problem.rho * n.output_mb;
+    loads[static_cast<std::size_t>(uc)].comm_out += v;
+    loads[static_cast<std::size_t>(up)].comm_in += v;
+  }
+  return loads;
+}
+
+std::vector<std::vector<int>> needed_types_per_processor(
+    const Problem& problem, const Allocation& alloc) {
+  const OperatorTree& tree = *problem.tree;
+  std::vector<std::set<int>> sets(alloc.processors.size());
+  for (std::size_t u = 0; u < alloc.processors.size(); ++u) {
+    for (int op : alloc.processors[u].ops) {
+      for (int t : tree.object_types_of(op)) {
+        sets[u].insert(t);
+      }
+    }
+  }
+  std::vector<std::vector<int>> out(alloc.processors.size());
+  for (std::size_t u = 0; u < sets.size(); ++u) {
+    out[u].assign(sets[u].begin(), sets[u].end());
+  }
+  return out;
+}
+
+} // namespace insp

@@ -1,0 +1,117 @@
+#include "core/allocator.hpp"
+
+#include "core/downgrade.hpp"
+#include "core/local_search.hpp"
+#include "core/server_selection.hpp"
+#include "util/log.hpp"
+
+namespace insp {
+
+const std::vector<HeuristicKind>& all_heuristics() {
+  static const std::vector<HeuristicKind> kAll = {
+      HeuristicKind::Random,          HeuristicKind::CompGreedy,
+      HeuristicKind::CommGreedy,      HeuristicKind::SubtreeBottomUp,
+      HeuristicKind::ObjectGrouping,  HeuristicKind::ObjectAvailability,
+  };
+  return kAll;
+}
+
+const char* heuristic_name(HeuristicKind kind) {
+  switch (kind) {
+    case HeuristicKind::Random: return "Random";
+    case HeuristicKind::CompGreedy: return "Comp-Greedy";
+    case HeuristicKind::CommGreedy: return "Comm-Greedy";
+    case HeuristicKind::SubtreeBottomUp: return "Subtree-bottom-up";
+    case HeuristicKind::ObjectGrouping: return "Object-Grouping";
+    case HeuristicKind::ObjectAvailability: return "Object-Availability";
+  }
+  return "?";
+}
+
+std::optional<HeuristicKind> heuristic_from_name(const std::string& name) {
+  for (HeuristicKind k : all_heuristics()) {
+    if (name == heuristic_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+PlacementOutcome run_placement(HeuristicKind kind, PlacementState& state,
+                               Rng& rng) {
+  switch (kind) {
+    case HeuristicKind::Random: return place_random(state, rng);
+    case HeuristicKind::CompGreedy: return place_comp_greedy(state, rng);
+    case HeuristicKind::CommGreedy: return place_comm_greedy(state, rng);
+    case HeuristicKind::SubtreeBottomUp:
+      return place_subtree_bottom_up(state, rng);
+    case HeuristicKind::ObjectGrouping:
+      return place_object_grouping(state, rng);
+    case HeuristicKind::ObjectAvailability:
+      return place_object_availability(state, rng);
+  }
+  return {false, "unknown heuristic"};
+}
+
+} // namespace
+
+AllocationOutcome allocate(const Problem& problem, HeuristicKind kind,
+                           Rng& rng, const AllocatorOptions& options) {
+  AllocationOutcome out;
+  if (!problem.valid()) {
+    out.failure_reason = "invalid problem instance";
+    return out;
+  }
+
+  // ---- Phase 1: operator placement. ---------------------------------------
+  PlacementState state(problem);
+  const PlacementOutcome placed = run_placement(kind, state, rng);
+  if (!placed.success) {
+    out.failure_reason = "placement: " + placed.failure_reason;
+    return out;
+  }
+  if (options.local_search) {
+    refine_placement(state);
+  }
+  out.allocation = state.to_allocation();
+
+  // ---- Phase 2: server selection. ------------------------------------------
+  ServerSelectionKind ss = options.server_selection;
+  if (ss == ServerSelectionKind::PaperDefault) {
+    ss = kind == HeuristicKind::Random ? ServerSelectionKind::RandomChoice
+                                       : ServerSelectionKind::ThreeLoop;
+  }
+  const ServerSelectionResult sel =
+      ss == ServerSelectionKind::RandomChoice
+          ? select_servers_random(problem, out.allocation, rng)
+          : select_servers_three_loop(problem, out.allocation);
+  if (!sel.success) {
+    out.failure_reason = "server-selection: " + sel.failure_reason;
+    return out;
+  }
+
+  // ---- Phase 3: downgrade. --------------------------------------------------
+  out.cost_before_downgrade = out.allocation.total_cost(*problem.catalog);
+  if (options.downgrade) {
+    const DowngradeSummary dg = downgrade_processors(problem, out.allocation);
+    INSP_DEBUG << heuristic_name(kind) << ": downgrade changed "
+               << dg.processors_changed << " processor(s), saved $"
+               << dg.saved;
+  }
+
+  // ---- Final validation. ----------------------------------------------------
+  if (options.validate) {
+    const CheckReport report = check_allocation(problem, out.allocation);
+    if (!report.ok()) {
+      out.failure_reason = "validation: " + report.summary();
+      return out;
+    }
+  }
+
+  out.success = true;
+  out.cost = out.allocation.total_cost(*problem.catalog);
+  out.num_processors = out.allocation.num_processors();
+  return out;
+}
+
+} // namespace insp

@@ -1,0 +1,64 @@
+// End-to-end allocation pipeline (paper §4): operator placement, then
+// server selection, then the downgrade step, then a full validation of the
+// result against constraints (1)-(5).  Any phase may fail; the experiment
+// harness counts failures per heuristic exactly as the paper does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/constraints.hpp"
+#include "core/placement_heuristics.hpp"
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace insp {
+
+enum class HeuristicKind {
+  Random,
+  CompGreedy,
+  CommGreedy,
+  SubtreeBottomUp,
+  ObjectGrouping,
+  ObjectAvailability,
+};
+
+/// All six, in the paper's presentation order.
+const std::vector<HeuristicKind>& all_heuristics();
+const char* heuristic_name(HeuristicKind kind);
+std::optional<HeuristicKind> heuristic_from_name(const std::string& name);
+
+enum class ServerSelectionKind {
+  /// Paper pairing: Random placement -> random selection; all other
+  /// heuristics -> the sophisticated three-loop selection.
+  PaperDefault,
+  RandomChoice,
+  ThreeLoop,
+};
+
+struct AllocatorOptions {
+  ServerSelectionKind server_selection = ServerSelectionKind::PaperDefault;
+  bool downgrade = true;  ///< paper skips it only in the homogeneous study
+  bool validate = true;   ///< run the full constraint checker on the result
+  /// Optional local-search refinement between placement and server
+  /// selection (extension beyond the paper; see core/local_search.hpp).
+  bool local_search = false;
+};
+
+struct AllocationOutcome {
+  bool success = false;
+  std::string failure_reason;  ///< which phase failed and why
+  Allocation allocation;       ///< valid only when success
+  Dollars cost = 0.0;
+  int num_processors = 0;
+  Dollars cost_before_downgrade = 0.0;
+};
+
+/// Runs the full pipeline for one heuristic.  `rng` drives the Random
+/// heuristic (and random server selection); deterministic given its state.
+AllocationOutcome allocate(const Problem& problem, HeuristicKind kind,
+                           Rng& rng, const AllocatorOptions& options = {});
+
+} // namespace insp

@@ -1,0 +1,221 @@
+#include "core/constraints.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace insp {
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::Structure: return "structure";
+    case ViolationKind::CpuCapacity: return "cpu-capacity(1)";
+    case ViolationKind::ProcNic: return "proc-nic(2)";
+    case ViolationKind::ServerCard: return "server-card(3)";
+    case ViolationKind::ServerProcLink: return "server-proc-link(4)";
+    case ViolationKind::ProcProcLink: return "proc-proc-link(5)";
+    case ViolationKind::DownloadRouting: return "download-routing";
+  }
+  return "?";
+}
+
+std::string CheckReport::summary() const {
+  if (ok()) return "ok";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):";
+  for (const auto& v : violations) {
+    out << "\n  [" << to_string(v.kind) << "] " << v.detail;
+  }
+  return out.str();
+}
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const Problem& problem, const Allocation& alloc)
+      : p_(problem), a_(alloc) {}
+
+  CheckReport run() {
+    check_structure();
+    if (!report_.ok()) return std::move(report_);  // loads need structure
+    check_downloads();
+    check_cpu_and_nic();
+    check_servers_and_links();
+    return std::move(report_);
+  }
+
+ private:
+  void fail(ViolationKind kind, const std::string& detail) {
+    report_.violations.push_back({kind, detail});
+  }
+
+  void check_structure() {
+    const auto& tree = *p_.tree;
+    if (static_cast<int>(a_.op_to_proc.size()) != tree.num_operators()) {
+      fail(ViolationKind::Structure, "op_to_proc size mismatch");
+      return;
+    }
+    std::vector<int> seen(a_.op_to_proc.size(), 0);
+    for (std::size_t u = 0; u < a_.processors.size(); ++u) {
+      if (a_.processors[u].ops.empty()) {
+        fail(ViolationKind::Structure,
+             "processor " + std::to_string(u) + " owns no operators");
+      }
+      for (int op : a_.processors[u].ops) {
+        if (op < 0 || op >= tree.num_operators()) {
+          fail(ViolationKind::Structure, "processor owns unknown operator");
+          continue;
+        }
+        if (a_.op_to_proc[static_cast<std::size_t>(op)] !=
+            static_cast<int>(u)) {
+          fail(ViolationKind::Structure,
+               "op " + std::to_string(op) + " map/ops list disagree");
+        }
+        ++seen[static_cast<std::size_t>(op)];
+      }
+    }
+    for (std::size_t op = 0; op < seen.size(); ++op) {
+      if (seen[op] != 1) {
+        fail(ViolationKind::Structure,
+             "op " + std::to_string(op) + " owned by " +
+                 std::to_string(seen[op]) + " processors");
+      }
+    }
+  }
+
+  void check_downloads() {
+    const auto needed = needed_types_per_processor(p_, a_);
+    for (std::size_t u = 0; u < a_.processors.size(); ++u) {
+      std::set<int> routed;
+      for (const auto& dl : a_.processors[u].downloads) {
+        if (dl.object_type < 0 ||
+            dl.object_type >= p_.tree->catalog().count()) {
+          fail(ViolationKind::DownloadRouting,
+               "P" + std::to_string(u) + " downloads unknown type");
+          continue;
+        }
+        if (!routed.insert(dl.object_type).second) {
+          fail(ViolationKind::DownloadRouting,
+               "P" + std::to_string(u) + " downloads type " +
+                   std::to_string(dl.object_type) + " twice");
+        }
+        if (dl.server < 0 || dl.server >= p_.platform->num_servers()) {
+          fail(ViolationKind::DownloadRouting,
+               "P" + std::to_string(u) + " downloads from unknown server");
+          continue;
+        }
+        if (!p_.platform->server(dl.server).hosts(dl.object_type)) {
+          fail(ViolationKind::DownloadRouting,
+               "P" + std::to_string(u) + " downloads type " +
+                   std::to_string(dl.object_type) + " from S" +
+                   std::to_string(dl.server) + " which does not host it");
+        }
+      }
+      const std::set<int> need(needed[u].begin(), needed[u].end());
+      for (int t : need) {
+        if (!routed.count(t)) {
+          fail(ViolationKind::DownloadRouting,
+               "P" + std::to_string(u) + " misses a route for type " +
+                   std::to_string(t));
+        }
+      }
+      for (int t : routed) {
+        if (!need.count(t)) {
+          fail(ViolationKind::DownloadRouting,
+               "P" + std::to_string(u) + " routes unneeded type " +
+                   std::to_string(t));
+        }
+      }
+    }
+  }
+
+  void check_cpu_and_nic() {
+    const auto loads = compute_processor_loads(p_, a_);
+    const auto& cat = *p_.catalog;
+    for (std::size_t u = 0; u < a_.processors.size(); ++u) {
+      const auto& cfg = a_.processors[u].config;
+      if (!cfg.valid()) {
+        fail(ViolationKind::Structure,
+             "P" + std::to_string(u) + " has no configuration");
+        continue;
+      }
+      if (!fits_within(loads[u].cpu_demand, cat.speed(cfg))) {
+        std::ostringstream ss;
+        ss << "P" << u << " cpu " << loads[u].cpu_demand << " > "
+           << cat.speed(cfg);
+        fail(ViolationKind::CpuCapacity, ss.str());
+      }
+      if (!fits_within(loads[u].nic_total(), cat.bandwidth(cfg))) {
+        std::ostringstream ss;
+        ss << "P" << u << " nic " << loads[u].nic_total() << " > "
+           << cat.bandwidth(cfg) << " (dl " << loads[u].download << " in "
+           << loads[u].comm_in << " out " << loads[u].comm_out << ")";
+        fail(ViolationKind::ProcNic, ss.str());
+      }
+    }
+  }
+
+  void check_servers_and_links() {
+    const auto& tree = *p_.tree;
+    const auto& plat = *p_.platform;
+    // (3) server cards and (4) server->processor links.
+    std::vector<MBps> server_load(static_cast<std::size_t>(plat.num_servers()),
+                                  0.0);
+    std::map<std::pair<int, int>, MBps> sp_link;  // (server, proc)
+    for (std::size_t u = 0; u < a_.processors.size(); ++u) {
+      for (const auto& dl : a_.processors[u].downloads) {
+        if (dl.server < 0 || dl.server >= plat.num_servers()) continue;
+        const MBps r = tree.catalog().type(dl.object_type).rate();
+        server_load[static_cast<std::size_t>(dl.server)] += r;
+        sp_link[{dl.server, static_cast<int>(u)}] += r;
+      }
+    }
+    for (int l = 0; l < plat.num_servers(); ++l) {
+      if (!fits_within(server_load[static_cast<std::size_t>(l)],
+                       plat.server(l).card_bandwidth)) {
+        std::ostringstream ss;
+        ss << "S" << l << " card " << server_load[static_cast<std::size_t>(l)]
+           << " > " << plat.server(l).card_bandwidth;
+        fail(ViolationKind::ServerCard, ss.str());
+      }
+    }
+    for (const auto& [key, load] : sp_link) {
+      if (!fits_within(load, plat.link_server_proc())) {
+        std::ostringstream ss;
+        ss << "link S" << key.first << "->P" << key.second << " " << load
+           << " > " << plat.link_server_proc();
+        fail(ViolationKind::ServerProcLink, ss.str());
+      }
+    }
+    // (5) processor<->processor links.
+    std::map<std::pair<int, int>, MBps> pp_link;
+    for (const auto& n : tree.operators()) {
+      if (n.parent == kNoNode) continue;
+      const int uc = a_.op_to_proc[static_cast<std::size_t>(n.id)];
+      const int up = a_.op_to_proc[static_cast<std::size_t>(n.parent)];
+      if (uc == kNoNode || up == kNoNode || uc == up) continue;
+      pp_link[{std::min(uc, up), std::max(uc, up)}] += p_.rho * n.output_mb;
+    }
+    for (const auto& [key, load] : pp_link) {
+      if (!fits_within(load, plat.link_proc_proc())) {
+        std::ostringstream ss;
+        ss << "link P" << key.first << "<->P" << key.second << " " << load
+           << " > " << plat.link_proc_proc();
+        fail(ViolationKind::ProcProcLink, ss.str());
+      }
+    }
+  }
+
+  const Problem& p_;
+  const Allocation& a_;
+  CheckReport report_;
+};
+
+} // namespace
+
+CheckReport check_allocation(const Problem& problem, const Allocation& alloc) {
+  return Checker(problem, alloc).run();
+}
+
+} // namespace insp

@@ -1,0 +1,31 @@
+#include "core/downgrade.hpp"
+
+#include <cassert>
+
+namespace insp {
+
+DowngradeSummary downgrade_processors(const Problem& problem,
+                                      Allocation& alloc) {
+  DowngradeSummary summary;
+  const auto loads = compute_processor_loads(problem, alloc);
+  const PriceCatalog& cat = *problem.catalog;
+  for (std::size_t u = 0; u < alloc.processors.size(); ++u) {
+    auto& p = alloc.processors[u];
+    const auto best =
+        cat.cheapest_meeting(loads[u].cpu_demand, loads[u].nic_total());
+    // The current configuration satisfies the load (the placement phase
+    // checked it), so a meeting configuration always exists.
+    assert(best.has_value());
+    if (!best) continue;
+    const Dollars before = cat.cost(p.config);
+    const Dollars after = cat.cost(*best);
+    if (after < before) {
+      p.config = *best;
+      ++summary.processors_changed;
+      summary.saved += before - after;
+    }
+  }
+  return summary;
+}
+
+} // namespace insp

@@ -1,0 +1,20 @@
+// Third phase of every heuristic (paper §4): most placement heuristics buy
+// only the most powerful processors; after server selection, every purchase
+// is replaced by the *cheapest* catalog configuration whose CPU speed and
+// NIC bandwidth still satisfy that processor's realized load.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+
+namespace insp {
+
+struct DowngradeSummary {
+  int processors_changed = 0;
+  Dollars saved = 0.0;  ///< cost before minus cost after (>= 0)
+};
+
+DowngradeSummary downgrade_processors(const Problem& problem,
+                                      Allocation& alloc);
+
+} // namespace insp

@@ -1,0 +1,78 @@
+#include "core/placement_common.hpp"
+#include "core/placement_heuristics.hpp"
+#include "tree/tree_stats.hpp"
+
+namespace insp {
+
+PlacementOutcome place_comm_greedy(PlacementState& state, Rng& /*rng*/) {
+  const OperatorTree& tree = *state.problem().tree;
+  const PriceCatalog& cat = *state.problem().catalog;
+
+  // Edges (child -> parent) by non-increasing communication volume: "picks
+  // the two operators that have the largest communication requirements".
+  for (int child : edges_by_volume_desc(tree)) {
+    const int parent = tree.op(child).parent;
+    const int uc = state.proc_of(child);
+    const int up = state.proc_of(parent);
+
+    if (uc == kNoNode && up == kNoNode) {
+      // (i) both unassigned: cheapest processor that can handle both ...
+      bool placed = false;
+      for (const auto& cfg : cat.by_cost()) {
+        const int pid = state.buy(cfg);
+        if (state.try_place({child, parent}, pid)) {
+          placed = true;
+          break;
+        }
+        state.sell(pid);
+      }
+      if (!placed) {
+        // ... "if no such processor is available then the heuristic acquires
+        // the most expensive processor for each operator" (grouping keeps
+        // that robust when a lone operator still cannot be seated).
+        for (int op : {child, parent}) {
+          std::string why;
+          if (!place_with_grouping(state, op,
+                                   GroupConfigPolicy::MostExpensiveOnly,
+                                   &why)) {
+            return {false, "comm-greedy: " + why};
+          }
+        }
+      }
+    } else if (uc == kNoNode || up == kNoNode) {
+      // (ii) one assigned: try to accommodate the other on the same
+      // processor, else buy the most expensive processor for it.
+      const int assigned_proc = uc == kNoNode ? up : uc;
+      const int loose = uc == kNoNode ? child : parent;
+      if (!state.try_place({loose}, assigned_proc)) {
+        std::string why;
+        if (!place_with_grouping(state, loose,
+                                 GroupConfigPolicy::MostExpensiveOnly,
+                                 &why)) {
+          return {false, "comm-greedy: " + why};
+        }
+      }
+    } else if (uc != up) {
+      // (iii) both assigned on different processors: try to accommodate all
+      // operators on one processor and sell the other; keep the current
+      // assignment when neither direction fits.
+      const std::vector<int> from_up = state.ops_on(up);
+      if (!state.try_place(from_up, uc)) {
+        const std::vector<int> from_uc = state.ops_on(uc);
+        state.try_place(from_uc, up);
+      }
+    }
+  }
+
+  // A single-operator tree has no edges; seat the root directly.
+  for (int op : state.unassigned_ops()) {
+    std::string why;
+    if (!place_with_grouping(state, op, GroupConfigPolicy::CheapestFirst,
+                             &why)) {
+      return {false, "comm-greedy: " + why};
+    }
+  }
+  return {true, ""};
+}
+
+} // namespace insp

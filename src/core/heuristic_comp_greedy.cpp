@@ -1,0 +1,30 @@
+#include "core/placement_common.hpp"
+#include "core/placement_heuristics.hpp"
+
+namespace insp {
+
+PlacementOutcome place_comp_greedy(PlacementState& state, Rng& /*rng*/) {
+  const auto order = ops_by_work_desc(*state.problem().tree);
+  for (int op : order) {
+    if (state.proc_of(op) != kNoNode) continue;
+    // "the heuristic acquires the most expensive processor available and
+    //  assigns the most computationally demanding unassigned operator to it"
+    // with the grouping technique when the operator alone does not fit.
+    std::string why;
+    const auto pid = place_with_grouping(
+        state, op, GroupConfigPolicy::MostExpensiveOnly, &why);
+    if (!pid) {
+      return {false, "comp-greedy: " + why};
+    }
+    // "If after this step some capacity is left on the processor, then the
+    //  heuristic tries to assign other operators to it ... in non-increasing
+    //  order of w_i."
+    for (int other : order) {
+      if (state.proc_of(other) != kNoNode) continue;
+      state.try_place({other}, *pid);
+    }
+  }
+  return {true, ""};
+}
+
+} // namespace insp

@@ -1,0 +1,68 @@
+#include <algorithm>
+
+#include "core/placement_common.hpp"
+#include "core/placement_heuristics.hpp"
+
+namespace insp {
+
+PlacementOutcome place_object_availability(PlacementState& state,
+                                           Rng& /*rng*/) {
+  const OperatorTree& tree = *state.problem().tree;
+  const Platform& plat = *state.problem().platform;
+
+  // "For each object k the number av_k of servers handling object o_k is
+  //  calculated. Al-operators in turn are treated in increasing order of
+  //  av_k of the basic objects they need to download."
+  std::vector<int> types;
+  for (int t = 0; t < tree.catalog().count(); ++t) types.push_back(t);
+  std::sort(types.begin(), types.end(), [&](int a, int b) {
+    const int aa = plat.availability(a), ab = plat.availability(b);
+    if (aa != ab) return aa < ab;
+    return a < b;
+  });
+
+  const auto by_work = ops_by_work_desc(tree);
+
+  for (int t : types) {
+    // Unassigned al-operators needing this type, heaviest first.
+    std::vector<int> needing;
+    for (int op : by_work) {
+      if (state.proc_of(op) != kNoNode || !tree.op(op).is_al_operator()) {
+        continue;
+      }
+      const auto ts = tree.object_types_of(op);
+      if (std::find(ts.begin(), ts.end(), t) != ts.end()) {
+        needing.push_back(op);
+      }
+    }
+    if (needing.empty()) continue;
+
+    // "tries to assign as many al-operators downloading object k as
+    //  possible on a most expensive processor"
+    const int pid = state.buy(state.problem().catalog->most_expensive());
+    bool any = false;
+    for (int op : needing) {
+      if (state.try_place({op}, pid)) any = true;
+    }
+    if (!any) state.sell(pid);
+  }
+
+  // "The remaining internal operators are assigned similarly to
+  //  Comp-Greedy, i.e., in decreasing order of w_i of the operators."
+  for (int op : by_work) {
+    if (state.proc_of(op) != kNoNode) continue;
+    std::string why;
+    const auto pid = place_with_grouping(
+        state, op, GroupConfigPolicy::MostExpensiveOnly, &why);
+    if (!pid) {
+      return {false, "object-availability: " + why};
+    }
+    for (int other : by_work) {
+      if (state.proc_of(other) != kNoNode) continue;
+      state.try_place({other}, *pid);
+    }
+  }
+  return {true, ""};
+}
+
+} // namespace insp

@@ -1,0 +1,88 @@
+#include <algorithm>
+
+#include "core/placement_common.hpp"
+#include "core/placement_heuristics.hpp"
+#include "tree/tree_stats.hpp"
+
+namespace insp {
+
+namespace {
+
+/// Sum of popularities of the distinct object types an operator needs.
+int popularity_sum(const OperatorTree& tree, const std::vector<int>& pop,
+                   int op) {
+  int s = 0;
+  for (int t : tree.object_types_of(op)) {
+    s += pop[static_cast<std::size_t>(t)];
+  }
+  return s;
+}
+
+} // namespace
+
+PlacementOutcome place_object_grouping(PlacementState& state, Rng& /*rng*/) {
+  const OperatorTree& tree = *state.problem().tree;
+  const auto pop = object_popularity(tree);
+
+  // "The al-operators are then sorted by non-increasing sum of the
+  //  popularities of the basic objects they need."
+  std::vector<int> als = tree.al_operators();
+  std::sort(als.begin(), als.end(), [&](int a, int b) {
+    const int pa = popularity_sum(tree, pop, a);
+    const int pb = popularity_sum(tree, pop, b);
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+
+  const auto by_work = ops_by_work_desc(tree);
+
+  for (int seed : als) {
+    if (state.proc_of(seed) != kNoNode) continue;
+    // "starts by acquiring the most expensive processor and assigns to it
+    //  the first al-operator"
+    std::string why;
+    const auto pid = place_with_grouping(
+        state, seed, GroupConfigPolicy::MostExpensiveOnly, &why);
+    if (!pid) {
+      return {false, "object-grouping: " + why};
+    }
+    // "... then attempts to assign to it as many other al-operators that
+    //  require the same basic objects as the first al-operator, taken in
+    //  order of non-increasing popularity ..."
+    const auto seed_types = tree.object_types_of(seed);
+    auto shares_type = [&](int op) {
+      for (int t : tree.object_types_of(op)) {
+        if (std::find(seed_types.begin(), seed_types.end(), t) !=
+            seed_types.end()) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (int other : als) {
+      if (state.proc_of(other) != kNoNode || !shares_type(other)) continue;
+      state.try_place({other}, *pid);
+    }
+    // "... and then as many non al-operators as possible."
+    for (int op : by_work) {
+      if (state.proc_of(op) != kNoNode || tree.op(op).is_al_operator()) {
+        continue;
+      }
+      state.try_place({op}, *pid);
+    }
+  }
+
+  // Non-al operators that fit on no seed processor get their own
+  // most-expensive processors, heaviest first.
+  for (int op : by_work) {
+    if (state.proc_of(op) != kNoNode) continue;
+    std::string why;
+    if (!place_with_grouping(state, op, GroupConfigPolicy::MostExpensiveOnly,
+                             &why)) {
+      return {false, "object-grouping: " + why};
+    }
+  }
+  return {true, ""};
+}
+
+} // namespace insp

@@ -1,0 +1,19 @@
+#include "core/placement_common.hpp"
+#include "core/placement_heuristics.hpp"
+
+namespace insp {
+
+PlacementOutcome place_random(PlacementState& state, Rng& rng) {
+  while (state.num_unassigned() > 0) {
+    const auto unassigned = state.unassigned_ops();
+    const int op = unassigned[rng.index(unassigned.size())];
+    std::string why;
+    if (!place_with_grouping(state, op, GroupConfigPolicy::CheapestFirst,
+                             &why)) {
+      return {false, "random: " + why};
+    }
+  }
+  return {true, ""};
+}
+
+} // namespace insp

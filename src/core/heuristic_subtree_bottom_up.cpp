@@ -1,0 +1,171 @@
+#include <algorithm>
+#include <map>
+
+#include "core/placement_common.hpp"
+#include "core/placement_heuristics.hpp"
+#include "tree/tree_stats.hpp"
+
+namespace insp {
+
+namespace {
+
+/// Grow processor `pid` to a fixpoint: pull the parents of its operators in
+/// (from other processors or unassigned), and absorb whole child processors
+/// ("merge the operators with their father on a single machine ... possibly
+/// returning some processors").  Every successful step strictly increases
+/// the operator count on `pid`, so the loop terminates.
+void grow_to_fixpoint(PlacementState& state, int pid) {
+  const OperatorTree& tree = *state.problem().tree;
+  bool changed = true;
+  while (changed && state.is_live(pid)) {
+    changed = false;
+    const std::vector<int> snapshot = state.ops_on(pid);
+    for (int op : snapshot) {
+      // Pull the parent next to its child.
+      const int parent = tree.op(op).parent;
+      if (parent != kNoNode && state.proc_of(parent) != pid) {
+        if (state.try_place({parent}, pid)) changed = true;
+      }
+      // Absorb whole child processors (subtree consolidation).
+      for (int c : tree.op(op).children) {
+        const int pc = state.proc_of(c);
+        if (pc == kNoNode || pc == pid) continue;
+        if (state.try_place(state.ops_on(pc), pid)) changed = true;
+      }
+    }
+  }
+}
+
+/// Final consolidation sweep: repeatedly merge the pair of processors with
+/// the largest mutual traffic (selling the emptied one) until no merge is
+/// feasible.  Starting from one-processor-per-al-operator, intermediate
+/// merge states can wedge on link capacities; this sweep frees them and is
+/// what lets SBU approach the optimum the paper reports.
+void consolidation_sweep(PlacementState& state) {
+  const OperatorTree& tree = *state.problem().tree;
+  for (;;) {
+    // Pairwise crossing traffic.
+    std::map<std::pair<int, int>, MBps> traffic;
+    for (const auto& n : tree.operators()) {
+      if (n.parent == kNoNode) continue;
+      const int a = state.proc_of(n.id);
+      const int b = state.proc_of(n.parent);
+      if (a == kNoNode || b == kNoNode || a == b) continue;
+      traffic[{std::min(a, b), std::max(a, b)}] += n.output_mb;
+    }
+    std::vector<std::pair<std::pair<int, int>, MBps>> pairs(traffic.begin(),
+                                                            traffic.end());
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& x, const auto& y) { return x.second > y.second; });
+    bool merged = false;
+    for (const auto& [pr, volume] : pairs) {
+      (void)volume;
+      const auto [a, b] = pr;
+      if (!state.is_live(a) || !state.is_live(b)) continue;
+      // Move the smaller processor's content into the larger.
+      const int from = state.ops_on(a).size() <= state.ops_on(b).size() ? a : b;
+      const int to = from == a ? b : a;
+      if (state.try_place(state.ops_on(from), to) ||
+          state.try_place(state.ops_on(to), from)) {
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) return;
+  }
+}
+
+} // namespace
+
+PlacementOutcome place_subtree_bottom_up(PlacementState& state, Rng& /*rng*/) {
+  const OperatorTree& tree = *state.problem().tree;
+  const auto depths = operator_depths(tree);
+
+  // Phase 1: "acquires as many most expensive processors as there are
+  // al-operators and assigns each al-operator to a distinct processor".
+  std::vector<int> al_procs;
+  for (int al : tree.al_operators()) {
+    std::string why;
+    const auto pid = place_with_grouping(
+        state, al, GroupConfigPolicy::MostExpensiveOnly, &why);
+    if (!pid) {
+      return {false, "subtree-bottom-up: " + why};
+    }
+    al_procs.push_back(*pid);
+  }
+
+  // Phase 2: bottom-up merging.  Process the al processors deepest-first
+  // (their subtrees close first) and let each grow to a fixpoint.
+  std::sort(al_procs.begin(), al_procs.end(), [&](int a, int b) {
+    auto proc_depth = [&](int pid) {
+      if (!state.is_live(pid)) return -1;
+      int d = 0;
+      for (int op : state.ops_on(pid)) {
+        d = std::max(d, depths[static_cast<std::size_t>(op)]);
+      }
+      return d;
+    };
+    const int da = proc_depth(a), db = proc_depth(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  for (int pid : al_procs) {
+    if (state.is_live(pid)) grow_to_fixpoint(state, pid);
+  }
+
+  // Phase 3: any operator the merging could not seat (its pulls failed on
+  // every processor) gets the literal fallback — join a child's processor,
+  // else coalesce the children's processors, else a new most expensive
+  // processor ("one or more new processors are acquired").
+  for (int op : tree.bottom_up_order()) {
+    if (state.proc_of(op) != kNoNode) continue;
+
+    std::vector<int> kids = tree.op(op).children;
+    std::sort(kids.begin(), kids.end(), [&](int a, int b) {
+      const MegaBytes va = tree.op(a).output_mb, vb = tree.op(b).output_mb;
+      if (va != vb) return va > vb;
+      return a < b;
+    });
+
+    int target = kNoNode;
+    for (int k : kids) {
+      const int pk = state.proc_of(k);
+      if (state.try_place({op}, pk)) {
+        target = pk;
+        break;
+      }
+    }
+    if (target == kNoNode) {
+      // Forced coalesce: op plus all other children's processors onto one
+      // child processor.
+      for (int k : kids) {
+        const int pk = state.proc_of(k);
+        std::vector<int> group = {op};
+        for (int other : kids) {
+          const int po = state.proc_of(other);
+          if (po == pk) continue;
+          const auto& ops = state.ops_on(po);
+          group.insert(group.end(), ops.begin(), ops.end());
+        }
+        if (state.try_place(group, pk)) {
+          target = pk;
+          break;
+        }
+      }
+    }
+    if (target == kNoNode) {
+      std::string why;
+      const auto pid = place_with_grouping(
+          state, op, GroupConfigPolicy::MostExpensiveOnly, &why);
+      if (!pid) {
+        return {false, "subtree-bottom-up: " + why};
+      }
+      target = *pid;
+    }
+  }
+
+  consolidation_sweep(state);
+  return {true, ""};
+}
+
+} // namespace insp

@@ -1,0 +1,127 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace insp {
+
+namespace {
+
+/// Cheapest config cost meeting one processor's current loads; falls back
+/// to the processor's current (always sufficient) configuration.
+Dollars proc_projected_cost(const PlacementState& state, int pid) {
+  const PriceCatalog& cat = *state.problem().catalog;
+  const auto cfg =
+      cat.cheapest_meeting(state.cpu_demand(pid), state.nic_load(pid));
+  return cfg ? cat.cost(*cfg) : cat.cost(state.config(pid));
+}
+
+/// Projected cost of the two processors merged onto one (analytic: no
+/// state mutation).  nullopt when no catalog model could host the merge.
+std::optional<Dollars> merged_cost(const PlacementState& state, int a,
+                                   int b) {
+  const PriceCatalog& cat = *state.problem().catalog;
+  const OperatorTree& tree = *state.problem().tree;
+
+  const MegaOps cpu = state.cpu_demand(a) + state.cpu_demand(b);
+  // Downloads: union of distinct types.
+  MBps download = state.download_load(a);
+  const auto types_a = state.download_types(a);
+  for (int t : state.download_types(b)) {
+    if (!std::binary_search(types_a.begin(), types_a.end(), t)) {
+      download += tree.catalog().type(t).rate();
+    }
+  }
+  // Comm: the pair's mutual traffic disappears from both cards.
+  const MBps mutual = state.pair_traffic(a, b);
+  const MBps comm = state.comm_load(a) + state.comm_load(b) - 2.0 * mutual;
+  const auto cfg = cat.cheapest_meeting(cpu, download + comm);
+  if (!cfg) return std::nullopt;
+  return cat.cost(*cfg);
+}
+
+bool merge_pass(PlacementState& state, LocalSearchStats& stats) {
+  bool improved = false;
+  const auto procs = state.live_processors();
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    for (std::size_t j = i + 1; j < procs.size(); ++j) {
+      const int a = procs[i], b = procs[j];
+      if (!state.is_live(a) || !state.is_live(b)) continue;
+      const auto merged = merged_cost(state, a, b);
+      if (!merged) continue;
+      const Dollars pair_cost =
+          proc_projected_cost(state, a) + proc_projected_cost(state, b);
+      if (*merged >= pair_cost - 1e-9) continue;
+      // Prefer moving the lighter processor.
+      const int from =
+          state.ops_on(a).size() <= state.ops_on(b).size() ? a : b;
+      const int to = from == a ? b : a;
+      if (state.try_place(state.ops_on(from), to) ||
+          state.try_place(state.ops_on(to), from)) {
+        ++stats.merges;
+        improved = true;
+      }
+    }
+  }
+  return improved;
+}
+
+bool relocation_pass(PlacementState& state, LocalSearchStats& stats) {
+  bool improved = false;
+  const OperatorTree& tree = *state.problem().tree;
+  for (int op = 0; op < tree.num_operators(); ++op) {
+    const int home = state.proc_of(op);
+    if (home == kNoNode || state.ops_on(home).size() < 2) continue;
+    const Dollars before = projected_downgraded_cost(state);
+    for (int target : state.live_processors()) {
+      if (target == home) continue;
+      if (!state.try_place({op}, target)) continue;
+      const Dollars after = projected_downgraded_cost(state);
+      if (after < before - 1e-9) {
+        ++stats.relocations;
+        improved = true;
+        break;
+      }
+      // Not an improvement: move back (always feasible — the previous
+      // state satisfied every constraint).
+      const bool restored = state.try_place({op}, home);
+      (void)restored;
+      assert(restored);
+      break;  // one probe per operator per pass keeps the pass linear-ish
+    }
+  }
+  return improved;
+}
+
+} // namespace
+
+Dollars projected_downgraded_cost(const PlacementState& state) {
+  Dollars total = 0.0;
+  for (int pid : state.live_processors()) {
+    total += proc_projected_cost(state, pid);
+  }
+  return total;
+}
+
+LocalSearchStats refine_placement(PlacementState& state,
+                                  const LocalSearchOptions& options) {
+  LocalSearchStats stats;
+  stats.projected_cost_before = projected_downgraded_cost(state);
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++stats.passes;
+    bool improved = false;
+    if (options.enable_merges) improved |= merge_pass(state, stats);
+    if (options.enable_relocations) improved |= relocation_pass(state, stats);
+    if (!improved) break;
+  }
+  stats.projected_cost_after = projected_downgraded_cost(state);
+  INSP_DEBUG << "local search: " << stats.merges << " merges, "
+             << stats.relocations << " relocations, $"
+             << stats.projected_cost_before << " -> $"
+             << stats.projected_cost_after;
+  return stats;
+}
+
+} // namespace insp

@@ -1,0 +1,42 @@
+// Local-search refinement of a placement (an extension beyond the paper,
+// in the spirit of its conclusion).  Operates on the live PlacementState
+// between the placement and server-selection phases; the objective is the
+// *projected post-downgrade cost*: the sum over live processors of the
+// cheapest catalog configuration meeting each processor's current CPU and
+// NIC load (exactly what the downgrade phase will charge).
+//
+// Two move types, applied in passes until a fixpoint or the pass limit:
+//   - merge: move one processor's whole content onto another and sell it,
+//     when the merged cheapest-meeting config costs less than the pair;
+//   - relocate: move a single operator to another processor when that
+//     lowers the projected total.
+// Every move goes through try_place, so feasibility (1)-(5 realized) is
+// preserved by construction.
+#pragma once
+
+#include "core/placement_state.hpp"
+
+namespace insp {
+
+struct LocalSearchOptions {
+  int max_passes = 8;
+  bool enable_merges = true;
+  bool enable_relocations = true;
+};
+
+struct LocalSearchStats {
+  int merges = 0;
+  int relocations = 0;
+  int passes = 0;
+  Dollars projected_cost_before = 0.0;
+  Dollars projected_cost_after = 0.0;
+};
+
+/// Projected post-downgrade cost of the current state (sum of
+/// cheapest-meeting configs; the current configs are upper bounds).
+Dollars projected_downgraded_cost(const PlacementState& state);
+
+LocalSearchStats refine_placement(PlacementState& state,
+                                  const LocalSearchOptions& options = {});
+
+} // namespace insp

@@ -1,0 +1,34 @@
+// Shared machinery for the placement heuristics: the "grouping technique"
+// of the paper (§4.1) generalized to iterate until the group fits, plus
+// common orderings.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/placement_state.hpp"
+
+namespace insp {
+
+/// Which configurations a group placement may purchase.
+enum class GroupConfigPolicy {
+  CheapestFirst,      ///< Random: "cheapest possible processor"
+  MostExpensiveOnly,  ///< greedy family: "most expensive processor"
+};
+
+/// Places `seed` onto a freshly purchased processor, growing a group when
+/// the seed cannot be placed alone: the neighbor (child or parent) connected
+/// by the most demanding communication edge is merged in and the placement
+/// retried — the paper's pairwise grouping, iterated transitively.  Assigned
+/// group members are pulled out of their processors (which are sold when
+/// emptied).  Returns the processor id, or nullopt with `why` filled.
+std::optional<int> place_with_grouping(PlacementState& state, int seed,
+                                       GroupConfigPolicy policy,
+                                       std::string* why);
+
+/// Operator ids sorted by non-increasing w_i (ties: id ascending) —
+/// the processing order of Comp-Greedy and of several fill phases.
+std::vector<int> ops_by_work_desc(const OperatorTree& tree);
+
+} // namespace insp

@@ -1,0 +1,55 @@
+// The six operator-placement heuristics of the paper (§4.1).  Each consumes
+// a fresh PlacementState, purchases processors and assigns every operator,
+// returning false (with a reason) when it cannot — which the paper counts as
+// a heuristic failure for that instance.
+//
+// All heuristics are deterministic given the Rng state; only Random actually
+// consumes randomness.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/placement_state.hpp"
+#include "util/rng.hpp"
+
+namespace insp {
+
+struct PlacementOutcome {
+  bool success = false;
+  std::string failure_reason;
+};
+
+/// Random: picks unassigned operators in random order and buys the cheapest
+/// processor able to host each, falling back to the grouping technique.
+PlacementOutcome place_random(PlacementState& state, Rng& rng);
+
+/// Comp-Greedy: operators by non-increasing w; buys the most expensive
+/// processor, seats the most demanding operator (grouping on failure), then
+/// packs further operators in w order while they fit.
+PlacementOutcome place_comp_greedy(PlacementState& state, Rng& rng);
+
+/// Comm-Greedy: tree edges by non-increasing volume; co-locates the two
+/// endpoint operators, merging processors (and selling one) when both ends
+/// are already placed.
+PlacementOutcome place_comm_greedy(PlacementState& state, Rng& rng);
+
+/// Subtree-Bottom-Up: one most-expensive processor per al-operator, then
+/// parents join a child's processor bottom-up; sibling processors are
+/// coalesced (and sold) opportunistically.
+PlacementOutcome place_subtree_bottom_up(PlacementState& state, Rng& rng);
+
+/// Object-Grouping: al-operators by total popularity of the objects they
+/// need; each seed pulls in al-operators sharing its objects, then non-al
+/// operators while they fit.
+PlacementOutcome place_object_grouping(PlacementState& state, Rng& rng);
+
+/// Object-Availability: object types by increasing server availability
+/// av_k; one most-expensive processor per type packs the al-operators
+/// needing it; the rest is placed Comp-Greedy style.
+PlacementOutcome place_object_availability(PlacementState& state, Rng& rng);
+
+using PlacementFn = std::function<PlacementOutcome(PlacementState&, Rng&)>;
+
+} // namespace insp

@@ -1,0 +1,235 @@
+#include "core/placement_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace insp {
+
+PlacementState::PlacementState(Problem problem)
+    : problem_(problem),
+      op_to_proc_(static_cast<std::size_t>(problem.tree->num_operators()),
+                  kNoNode),
+      pp_links_(problem.platform->link_proc_proc()),
+      num_unassigned_(problem.tree->num_operators()) {
+  assert(problem.valid());
+}
+
+int PlacementState::buy(ProcessorConfig config) {
+  const int pid = static_cast<int>(procs_.size());
+  ProcState p;
+  p.cfg = config;
+  p.live = true;
+  procs_.push_back(std::move(p));
+  return pid;
+}
+
+void PlacementState::sell(int pid) {
+  auto& p = proc(pid);
+  assert(p.live && p.ops.empty());
+  p.live = false;
+}
+
+bool PlacementState::is_live(int pid) const {
+  return pid >= 0 && static_cast<std::size_t>(pid) < procs_.size() &&
+         proc(pid).live;
+}
+
+const ProcessorConfig& PlacementState::config(int pid) const {
+  assert(is_live(pid));
+  return proc(pid).cfg;
+}
+
+std::vector<int> PlacementState::live_processors() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (procs_[i].live) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int PlacementState::num_live_processors() const {
+  int n = 0;
+  for (const auto& p : procs_) n += p.live ? 1 : 0;
+  return n;
+}
+
+int PlacementState::proc_of(int op) const {
+  return op_to_proc_[static_cast<std::size_t>(op)];
+}
+
+const std::vector<int>& PlacementState::ops_on(int pid) const {
+  assert(is_live(pid));
+  return proc(pid).ops;
+}
+
+std::vector<int> PlacementState::unassigned_ops() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < op_to_proc_.size(); ++i) {
+    if (op_to_proc_[i] == kNoNode) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<std::pair<int, MBps>> PlacementState::neighbors(int op) const {
+  const OperatorTree& tree = *problem_.tree;
+  const auto& n = tree.op(op);
+  std::vector<std::pair<int, MBps>> out;
+  if (n.parent != kNoNode) {
+    out.emplace_back(n.parent, problem_.rho * n.output_mb);
+  }
+  for (int c : n.children) {
+    out.emplace_back(c, problem_.rho * tree.op(c).output_mb);
+  }
+  return out;
+}
+
+void PlacementState::assign_op(int op, int pid) {
+  assert(proc_of(op) == kNoNode);
+  auto& p = proc(pid);
+  op_to_proc_[static_cast<std::size_t>(op)] = pid;
+  p.ops.push_back(op);
+  p.work += problem_.tree->op(op).work;
+  for (int t : problem_.tree->object_types_of(op)) {
+    if (++p.type_count[t] == 1) {
+      p.download += problem_.tree->catalog().type(t).rate();
+    }
+  }
+  for (const auto& [nb, volume] : neighbors(op)) {
+    const int q = proc_of(nb);
+    if (q == kNoNode || q == pid) continue;
+    p.comm += volume;
+    proc(q).comm += volume;
+    pp_links_.add(pid, q, volume);
+  }
+  --num_unassigned_;
+}
+
+void PlacementState::unassign_op(int op) {
+  const int pid = proc_of(op);
+  assert(pid != kNoNode);
+  auto& p = proc(pid);
+  for (const auto& [nb, volume] : neighbors(op)) {
+    const int q = proc_of(nb);
+    if (q == kNoNode || q == pid) continue;
+    p.comm -= volume;
+    proc(q).comm -= volume;
+    pp_links_.remove(pid, q, volume);
+  }
+  for (int t : problem_.tree->object_types_of(op)) {
+    auto it = p.type_count.find(t);
+    assert(it != p.type_count.end());
+    if (--it->second == 0) {
+      p.download -= problem_.tree->catalog().type(t).rate();
+      p.type_count.erase(it);
+    }
+  }
+  p.work -= problem_.tree->op(op).work;
+  auto pos = std::find(p.ops.begin(), p.ops.end(), op);
+  assert(pos != p.ops.end());
+  *pos = p.ops.back();
+  p.ops.pop_back();
+  op_to_proc_[static_cast<std::size_t>(op)] = kNoNode;
+  ++num_unassigned_;
+}
+
+void PlacementState::place_unchecked(const std::vector<int>& ops, int pid) {
+  for (int op : ops) {
+    if (proc_of(op) == pid) continue;
+    if (proc_of(op) != kNoNode) unassign_op(op);
+    assign_op(op, pid);
+  }
+}
+
+bool PlacementState::feasible() const {
+  const PriceCatalog& cat = *problem_.catalog;
+  for (const auto& p : procs_) {
+    if (!p.live) continue;
+    if (!fits_within(problem_.rho * p.work, cat.speed(p.cfg))) return false;
+    if (!fits_within(p.download + p.comm, cat.bandwidth(p.cfg))) return false;
+  }
+  return pp_links_.all_within();
+}
+
+bool PlacementState::try_place(std::vector<int> ops, int pid) {
+  assert(is_live(pid));
+  PlacementState trial(*this);
+  trial.place_unchecked(ops, pid);
+  if (!trial.feasible()) return false;
+  // Sell the source processors the move emptied (Random: "this last
+  // processor is sold back"; SBU: "possibly returning some processors").
+  // Only sources are sold — processors that were already empty (e.g. just
+  // bought by the caller) are none of this move's business.
+  for (int op : ops) {
+    const int src = proc_of(op);  // pre-move assignment (this, not trial)
+    if (src == kNoNode || src == pid) continue;
+    auto& p = trial.procs_[static_cast<std::size_t>(src)];
+    if (p.live && p.ops.empty()) p.live = false;
+  }
+  *this = std::move(trial);
+  return true;
+}
+
+bool PlacementState::can_place(std::vector<int> ops, int pid) const {
+  PlacementState trial(*this);
+  trial.place_unchecked(ops, pid);
+  return trial.feasible();
+}
+
+MegaOps PlacementState::cpu_demand(int pid) const {
+  return problem_.rho * proc(pid).work;
+}
+
+MBps PlacementState::download_load(int pid) const {
+  return proc(pid).download;
+}
+
+MBps PlacementState::comm_load(int pid) const { return proc(pid).comm; }
+
+std::vector<int> PlacementState::download_types(int pid) const {
+  std::vector<int> types;
+  types.reserve(proc(pid).type_count.size());
+  for (const auto& [t, count] : proc(pid).type_count) {
+    (void)count;
+    types.push_back(t);
+  }
+  return types;
+}
+
+MBps PlacementState::pair_traffic(int a, int b) const {
+  return pp_links_.used(a, b);
+}
+
+Dollars PlacementState::total_cost() const {
+  Dollars total = 0.0;
+  for (const auto& p : procs_) {
+    if (p.live) total += problem_.catalog->cost(p.cfg);
+  }
+  return total;
+}
+
+Allocation PlacementState::to_allocation() const {
+  assert(num_unassigned_ == 0);
+  Allocation alloc;
+  std::vector<int> dense(procs_.size(), kNoNode);
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const auto& p = procs_[i];
+    // Live-but-empty processors can exist during exhaustive search
+    // (pre-bought slots); they carry no operators and are not part of the
+    // resulting purchase plan.
+    if (!p.live || p.ops.empty()) continue;
+    dense[i] = static_cast<int>(alloc.processors.size());
+    PurchasedProcessor out;
+    out.config = p.cfg;
+    out.ops = p.ops;
+    std::sort(out.ops.begin(), out.ops.end());
+    alloc.processors.push_back(std::move(out));
+  }
+  alloc.op_to_proc.resize(op_to_proc_.size(), kNoNode);
+  for (std::size_t op = 0; op < op_to_proc_.size(); ++op) {
+    assert(op_to_proc_[op] != kNoNode);
+    alloc.op_to_proc[op] = dense[static_cast<std::size_t>(op_to_proc_[op])];
+  }
+  return alloc;
+}
+
+} // namespace insp

@@ -1,0 +1,121 @@
+// Mutable working state used by the operator-placement heuristics: the set
+// of purchased processors, the (partial) operator assignment, and the
+// incremental load accounting the feasibility checks run against.
+//
+// Semantics (DESIGN.md §3): tree edges to *unassigned* neighbors consume no
+// bandwidth; a realized cross-processor edge is charged to both processor
+// NICs and to the pairwise link.  Downloads are charged per processor and
+// per distinct object type (two co-located operators share a download; the
+// same type on two processors is downloaded twice, per the paper).
+//
+// `try_place` is transactional: it applies a move to a copy of the state,
+// validates every capacity, and commits only when feasible — heuristics can
+// probe candidate moves without corrupting the state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "net/bandwidth_ledger.hpp"
+
+namespace insp {
+
+class PlacementState {
+ public:
+  /// The Problem is a small struct of pointers; it is copied so callers may
+  /// pass temporaries (the pointed-to tree/platform/catalog must outlive the
+  /// state, as always).
+  explicit PlacementState(Problem problem);
+
+  const Problem& problem() const { return problem_; }
+
+  // --- processor purchases -------------------------------------------------
+  /// Buys a processor of the given configuration; returns its id.
+  int buy(ProcessorConfig config);
+  /// Sells a processor; it must be live and empty.
+  void sell(int pid);
+  bool is_live(int pid) const;
+  const ProcessorConfig& config(int pid) const;
+  /// Ids of live processors, ascending (purchase order).
+  std::vector<int> live_processors() const;
+  int num_live_processors() const;
+
+  // --- assignment ----------------------------------------------------------
+  int proc_of(int op) const;  ///< kNoNode if unassigned
+  const std::vector<int>& ops_on(int pid) const;
+  int num_unassigned() const { return num_unassigned_; }
+  std::vector<int> unassigned_ops() const;
+
+  /// Moves every operator in `ops` (currently assigned anywhere, or
+  /// unassigned) onto live processor `pid`, then validates *all* capacities
+  /// (CPU, NICs including neighbor processors, pairwise links).  On success
+  /// the move is committed and any processor emptied by the move — other
+  /// than `pid` — is sold automatically; on failure the state is unchanged.
+  /// Taken by value: callers routinely pass ops_on(p) of a processor the
+  /// move itself empties.
+  bool try_place(std::vector<int> ops, int pid);
+
+  /// try_place without the commit: reports feasibility only.
+  bool can_place(std::vector<int> ops, int pid) const;
+
+  /// Expert hooks for exhaustive search (ilp::ExactSolver): raw assignment
+  /// updates with incremental accounting but *no* validation and no
+  /// auto-selling.  `op` must be unassigned (resp. assigned).  Because
+  /// realized loads grow monotonically along a search path, a state that
+  /// fails feasible() can be pruned together with all its extensions.
+  void search_place(int op, int pid) { assign_op(op, pid); }
+  void search_unassign(int op) { unassign_op(op); }
+
+  // --- loads (at the problem's rho) ----------------------------------------
+  MegaOps cpu_demand(int pid) const;  ///< rho * sum w
+  MBps download_load(int pid) const;
+  MBps comm_load(int pid) const;
+  MBps nic_load(int pid) const { return download_load(pid) + comm_load(pid); }
+  /// Distinct object types downloaded by the processor (ascending).
+  std::vector<int> download_types(int pid) const;
+  /// Realized traffic between two live processors (both directions).
+  MBps pair_traffic(int a, int b) const;
+
+  /// Validates every live processor and link; true when all fit.
+  bool feasible() const;
+
+  Dollars total_cost() const;
+
+  /// Finalizes into a dense Allocation (downloads left empty — filled by the
+  /// server-selection phase).  Requires all operators assigned.
+  Allocation to_allocation() const;
+
+  /// Tree neighbors (parent + operator children) of `op`, with the data
+  /// volume (rho * delta) carried by the connecting edge.
+  std::vector<std::pair<int, MBps>> neighbors(int op) const;
+
+ private:
+  struct ProcState {
+    ProcessorConfig cfg;
+    bool live = false;
+    std::vector<int> ops;
+    MegaOps work = 0.0;              // sum of w_i (rho applied at check time)
+    std::map<int, int> type_count;   // object type -> #ops here needing it
+    MBps download = 0.0;
+    MBps comm = 0.0;                 // crossing in+out charged to this card
+  };
+
+  void assign_op(int op, int pid);
+  void unassign_op(int op);
+  void place_unchecked(const std::vector<int>& ops, int pid);
+  ProcState& proc(int pid) { return procs_[static_cast<std::size_t>(pid)]; }
+  const ProcState& proc(int pid) const {
+    return procs_[static_cast<std::size_t>(pid)];
+  }
+
+  Problem problem_;
+  std::vector<ProcState> procs_;
+  std::vector<int> op_to_proc_;
+  LinkLedger pp_links_;
+  int num_unassigned_ = 0;
+};
+
+} // namespace insp

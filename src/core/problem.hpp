@@ -1,0 +1,27 @@
+// A complete allocation problem instance: the application (operator tree),
+// the fixed platform (servers + links), the purchasable processor catalog,
+// and the required throughput rho (paper: QoS constraint, rho = 1 in all
+// experiments).
+#pragma once
+
+#include "platform/catalog.hpp"
+#include "platform/platform.hpp"
+#include "tree/operator_tree.hpp"
+#include "util/units.hpp"
+
+namespace insp {
+
+struct Problem {
+  const OperatorTree* tree = nullptr;
+  const Platform* platform = nullptr;
+  const PriceCatalog* catalog = nullptr;
+  Throughput rho = 1.0;
+
+  bool valid() const {
+    return tree != nullptr && platform != nullptr && catalog != nullptr &&
+           rho > 0.0 &&
+           platform->num_object_types() >= tree->catalog().count();
+  }
+};
+
+} // namespace insp

@@ -1,0 +1,41 @@
+// Phase 2 of every allocation heuristic (paper §4.2): decide, for every
+// processor and every basic-object type it needs, which data server the
+// continuous download streams from — subject to server card capacities
+// (eq 3) and server->processor link capacities (eq 4).
+//
+// Two policies, exactly as the paper pairs them:
+//  - Random server selection (used with the Random placement heuristic):
+//    pick a uniformly random hosting server per (processor, type); no
+//    capacity awareness — validation happens afterwards and failures are
+//    heuristic failures.
+//  - The "sophisticated" three-loop heuristic (used with all the others):
+//      loop 1: types held by exactly one server must download from it; if
+//              capacities cannot support that, the heuristic fails;
+//      loop 2: route as many downloads as possible to servers that host a
+//              single object type;
+//      loop 3: remaining (type, processor) demands, types in decreasing
+//              nbP/nbS (processors still needing the type / servers still
+//              able to provide it); per demand pick the server maximizing
+//              min(remaining card bandwidth, remaining link bandwidth).
+#pragma once
+
+#include <string>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace insp {
+
+struct ServerSelectionResult {
+  bool success = false;
+  std::string failure_reason;
+};
+
+ServerSelectionResult select_servers_random(const Problem& problem,
+                                            Allocation& alloc, Rng& rng);
+
+ServerSelectionResult select_servers_three_loop(const Problem& problem,
+                                                Allocation& alloc);
+
+} // namespace insp

@@ -1,0 +1,62 @@
+#include "ilp/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace insp {
+
+int processor_count_lower_bound(const Problem& problem) {
+  const OperatorTree& tree = *problem.tree;
+  const PriceCatalog& cat = *problem.catalog;
+
+  // CPU volume.
+  MegaOps total_work = 0.0;
+  for (const auto& n : tree.operators()) total_work += n.work;
+  const double by_cpu =
+      std::ceil(problem.rho * total_work / cat.max_speed() - kCapacityEpsilon);
+
+  // Download volume: each distinct type needed by the application must be
+  // streamed into at least one processor card.
+  std::set<int> types;
+  for (const auto& l : tree.leaf_refs()) types.insert(l.object_type);
+  MBps total_rate = 0.0;
+  for (int t : types) total_rate += tree.catalog().type(t).rate();
+  const double by_nic =
+      std::ceil(total_rate / cat.max_bandwidth() - kCapacityEpsilon);
+
+  return std::max({1, static_cast<int>(by_cpu), static_cast<int>(by_nic)});
+}
+
+CostLowerBound cost_lower_bound(const Problem& problem) {
+  const OperatorTree& tree = *problem.tree;
+  const PriceCatalog& cat = *problem.catalog;
+  const Dollars cheapest = cat.cost(cat.cheapest());
+
+  CostLowerBound lb{cheapest, "one-processor"};
+
+  const int nproc = processor_count_lower_bound(problem);
+  if (nproc * cheapest > lb.value) {
+    lb.value = nproc * cheapest;
+    lb.binding = "processor-count";
+  }
+
+  // The heaviest operator must fit some CPU; charge the cheapest config
+  // that can host it alone (infeasible instances get +inf).
+  MegaOps w_max = 0.0;
+  for (const auto& n : tree.operators()) w_max = std::max(w_max, n.work);
+  const auto cfg = cat.cheapest_meeting(problem.rho * w_max, 0.0);
+  if (!cfg) {
+    lb.value = std::numeric_limits<double>::infinity();
+    lb.binding = "heaviest-operator-unplaceable";
+    return lb;
+  }
+  if (cat.cost(*cfg) > lb.value) {
+    lb.value = cat.cost(*cfg);
+    lb.binding = "heaviest-operator";
+  }
+  return lb;
+}
+
+} // namespace insp

@@ -1,0 +1,32 @@
+// Coarse but provable lower bounds on the optimal platform cost, used by
+// the exact solver for pruning and by the experiment reports as the
+// "theoretical bound" the paper compares against.
+#pragma once
+
+#include "core/problem.hpp"
+
+namespace insp {
+
+struct CostLowerBound {
+  Dollars value = 0.0;
+  /// Which argument achieved the max (for reports).
+  const char* binding = "";
+};
+
+/// max of:
+///  - one cheapest processor (at least one must be bought),
+///  - CPU packing: ceil(rho * sum w / s_max) processors, each at least the
+///    cheapest configuration whose CPU can take an equal share,
+///  - per-operator requirement: the most demanding single operator needs a
+///    configuration with speed >= rho * w_i (infinite when none exists —
+///    the instance is infeasible),
+///  - download volume: every distinct object type needed by the tree flows
+///    through processor cards at least once, so
+///    ceil(total_distinct_rate / B_max) processors are needed.
+CostLowerBound cost_lower_bound(const Problem& problem);
+
+/// Lower bound on the number of processors (homogeneous reasoning with the
+/// catalog's best models); >= 1 for any non-empty tree.
+int processor_count_lower_bound(const Problem& problem);
+
+} // namespace insp

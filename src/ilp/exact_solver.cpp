@@ -1,0 +1,256 @@
+#include "ilp/exact_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "core/placement_common.hpp"
+#include "core/placement_state.hpp"
+#include "core/server_selection.hpp"
+#include "ilp/bounds.hpp"
+#include "net/bandwidth_ledger.hpp"
+
+namespace insp {
+
+std::string ExactResult::describe() const {
+  std::ostringstream out;
+  switch (status) {
+    case ExactStatus::Optimal: out << "optimal"; break;
+    case ExactStatus::Infeasible: out << "infeasible"; break;
+    case ExactStatus::BudgetExhausted: out << "budget-exhausted"; break;
+  }
+  if (cost) out << " cost=$" << *cost;
+  out << " nodes=" << nodes_visited;
+  return out.str();
+}
+
+namespace {
+
+/// Backtracking router over (processor, type) download demands.
+class ExactRouter {
+ public:
+  ExactRouter(const Problem& problem, const Allocation& alloc)
+      : problem_(problem), alloc_(alloc) {
+    const auto needed = needed_types_per_processor(problem, alloc);
+    for (std::size_t u = 0; u < needed.size(); ++u) {
+      for (int t : needed[u]) {
+        demands_.push_back({static_cast<int>(u), t});
+      }
+    }
+    // Hardest demands first: fewest hosting servers, then largest rate.
+    std::sort(demands_.begin(), demands_.end(), [&](const auto& a,
+                                                    const auto& b) {
+      const std::size_t ha = problem_.platform->servers_with(a.second).size();
+      const std::size_t hb = problem_.platform->servers_with(b.second).size();
+      if (ha != hb) return ha < hb;
+      const MBps ra = rate(a.second), rb = rate(b.second);
+      if (ra != rb) return ra > rb;
+      if (a.second != b.second) return a.second < b.second;
+      return a.first < b.first;
+    });
+    std::vector<MBps> caps;
+    for (int l = 0; l < problem_.platform->num_servers(); ++l) {
+      caps.push_back(problem_.platform->server(l).card_bandwidth);
+    }
+    cards_ = CardLedger(std::move(caps));
+    links_ = LinkLedger(problem_.platform->link_server_proc());
+  }
+
+  bool solve(std::vector<int>* out_servers) {
+    out_servers->assign(demands_.size(), -1);
+    return dfs(0, out_servers);
+  }
+
+  const std::vector<std::pair<int, int>>& demands() const { return demands_; }
+
+ private:
+  MBps rate(int type) const {
+    return problem_.tree->catalog().type(type).rate();
+  }
+
+  bool dfs(std::size_t i, std::vector<int>* out) {
+    if (i == demands_.size()) return true;
+    const auto [proc, type] = demands_[i];
+    const MBps r = rate(type);
+    for (int s : problem_.platform->servers_with(type)) {
+      if (!cards_.can_add(s, r) || !links_.can_add(s, proc, r)) continue;
+      cards_.add(s, r);
+      links_.add(s, proc, r);
+      (*out)[i] = s;
+      if (dfs(i + 1, out)) return true;
+      cards_.remove(s, r);
+      links_.remove(s, proc, r);
+      (*out)[i] = -1;
+    }
+    return false;
+  }
+
+  const Problem& problem_;
+  const Allocation& alloc_;
+  std::vector<std::pair<int, int>> demands_;  // (proc, type)
+  CardLedger cards_;
+  LinkLedger links_;
+};
+
+class Search {
+ public:
+  Search(const Problem& problem, const ExactSolverConfig& config)
+      : problem_(problem),
+        config_(config),
+        state_(problem),
+        order_(ops_by_work_desc(*problem.tree)) {}
+
+  ExactResult run() {
+    ExactResult result;
+    if (config_.incumbent) best_cost_ = *config_.incumbent;
+
+    // Pre-buy the maximum number of processors; only the first `opened`
+    // count toward cost and candidate targets.
+    const int n = problem_.tree->num_operators();
+    for (int i = 0; i < n; ++i) {
+      state_.buy(problem_.catalog->most_expensive());
+    }
+
+    budget_ok_ = true;
+    dfs(0, 0);
+
+    result.nodes_visited = nodes_;
+    if (!budget_ok_) {
+      result.status = ExactStatus::BudgetExhausted;
+    } else if (best_alloc_.has_value()) {
+      result.status = ExactStatus::Optimal;
+    } else {
+      result.status = ExactStatus::Infeasible;
+    }
+    if (best_alloc_) {
+      result.cost = best_cost_;
+      result.allocation = std::move(best_alloc_);
+    }
+    return result;
+  }
+
+ private:
+  /// Cost of the partition if completed as-is: per opened processor the
+  /// cheapest configuration covering its *current* CPU demand (downloads
+  /// and communications are ignored — they are not monotone under future
+  /// co-location, CPU demand is).  A valid lower bound for every extension.
+  Dollars partial_cost_bound(int opened) const {
+    Dollars total = 0.0;
+    for (int u = 0; u < opened; ++u) {
+      const auto cfg =
+          problem_.catalog->cheapest_meeting(state_.cpu_demand(u), 0.0);
+      if (!cfg) return std::numeric_limits<double>::infinity();
+      total += problem_.catalog->cost(*cfg);
+    }
+    return total;
+  }
+
+  /// Exact cost of a complete partition: cheapest configuration meeting
+  /// each processor's full load (CPU + NIC including downloads and comm).
+  std::optional<Dollars> complete_cost(int opened) const {
+    Dollars total = 0.0;
+    for (int u = 0; u < opened; ++u) {
+      const auto cfg = problem_.catalog->cheapest_meeting(
+          state_.cpu_demand(u), state_.nic_load(u));
+      if (!cfg) return std::nullopt;
+      total += problem_.catalog->cost(*cfg);
+    }
+    return total;
+  }
+
+  void try_complete(int opened) {
+    const auto cost = complete_cost(opened);
+    if (!cost || *cost >= best_cost_ - 1e-9) return;
+
+    Allocation alloc = state_.to_allocation();
+    // Server routing: fast path, then exact.
+    if (!route_downloads_exact(problem_, alloc)) return;
+
+    // Apply cheapest-meeting configs now that routes exist (routes do not
+    // change NIC loads — rates are server-independent).
+    const auto loads = compute_processor_loads(problem_, alloc);
+    for (std::size_t u = 0; u < alloc.processors.size(); ++u) {
+      const auto cfg = problem_.catalog->cheapest_meeting(
+          loads[u].cpu_demand, loads[u].nic_total());
+      assert(cfg.has_value());
+      alloc.processors[u].config = *cfg;
+    }
+    best_cost_ = *cost;
+    best_alloc_ = std::move(alloc);
+  }
+
+  void dfs(std::size_t depth, int opened) {
+    if (!budget_ok_) return;
+    if (config_.node_budget && nodes_ >= config_.node_budget) {
+      budget_ok_ = false;
+      return;
+    }
+    ++nodes_;
+
+    if (depth == order_.size()) {
+      try_complete(opened);
+      return;
+    }
+    if (partial_cost_bound(opened) >= best_cost_ - 1e-9) return;
+
+    const int op = order_[depth];
+    const int max_target = std::min(opened + 1,
+                                    problem_.tree->num_operators());
+    for (int u = 0; u < max_target; ++u) {
+      state_.search_place(op, u);
+      if (state_.feasible()) {
+        dfs(depth + 1, std::max(opened, u + 1));
+      }
+      state_.search_unassign(op);
+      if (!budget_ok_) return;
+    }
+  }
+
+  const Problem& problem_;
+  const ExactSolverConfig& config_;
+  PlacementState state_;
+  std::vector<int> order_;
+  Dollars best_cost_ = std::numeric_limits<double>::infinity();
+  std::optional<Allocation> best_alloc_;
+  std::uint64_t nodes_ = 0;
+  bool budget_ok_ = true;
+};
+
+} // namespace
+
+bool route_downloads_exact(const Problem& problem, Allocation& alloc) {
+  // Fast path: the paper's three-loop heuristic.
+  {
+    Allocation trial = alloc;
+    if (select_servers_three_loop(problem, trial).success) {
+      alloc = std::move(trial);
+      return true;
+    }
+  }
+  // Exact backtracking.
+  ExactRouter router(problem, alloc);
+  std::vector<int> servers;
+  if (!router.solve(&servers)) return false;
+  for (auto& p : alloc.processors) p.downloads.clear();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const auto [proc, type] = router.demands()[i];
+    alloc.processors[static_cast<std::size_t>(proc)].downloads.push_back(
+        {type, servers[i]});
+  }
+  for (auto& p : alloc.processors) {
+    std::sort(p.downloads.begin(), p.downloads.end(),
+              [](const DownloadRoute& a, const DownloadRoute& b) {
+                return a.object_type < b.object_type;
+              });
+  }
+  return true;
+}
+
+ExactResult solve_exact(const Problem& problem,
+                        const ExactSolverConfig& config) {
+  return Search(problem, config).run();
+}
+
+} // namespace insp

@@ -1,0 +1,60 @@
+// Exact optimal-cost solver, standing in for the paper's CPLEX runs
+// (DESIGN.md §4).  Branch-and-bound over operator->processor partitions:
+//
+//  - operators are assigned in non-increasing w order; a new processor may
+//    only be opened as the next unused index (symmetry breaking);
+//  - during the search every processor is provisioned with the catalog's
+//    most expensive configuration; realized loads grow monotonically along
+//    a search path, so an infeasible partial state prunes its whole subtree;
+//  - at a complete partition the per-processor configuration choice is
+//    independent: the optimal cost is the sum of cheapest-meeting configs;
+//  - server selection feasibility is decided exactly by a backtracking
+//    router over (processor, type) demands (the three-loop heuristic is
+//    tried first as a fast path);
+//  - the cost lower bound (opened processors at cheapest-meeting CPU cost)
+//    prunes against the incumbent.
+//
+// Practical for the paper's comparison sizes (N <= ~16, where CPLEX itself
+// topped out at 20); a node budget turns the result into a lower-bound
+// status instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+
+namespace insp {
+
+struct ExactSolverConfig {
+  /// Abort after this many search nodes (0 = unlimited).
+  std::uint64_t node_budget = 20'000'000;
+  /// Optional upper bound seed (e.g. a heuristic's cost) to prune earlier.
+  std::optional<Dollars> incumbent;
+};
+
+enum class ExactStatus {
+  Optimal,          ///< search exhausted: cost is the true optimum
+  Infeasible,       ///< search exhausted: no feasible allocation exists
+  BudgetExhausted,  ///< best-found cost (if any) is only an upper bound
+};
+
+struct ExactResult {
+  ExactStatus status = ExactStatus::Infeasible;
+  std::optional<Dollars> cost;
+  std::optional<Allocation> allocation;
+  std::uint64_t nodes_visited = 0;
+  std::string describe() const;
+};
+
+ExactResult solve_exact(const Problem& problem,
+                        const ExactSolverConfig& config = {});
+
+/// Exact feasibility of server selection for a fixed operator placement:
+/// backtracking over per-(processor, type) demands.  Fills `alloc`'s
+/// download routes on success.
+bool route_downloads_exact(const Problem& problem, Allocation& alloc);
+
+} // namespace insp

@@ -1,0 +1,285 @@
+#include "ilp/ilp_model.hpp"
+
+#include <algorithm>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace insp {
+
+namespace {
+
+std::string y(int u, int c) {
+  return "y_" + std::to_string(u) + "_" + std::to_string(c);
+}
+std::string x(int i, int u) {
+  return "x_" + std::to_string(i) + "_" + std::to_string(u);
+}
+std::string z(int e, int u, int v) {
+  return "z_" + std::to_string(e) + "_" + std::to_string(u) + "_" +
+         std::to_string(v);
+}
+std::string need(int k, int u) {
+  return "need_" + std::to_string(k) + "_" + std::to_string(u);
+}
+std::string d(int k, int l, int u) {
+  return "d_" + std::to_string(k) + "_" + std::to_string(l) + "_" +
+         std::to_string(u);
+}
+
+} // namespace
+
+std::string build_ilp_lp_format(const Problem& problem,
+                                const IlpModelConfig& config,
+                                IlpModelStats* stats) {
+  const OperatorTree& tree = *problem.tree;
+  const Platform& plat = *problem.platform;
+  const PriceCatalog& cat = *problem.catalog;
+  const double rho = problem.rho;
+
+  const int N = tree.num_operators();
+  const int U = config.num_slots > 0 ? config.num_slots : N;
+  const int C = cat.num_configs();
+  const int S = plat.num_servers();
+
+  // Edges: child operators with a parent.
+  std::vector<int> edges;
+  for (const auto& n : tree.operators()) {
+    if (n.parent != kNoNode) edges.push_back(n.id);
+  }
+  // Types actually needed by the application.
+  std::set<int> types;
+  for (const auto& l : tree.leaf_refs()) types.insert(l.object_type);
+
+  int n_constraints = 0;
+  std::ostringstream obj, rows, bounds, bins;
+
+  auto row = [&](const std::string& body) {
+    rows << " c" << ++n_constraints << ": " << body << "\n";
+  };
+
+  // ---- Objective -----------------------------------------------------------
+  obj << "Minimize\n obj:";
+  {
+    bool first = true;
+    for (int u = 0; u < U; ++u) {
+      int c = 0;
+      for (const auto& cfg : cat.by_cost()) {
+        obj << (first ? " " : " + ") << cat.cost(cfg) << " " << y(u, c);
+        first = false;
+        ++c;
+      }
+    }
+  }
+  obj << "\n";
+
+  rows << "Subject To\n";
+
+  // ---- Assignment: every operator on exactly one slot. ---------------------
+  for (int i = 0; i < N; ++i) {
+    std::ostringstream body;
+    for (int u = 0; u < U; ++u) {
+      body << (u ? " + " : "") << x(i, u);
+    }
+    body << " = 1";
+    row(body.str());
+  }
+
+  // ---- Config rows: at most one config per slot; x implies bought. ---------
+  for (int u = 0; u < U; ++u) {
+    std::ostringstream body;
+    for (int c = 0; c < C; ++c) body << (c ? " + " : "") << y(u, c);
+    body << " <= 1";
+    row(body.str());
+  }
+  for (int i = 0; i < N; ++i) {
+    for (int u = 0; u < U; ++u) {
+      std::ostringstream body;
+      body << x(i, u);
+      for (int c = 0; c < C; ++c) body << " - " << y(u, c);
+      body << " <= 0";
+      row(body.str());
+    }
+  }
+
+  // ---- z linking: z >= xc + xp - 1, z <= xc, z <= xp. ----------------------
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const int child = edges[e];
+    const int parent = tree.op(child).parent;
+    for (int u = 0; u < U; ++u) {
+      for (int v = 0; v < U; ++v) {
+        if (u == v) continue;
+        const std::string zv = z(static_cast<int>(e), u, v);
+        row(zv + " - " + x(child, u) + " - " + x(parent, v) + " >= -1");
+        row(zv + " - " + x(child, u) + " <= 0");
+        row(zv + " - " + x(parent, v) + " <= 0");
+      }
+    }
+  }
+
+  // ---- need linking: need[k,u] >= x[i,u] for ops i needing k. --------------
+  for (int k : types) {
+    for (int u = 0; u < U; ++u) {
+      for (const auto& n : tree.operators()) {
+        const auto ts = tree.object_types_of(n.id);
+        if (std::find(ts.begin(), ts.end(), k) == ts.end()) continue;
+        row(need(k, u) + " - " + x(n.id, u) + " >= 0");
+      }
+      // Downloads satisfy the need from hosting servers only.
+      std::ostringstream body;
+      bool first = true;
+      for (int l : plat.servers_with(k)) {
+        body << (first ? "" : " + ") << d(k, l, u);
+        first = false;
+      }
+      if (first) {
+        // Un-hosted type: force need = 0 (instance infeasible if required).
+        row(need(k, u) + " = 0");
+      } else {
+        body << " - " << need(k, u) << " = 0";
+        row(body.str());
+      }
+    }
+  }
+
+  // ---- (1) CPU capacity. ----------------------------------------------------
+  for (int u = 0; u < U; ++u) {
+    std::ostringstream body;
+    for (int i = 0; i < N; ++i) {
+      body << (i ? " + " : "") << rho * tree.op(i).work << " " << x(i, u);
+    }
+    int c = 0;
+    for (const auto& cfg : cat.by_cost()) {
+      body << " - " << cat.speed(cfg) << " " << y(u, c);
+      ++c;
+    }
+    body << " <= 0";
+    row(body.str());
+  }
+
+  // ---- (2) processor NIC. ----------------------------------------------------
+  for (int u = 0; u < U; ++u) {
+    std::ostringstream body;
+    bool first = true;
+    for (int k : types) {
+      for (int l : plat.servers_with(k)) {
+        body << (first ? "" : " + ") << tree.catalog().type(k).rate() << " "
+             << d(k, l, u);
+        first = false;
+      }
+    }
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const double vol = rho * tree.op(edges[e]).output_mb;
+      for (int v = 0; v < U; ++v) {
+        if (v == u) continue;
+        // outbound (child here) and inbound (parent here).
+        body << (first ? "" : " + ") << vol << " "
+             << z(static_cast<int>(e), u, v);
+        first = false;
+        body << " + " << vol << " " << z(static_cast<int>(e), v, u);
+      }
+    }
+    int c = 0;
+    for (const auto& cfg : cat.by_cost()) {
+      body << " - " << cat.bandwidth(cfg) << " " << y(u, c);
+      ++c;
+    }
+    body << " <= 0";
+    row(body.str());
+  }
+
+  // ---- (3) server cards. ------------------------------------------------------
+  for (int l = 0; l < S; ++l) {
+    std::ostringstream body;
+    bool first = true;
+    for (int k : types) {
+      if (!plat.server(l).hosts(k)) continue;
+      for (int u = 0; u < U; ++u) {
+        body << (first ? "" : " + ") << tree.catalog().type(k).rate() << " "
+             << d(k, l, u);
+        first = false;
+      }
+    }
+    if (first) continue;  // server irrelevant to this instance
+    body << " <= " << plat.server(l).card_bandwidth;
+    row(body.str());
+  }
+
+  // ---- (4) server->processor links. -------------------------------------------
+  for (int l = 0; l < S; ++l) {
+    for (int u = 0; u < U; ++u) {
+      std::ostringstream body;
+      bool first = true;
+      for (int k : types) {
+        if (!plat.server(l).hosts(k)) continue;
+        body << (first ? "" : " + ") << tree.catalog().type(k).rate() << " "
+             << d(k, l, u);
+        first = false;
+      }
+      if (first) continue;
+      body << " <= " << plat.link_server_proc();
+      row(body.str());
+    }
+  }
+
+  // ---- (5) processor<->processor links. ----------------------------------------
+  for (int u = 0; u < U; ++u) {
+    for (int v = u + 1; v < U; ++v) {
+      std::ostringstream body;
+      bool first = true;
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        const double vol = rho * tree.op(edges[e]).output_mb;
+        body << (first ? "" : " + ") << vol << " "
+             << z(static_cast<int>(e), u, v) << " + " << vol << " "
+             << z(static_cast<int>(e), v, u);
+        first = false;
+      }
+      if (first) continue;
+      body << " <= " << plat.link_proc_proc();
+      row(body.str());
+    }
+  }
+
+  // ---- Binaries. -----------------------------------------------------------------
+  bins << "Binary\n";
+  int n_vars = 0;
+  auto bin = [&](const std::string& v) {
+    bins << " " << v << "\n";
+    ++n_vars;
+  };
+  for (int u = 0; u < U; ++u) {
+    for (int c = 0; c < C; ++c) bin(y(u, c));
+  }
+  for (int i = 0; i < N; ++i) {
+    for (int u = 0; u < U; ++u) bin(x(i, u));
+  }
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    for (int u = 0; u < U; ++u) {
+      for (int v = 0; v < U; ++v) {
+        if (u != v) bin(z(static_cast<int>(e), u, v));
+      }
+    }
+  }
+  for (int k : types) {
+    for (int u = 0; u < U; ++u) {
+      bin(need(k, u));
+      for (int l : plat.servers_with(k)) bin(d(k, l, u));
+    }
+  }
+
+  if (stats) {
+    stats->num_variables = n_vars;
+    stats->num_binaries = n_vars;
+    stats->num_constraints = n_constraints;
+  }
+
+  std::ostringstream out;
+  out << "\\ CINSP operator-placement ILP (constraints 1-5)\n"
+      << "\\ operators=" << N << " slots=" << U << " configs=" << C
+      << " servers=" << S << " rho=" << rho << "\n"
+      << obj.str() << rows.str() << bins.str() << "End\n";
+  return out.str();
+}
+
+} // namespace insp

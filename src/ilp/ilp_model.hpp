@@ -1,0 +1,45 @@
+// Integer linear program formulation of the operator-placement problem
+// (paper §3 sketches one; the detailed version lived in research report
+// RR-2008-20).  This builder derives a complete formulation from constraints
+// (1)-(5) and exports it in CPLEX LP text format, so any LP/MIP solver can
+// consume it — the repo's exact branch-and-bound solves the same model
+// natively (exact_solver.hpp).
+//
+// Variables (processor slots u in 0..U-1, configs c, operators i, object
+// types k, servers l, tree edges e identified by their child operator):
+//   y[u,c]   in {0,1}  slot u is bought with configuration c
+//   x[i,u]   in {0,1}  operator i runs on slot u
+//   z[e,u,v] in {0,1}  edge e crosses from slot u (child) to slot v (parent),
+//                      u != v; linearized product x[child(e),u]*x[par(e),v]
+//   need[k,u]in {0,1}  slot u needs object type k
+//   d[k,l,u] in {0,1}  slot u downloads type k from server l (hosting only)
+//
+// Objective: minimize sum cost[c] * y[u,c].
+// Constraints: assignment rows, config rows, z/need linking rows, and the
+// capacity rows (1)-(5) with rho folded into the coefficients.
+#pragma once
+
+#include <string>
+
+#include "core/problem.hpp"
+
+namespace insp {
+
+struct IlpModelConfig {
+  /// Number of processor slots U; defaults (0) to the number of operators
+  /// (never beneficial to buy more processors than operators).
+  int num_slots = 0;
+};
+
+struct IlpModelStats {
+  int num_variables = 0;
+  int num_constraints = 0;
+  int num_binaries = 0;
+};
+
+/// Renders the LP text; fills `stats` when non-null.
+std::string build_ilp_lp_format(const Problem& problem,
+                                const IlpModelConfig& config = {},
+                                IlpModelStats* stats = nullptr);
+
+} // namespace insp

@@ -1,0 +1,144 @@
+#include "multi/subexpression.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace insp {
+
+namespace {
+
+/// Canonical signature of the subtree rooted at `op`: leaf object types and
+/// child signatures, each sorted (commutativity).
+std::string signature(const OperatorTree& tree, int op,
+                      std::vector<std::string>& memo) {
+  auto& cached = memo[static_cast<std::size_t>(op)];
+  if (!cached.empty()) return cached;
+  const auto& n = tree.op(op);
+  std::vector<std::string> parts;
+  for (int l : n.leaves) {
+    parts.push_back("o" + std::to_string(tree.leaf(l).object_type));
+  }
+  for (int c : n.children) {
+    parts.push_back(signature(tree, c, memo));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::ostringstream ss;
+  ss << "(";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    ss << (i ? " " : "") << parts[i];
+  }
+  ss << ")";
+  cached = ss.str();
+  return cached;
+}
+
+MegaOps subtree_work(const OperatorTree& tree, int op) {
+  MegaOps w = tree.op(op).work;
+  for (int c : tree.op(op).children) w += subtree_work(tree, c);
+  return w;
+}
+
+int subtree_size(const OperatorTree& tree, int op) {
+  int n = 1;
+  for (int c : tree.op(op).children) n += subtree_size(tree, c);
+  return n;
+}
+
+MBps subtree_download_rate(const OperatorTree& tree, int op) {
+  std::set<int> types;
+  std::vector<int> stack = {op};
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    for (int t : tree.object_types_of(cur)) types.insert(t);
+    for (int c : tree.op(cur).children) stack.push_back(c);
+  }
+  MBps rate = 0.0;
+  for (int t : types) rate += tree.catalog().type(t).rate();
+  return rate;
+}
+
+} // namespace
+
+std::vector<SharedSubexpression> find_common_subexpressions(
+    const std::vector<ApplicationSpec>& apps) {
+  // Group every subtree by signature.
+  std::map<std::string, std::vector<SubexprOccurrence>> groups;
+  std::vector<std::vector<std::string>> memos;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const OperatorTree& tree = apps[a].tree;
+    std::vector<std::string> memo(
+        static_cast<std::size_t>(tree.num_operators()));
+    for (int op = 0; op < tree.num_operators(); ++op) {
+      groups[signature(tree, op, memo)].push_back(
+          {static_cast<int>(a), op});
+    }
+    memos.push_back(std::move(memo));
+  }
+
+  // A subtree occurrence is *covered* when its parent's subtree is itself
+  // duplicated (the parent group already accounts for the sharing).
+  auto parent_duplicated = [&](const SubexprOccurrence& occ) {
+    const OperatorTree& tree = apps[static_cast<std::size_t>(occ.app)].tree;
+    const int parent = tree.op(occ.op).parent;
+    if (parent == kNoNode) return false;
+    const auto& psig =
+        memos[static_cast<std::size_t>(occ.app)][static_cast<std::size_t>(
+            parent)];
+    auto it = groups.find(psig);
+    return it != groups.end() && it->second.size() >= 2;
+  };
+
+  std::vector<SharedSubexpression> out;
+  for (const auto& [sig, occs] : groups) {
+    if (occs.size() < 2) continue;
+    // Keep only maximal duplicates: every occurrence whose parent subtree
+    // is duplicated too is subsumed by the parent's group.
+    bool all_covered = true;
+    for (const auto& occ : occs) {
+      all_covered = all_covered && parent_duplicated(occ);
+    }
+    if (all_covered) continue;
+
+    const auto& first = occs.front();
+    const OperatorTree& tree = apps[static_cast<std::size_t>(first.app)].tree;
+    SharedSubexpression shared;
+    shared.signature = sig;
+    shared.num_operators = subtree_size(tree, first.op);
+    shared.work = subtree_work(tree, first.op);
+    shared.download_rate = subtree_download_rate(tree, first.op);
+    shared.occurrences = occs;
+    out.push_back(std::move(shared));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SharedSubexpression& a, const SharedSubexpression& b) {
+              if (a.work_saved() != b.work_saved()) {
+                return a.work_saved() > b.work_saved();
+              }
+              return a.signature < b.signature;
+            });
+  return out;
+}
+
+SharingSavings estimate_sharing_savings(
+    const std::vector<ApplicationSpec>& apps, const PriceCatalog& catalog) {
+  SharingSavings s;
+  for (const auto& shared : find_common_subexpressions(apps)) {
+    const double extra = static_cast<double>(shared.occurrences.size() - 1);
+    s.work_saved += extra * shared.work;
+    s.download_saved += extra * shared.download_rate;
+  }
+  // Best Mops-per-dollar across the catalog (speed / config cost).
+  double best_ratio = 0.0;
+  for (const auto& cfg : catalog.by_cost()) {
+    best_ratio = std::max(best_ratio, catalog.speed(cfg) / catalog.cost(cfg));
+  }
+  if (best_ratio > 0.0) {
+    s.cost_bound = s.work_saved / best_ratio;
+  }
+  return s;
+}
+
+} // namespace insp

@@ -1,0 +1,65 @@
+// Common-subexpression analysis across applications (paper §6: "a clear
+// opportunity for higher performance with a reduced cost is the reuse of
+// common sub-expressions between trees", citing Pandit & Ji and Munagala
+// et al.).
+//
+// Two subtrees are *equivalent* when their canonical signatures match:
+// same multiset of basic-object types at the leaves and same child-subtree
+// signatures, compared order-insensitively (operators are assumed
+// commutative, as in the paper's "mutable applications" discussion).
+//
+// Executing merged subexpressions requires a DAG execution model (an
+// operator output feeding several parents), which is outside the paper's
+// tree model — and ours.  This module therefore provides the *analysis*:
+// it finds every shared subexpression and bounds the resources (CPU work,
+// download bandwidth) that a DAG-capable engine could save, turning the
+// paper's qualitative remark into numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "multi/multi_app.hpp"
+
+namespace insp {
+
+/// One occurrence of a shared subexpression.
+struct SubexprOccurrence {
+  int app = -1;
+  int op = -1;  ///< subtree root, id within the application's tree
+};
+
+struct SharedSubexpression {
+  std::string signature;    ///< canonical form (human-readable)
+  int num_operators = 0;    ///< size of one instance of the subtree
+  MegaOps work = 0.0;       ///< per-instance total work (unfolded)
+  MBps download_rate = 0.0; ///< per-instance distinct-type download rate
+  std::vector<SubexprOccurrence> occurrences;  ///< >= 2, distinct subtrees
+
+  /// Work a DAG engine would save by computing this expression once
+  /// (keeps one instance, drops the rest).
+  MegaOps work_saved() const {
+    return work * static_cast<double>(occurrences.size() - 1);
+  }
+};
+
+/// All maximal shared subexpressions across (and within) the applications.
+/// Nested duplicates are suppressed: if subtrees S and T are duplicates and
+/// S is inside a larger duplicated subtree, only the larger pair is
+/// reported.  Sorted by non-increasing work_saved().
+std::vector<SharedSubexpression> find_common_subexpressions(
+    const std::vector<ApplicationSpec>& apps);
+
+struct SharingSavings {
+  MegaOps work_saved = 0.0;      ///< total CPU work avoidable per result
+  MBps download_saved = 0.0;     ///< download bandwidth avoidable (upper bd)
+  /// Lower bound on the platform-cost reduction: the saved CPU volume
+  /// re-priced at the catalog's best Mops-per-dollar rate.
+  Dollars cost_bound = 0.0;
+};
+
+SharingSavings estimate_sharing_savings(
+    const std::vector<ApplicationSpec>& apps, const PriceCatalog& catalog);
+
+} // namespace insp

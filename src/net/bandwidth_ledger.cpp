@@ -1,0 +1,64 @@
+#include "net/bandwidth_ledger.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace insp {
+
+CardLedger::CardLedger(std::vector<MBps> capacities)
+    : capacity_(std::move(capacities)), used_(capacity_.size(), 0.0) {}
+
+void CardLedger::add(int r, MBps amount) {
+  assert(r >= 0 && static_cast<std::size_t>(r) < used_.size());
+  used_[static_cast<std::size_t>(r)] += amount;
+}
+
+void CardLedger::remove(int r, MBps amount) {
+  assert(r >= 0 && static_cast<std::size_t>(r) < used_.size());
+  auto& u = used_[static_cast<std::size_t>(r)];
+  u -= amount;
+  // Cancel rounding drift so add/remove sequences return exactly to zero.
+  if (u < kCapacityEpsilon && u > -kCapacityEpsilon) u = 0.0;
+  assert(u >= 0.0);
+}
+
+void CardLedger::set_capacity(int r, MBps capacity) {
+  assert(r >= 0 && static_cast<std::size_t>(r) < capacity_.size());
+  capacity_[static_cast<std::size_t>(r)] = capacity;
+  assert(fits_within(used_[static_cast<std::size_t>(r)], capacity));
+}
+
+LinkLedger::LinkLedger(MBps uniform_capacity) : capacity_(uniform_capacity) {}
+
+std::pair<int, int> LinkLedger::key(int a, int b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+MBps LinkLedger::used(int a, int b) const {
+  auto it = used_.find(key(a, b));
+  return it == used_.end() ? 0.0 : it->second;
+}
+
+void LinkLedger::add(int a, int b, MBps amount) {
+  used_[key(a, b)] += amount;
+}
+
+bool LinkLedger::all_within() const {
+  for (const auto& [k, v] : used_) {
+    (void)k;
+    if (!fits_within(v, capacity_)) return false;
+  }
+  return true;
+}
+
+void LinkLedger::remove(int a, int b, MBps amount) {
+  auto it = used_.find(key(a, b));
+  assert(it != used_.end());
+  it->second -= amount;
+  if (it->second < kCapacityEpsilon) {
+    assert(it->second > -kCapacityEpsilon);
+    used_.erase(it);
+  }
+}
+
+} // namespace insp

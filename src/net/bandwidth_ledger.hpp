@@ -1,0 +1,75 @@
+// Bandwidth accounting for the bounded multi-port model (paper §2.2,
+// after Hong & Prasanna): a resource can send and receive on many links
+// simultaneously, but the sum of the transfer rates through its card is
+// bounded by the card bandwidth; each individual link additionally bounds
+// the sum of transfers routed through it.
+//
+// The ledger tracks card usage per resource and usage per (a,b) link with a
+// uniform per-kind capacity, supports reserve/release, and reports headroom.
+// It is the single accounting structure shared by the server-selection
+// heuristics and the constraint checker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace insp {
+
+/// Card (NIC) accounts for a set of resources indexed 0..n-1.
+class CardLedger {
+ public:
+  explicit CardLedger(std::vector<MBps> capacities);
+  CardLedger() = default;
+
+  std::size_t size() const { return capacity_.size(); }
+  MBps capacity(int r) const { return capacity_[static_cast<std::size_t>(r)]; }
+  MBps used(int r) const { return used_[static_cast<std::size_t>(r)]; }
+  MBps headroom(int r) const { return capacity(r) - used(r); }
+  bool can_add(int r, MBps amount) const {
+    return fits_within(used(r) + amount, capacity(r));
+  }
+  void add(int r, MBps amount);
+  void remove(int r, MBps amount);
+  /// Changing capacity (processor downgrade) keeps usage; caller must ensure
+  /// the new capacity still fits (checked in debug builds).
+  void set_capacity(int r, MBps capacity);
+
+ private:
+  std::vector<MBps> capacity_;
+  std::vector<MBps> used_;
+};
+
+/// Usage per unordered pair of endpoints with one uniform capacity
+/// (the paper's platforms have identical bandwidth on every link of a kind).
+/// Endpoints are opaque ints; processor<->processor links use processor ids
+/// on both sides, server->processor links use (server, processor).
+class LinkLedger {
+ public:
+  explicit LinkLedger(MBps uniform_capacity);
+  LinkLedger() = default;
+
+  MBps capacity() const { return capacity_; }
+  MBps used(int a, int b) const;
+  MBps headroom(int a, int b) const { return capacity_ - used(a, b); }
+  bool can_add(int a, int b, MBps amount) const {
+    return fits_within(used(a, b) + amount, capacity_);
+  }
+  void add(int a, int b, MBps amount);
+  void remove(int a, int b, MBps amount);
+  void clear() { used_.clear(); }
+  std::size_t active_links() const { return used_.size(); }
+  /// All links with non-zero usage (for whole-state validation).
+  const std::map<std::pair<int, int>, MBps>& entries() const { return used_; }
+  /// True when every active link is within capacity.
+  bool all_within() const;
+
+ private:
+  static std::pair<int, int> key(int a, int b);
+  MBps capacity_ = 0.0;
+  std::map<std::pair<int, int>, MBps> used_;
+};
+
+} // namespace insp

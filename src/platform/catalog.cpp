@@ -1,0 +1,101 @@
+#include "platform/catalog.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace insp {
+
+PriceCatalog::PriceCatalog(Dollars base, std::vector<CpuModel> cpus,
+                           std::vector<NicModel> nics)
+    : base_(base), cpus_(std::move(cpus)), nics_(std::move(nics)) {
+  if (cpus_.empty() || nics_.empty()) {
+    throw std::invalid_argument("PriceCatalog: empty CPU or NIC list");
+  }
+  auto cpu_lt = [](const CpuModel& a, const CpuModel& b) {
+    return a.speed < b.speed;
+  };
+  auto nic_lt = [](const NicModel& a, const NicModel& b) {
+    return a.bandwidth < b.bandwidth;
+  };
+  std::sort(cpus_.begin(), cpus_.end(), cpu_lt);
+  std::sort(nics_.begin(), nics_.end(), nic_lt);
+
+  by_cost_.reserve(cpus_.size() * nics_.size());
+  for (int c = 0; c < static_cast<int>(cpus_.size()); ++c) {
+    for (int n = 0; n < static_cast<int>(nics_.size()); ++n) {
+      by_cost_.push_back(ProcessorConfig{c, n});
+    }
+  }
+  std::sort(by_cost_.begin(), by_cost_.end(),
+            [this](const ProcessorConfig& a, const ProcessorConfig& b) {
+              const Dollars ca = cost(a), cb = cost(b);
+              if (ca != cb) return ca < cb;
+              if (speed(a) != speed(b)) return speed(a) > speed(b);
+              return bandwidth(a) > bandwidth(b);
+            });
+}
+
+PriceCatalog PriceCatalog::paper_default() {
+  using namespace units;
+  return PriceCatalog(
+      7548.0,
+      {
+          {ghz(11.72), 0.0},
+          {ghz(19.20), 1550.0},
+          {ghz(25.60), 2399.0},
+          {ghz(38.40), 3949.0},
+          {ghz(46.88), 5299.0},
+      },
+      {
+          {gbps(1), 0.0},
+          {gbps(2), 399.0},
+          {gbps(4), 1197.0},
+          {gbps(10), 2800.0},
+          {gbps(20), 5999.0},
+      });
+}
+
+PriceCatalog PriceCatalog::homogeneous() {
+  using namespace units;
+  return homogeneous(CpuModel{ghz(46.88), 5299.0}, NicModel{gbps(20), 5999.0},
+                     7548.0);
+}
+
+PriceCatalog PriceCatalog::homogeneous(CpuModel cpu, NicModel nic,
+                                       Dollars base) {
+  return PriceCatalog(base, {cpu}, {nic});
+}
+
+ProcessorConfig PriceCatalog::most_expensive() const {
+  return *std::max_element(
+      by_cost_.begin(), by_cost_.end(),
+      [this](const ProcessorConfig& a, const ProcessorConfig& b) {
+        const Dollars ca = cost(a), cb = cost(b);
+        if (ca != cb) return ca < cb;
+        if (speed(a) != speed(b)) return speed(a) < speed(b);
+        return bandwidth(a) < bandwidth(b);
+      });
+}
+
+ProcessorConfig PriceCatalog::cheapest() const { return by_cost_.front(); }
+
+std::optional<ProcessorConfig> PriceCatalog::cheapest_meeting(
+    MopsPerSec min_speed, MBps min_bw) const {
+  for (const auto& c : by_cost_) {
+    if (fits_within(min_speed, speed(c)) && fits_within(min_bw, bandwidth(c))) {
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string PriceCatalog::describe(const ProcessorConfig& c) const {
+  std::ostringstream ss;
+  ss << speed(c) / 1000.0 << "GHz/" << bandwidth(c) / 125.0 << "Gbps ($"
+     << cost(c) << ")";
+  return ss.str();
+}
+
+} // namespace insp

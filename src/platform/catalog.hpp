@@ -1,0 +1,94 @@
+// Purchasable processor catalog (paper Table 1, Dell PowerEdge R900 pricing,
+// March 2008).  A processor purchase is one CPU model plus one NIC model;
+// cost = chassis base price + CPU upgrade + NIC upgrade.
+//
+// CONSTR-LAN (heterogeneous): full 5x5 catalog.
+// CONSTR-HOM (homogeneous): a single CPU and NIC model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace insp {
+
+struct CpuModel {
+  MopsPerSec speed = 0.0;   ///< s_u
+  Dollars upgrade = 0.0;    ///< price on top of the chassis base
+};
+
+struct NicModel {
+  MBps bandwidth = 0.0;     ///< Bp_u
+  Dollars upgrade = 0.0;
+};
+
+/// One buyable configuration: indices into the catalog's CPU/NIC lists.
+struct ProcessorConfig {
+  int cpu = -1;
+  int nic = -1;
+  bool valid() const { return cpu >= 0 && nic >= 0; }
+};
+
+class PriceCatalog {
+ public:
+  PriceCatalog(Dollars base, std::vector<CpuModel> cpus,
+               std::vector<NicModel> nics);
+
+  /// Paper Table 1.
+  static PriceCatalog paper_default();
+
+  /// Single-configuration catalog (CONSTR-HOM). Defaults to the paper's
+  /// largest CPU and NIC at the corresponding Table 1 price.
+  static PriceCatalog homogeneous();
+  static PriceCatalog homogeneous(CpuModel cpu, NicModel nic, Dollars base);
+
+  Dollars base_price() const { return base_; }
+  const std::vector<CpuModel>& cpus() const { return cpus_; }
+  const std::vector<NicModel>& nics() const { return nics_; }
+  int num_configs() const {
+    return static_cast<int>(cpus_.size() * nics_.size());
+  }
+  bool is_homogeneous() const { return num_configs() == 1; }
+
+  MopsPerSec speed(const ProcessorConfig& c) const {
+    return cpus_[static_cast<std::size_t>(c.cpu)].speed;
+  }
+  MBps bandwidth(const ProcessorConfig& c) const {
+    return nics_[static_cast<std::size_t>(c.nic)].bandwidth;
+  }
+  Dollars cost(const ProcessorConfig& c) const {
+    return base_ + cpus_[static_cast<std::size_t>(c.cpu)].upgrade +
+           nics_[static_cast<std::size_t>(c.nic)].upgrade;
+  }
+
+  MopsPerSec max_speed() const { return cpus_.back().speed; }
+  MBps max_bandwidth() const { return nics_.back().bandwidth; }
+
+  /// The highest-cost configuration (fastest CPU + widest NIC under
+  /// Table 1's monotone pricing); what most heuristics buy first.
+  ProcessorConfig most_expensive() const;
+  /// The lowest-cost configuration.
+  ProcessorConfig cheapest() const;
+
+  /// Cheapest configuration with speed >= min_speed and bandwidth >= min_bw;
+  /// ties broken toward higher speed, then higher bandwidth.  nullopt when
+  /// no model satisfies the requirement.
+  std::optional<ProcessorConfig> cheapest_meeting(MopsPerSec min_speed,
+                                                  MBps min_bw) const;
+
+  /// All configurations ordered by non-decreasing cost (ties: speed desc,
+  /// bandwidth desc) — the order in which "cheapest first" searches proceed.
+  const std::vector<ProcessorConfig>& by_cost() const { return by_cost_; }
+
+  std::string describe(const ProcessorConfig& c) const;
+
+ private:
+  Dollars base_;
+  std::vector<CpuModel> cpus_;  ///< sorted by speed ascending
+  std::vector<NicModel> nics_;  ///< sorted by bandwidth ascending
+  std::vector<ProcessorConfig> by_cost_;
+};
+
+} // namespace insp

@@ -1,0 +1,60 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace insp {
+
+bool DataServer::hosts(int type) const {
+  return std::binary_search(object_types.begin(), object_types.end(), type);
+}
+
+Platform::Platform(std::vector<DataServer> servers, MBps link_server_proc,
+                   MBps link_proc_proc, int num_object_types)
+    : servers_(std::move(servers)),
+      link_server_proc_(link_server_proc),
+      link_proc_proc_(link_proc_proc),
+      num_object_types_(num_object_types) {
+  if (servers_.empty()) {
+    throw std::invalid_argument("Platform: no servers");
+  }
+  if (num_object_types_ <= 0) {
+    throw std::invalid_argument("Platform: num_object_types must be > 0");
+  }
+  servers_by_type_.assign(static_cast<std::size_t>(num_object_types_), {});
+  for (auto& s : servers_) {
+    std::sort(s.object_types.begin(), s.object_types.end());
+    s.object_types.erase(
+        std::unique(s.object_types.begin(), s.object_types.end()),
+        s.object_types.end());
+    for (int t : s.object_types) {
+      if (t < 0 || t >= num_object_types_) {
+        throw std::invalid_argument("Platform: server hosts unknown type");
+      }
+      servers_by_type_[static_cast<std::size_t>(t)].push_back(s.id);
+    }
+  }
+}
+
+Platform Platform::paper_default(std::vector<std::vector<int>> hosted_types,
+                                 int num_object_types) {
+  using namespace units;
+  std::vector<DataServer> servers;
+  servers.reserve(hosted_types.size());
+  for (std::size_t l = 0; l < hosted_types.size(); ++l) {
+    servers.push_back(DataServer{static_cast<int>(l),
+                                 gigabytes_per_sec(10.0),
+                                 std::move(hosted_types[l])});
+  }
+  return Platform(std::move(servers), gigabytes_per_sec(1.0),
+                  gigabytes_per_sec(1.0), num_object_types);
+}
+
+bool Platform::all_types_hosted() const {
+  for (const auto& hosts : servers_by_type_) {
+    if (hosts.empty()) return false;
+  }
+  return true;
+}
+
+} // namespace insp

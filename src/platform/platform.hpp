@@ -1,0 +1,65 @@
+// The fixed part of the target platform (paper §2.2): data servers holding
+// replicated basic objects, and the interconnect (fully connected; uniform
+// link bandwidths).  Processors are *not* part of the fixed platform — they
+// are purchased from the PriceCatalog by the allocation heuristics.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace insp {
+
+struct DataServer {
+  int id = -1;
+  MBps card_bandwidth = 0.0;        ///< Bs_l
+  std::vector<int> object_types;    ///< types this server hosts (sorted)
+
+  bool hosts(int type) const;
+};
+
+class Platform {
+ public:
+  Platform(std::vector<DataServer> servers, MBps link_server_proc,
+           MBps link_proc_proc, int num_object_types);
+
+  /// Paper defaults: 6 servers with 10 GB/s cards; all links 1 GB/s.
+  /// The hosted-type sets must be filled in by a server distribution
+  /// (see server_distribution.hpp).
+  static Platform paper_default(std::vector<std::vector<int>> hosted_types,
+                                int num_object_types);
+
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  const DataServer& server(int l) const {
+    assert(l >= 0 && l < num_servers());
+    return servers_[static_cast<std::size_t>(l)];
+  }
+  const std::vector<DataServer>& servers() const { return servers_; }
+
+  MBps link_server_proc() const { return link_server_proc_; }  ///< bs
+  MBps link_proc_proc() const { return link_proc_proc_; }      ///< bp
+
+  int num_object_types() const { return num_object_types_; }
+
+  /// Servers hosting the given type (possibly empty: un-hosted type).
+  const std::vector<int>& servers_with(int type) const {
+    assert(type >= 0 && type < num_object_types_);
+    return servers_by_type_[static_cast<std::size_t>(type)];
+  }
+  /// av_k of the Object-Availability heuristic.
+  int availability(int type) const {
+    return static_cast<int>(servers_with(type).size());
+  }
+  /// True when every type is hosted by at least one server.
+  bool all_types_hosted() const;
+
+ private:
+  std::vector<DataServer> servers_;
+  MBps link_server_proc_;
+  MBps link_proc_proc_;
+  int num_object_types_;
+  std::vector<std::vector<int>> servers_by_type_;
+};
+
+} // namespace insp

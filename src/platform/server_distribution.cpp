@@ -1,0 +1,33 @@
+#include "platform/server_distribution.hpp"
+
+#include <stdexcept>
+
+namespace insp {
+
+std::vector<std::vector<int>> distribute_objects(Rng& rng,
+                                                 const ServerDistConfig& cfg) {
+  if (cfg.num_servers <= 0 || cfg.num_object_types <= 0) {
+    throw std::invalid_argument("distribute_objects: non-positive counts");
+  }
+  std::vector<std::vector<int>> hosted(
+      static_cast<std::size_t>(cfg.num_servers));
+  for (int t = 0; t < cfg.num_object_types; ++t) {
+    const std::size_t primary = rng.index(
+        static_cast<std::size_t>(cfg.num_servers));
+    hosted[primary].push_back(t);
+    for (int l = 0; l < cfg.num_servers; ++l) {
+      if (static_cast<std::size_t>(l) == primary) continue;
+      if (rng.bernoulli(cfg.replication_prob)) {
+        hosted[static_cast<std::size_t>(l)].push_back(t);
+      }
+    }
+  }
+  return hosted;
+}
+
+Platform make_paper_platform(Rng& rng, const ServerDistConfig& cfg) {
+  return Platform::paper_default(distribute_objects(rng, cfg),
+                                 cfg.num_object_types);
+}
+
+} // namespace insp

@@ -1,0 +1,32 @@
+// Random placement of object types onto data servers (paper §5: "The 15
+// different types of objects are randomly distributed over the 6 servers").
+// Replication level is configurable; the paper implies replication exists
+// (the Object-Availability heuristic keys on av_k, the number of servers
+// holding object k).
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace insp {
+
+struct ServerDistConfig {
+  int num_servers = 6;
+  int num_object_types = 15;
+  /// Probability that each *additional* server (beyond the mandatory one)
+  /// also hosts a given type.  0 = no replication, each type on exactly one
+  /// uniformly random server.
+  double replication_prob = 0.25;
+};
+
+/// hosted[l] = sorted list of types hosted by server l. Every type is hosted
+/// by at least one server.
+std::vector<std::vector<int>> distribute_objects(Rng& rng,
+                                                 const ServerDistConfig& cfg);
+
+/// Convenience: paper-default platform with a fresh random distribution.
+Platform make_paper_platform(Rng& rng, const ServerDistConfig& cfg);
+
+} // namespace insp

@@ -1,0 +1,28 @@
+// Human-facing views of an allocation: a Graphviz rendering (processors as
+// clusters, crossing edges and download streams annotated with their
+// bandwidth), a per-resource utilization table, and a one-page plan
+// summary.  These are what an operator pastes into a ticket when ordering
+// the hardware.
+#pragma once
+
+#include <string>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+
+namespace insp {
+
+/// Graphviz DOT: one cluster per purchased processor (labeled with its
+/// configuration and load), operators inside, data servers as house-shaped
+/// nodes, download streams and crossing tree edges labeled in MB/s.
+std::string allocation_to_dot(const Problem& problem, const Allocation& alloc);
+
+/// Fixed-width utilization table: one row per processor (CPU %, NIC %) and
+/// per data server (card %), plus every active link above a threshold.
+std::string utilization_table(const Problem& problem, const Allocation& alloc);
+
+/// One-page summary: purchase list with prices, aggregate utilization,
+/// sustainable throughput and bottleneck (from the flow analyzer).
+std::string plan_summary(const Problem& problem, const Allocation& alloc);
+
+} // namespace insp

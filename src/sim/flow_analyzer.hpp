@@ -1,0 +1,48 @@
+// Steady-state fluid analysis of a finished allocation under the
+// full-overlap bounded multi-port model: computes the *maximum sustainable
+// application throughput* rho* and names the bottleneck resource.
+//
+// Downloads are QoS-driven (rate_k = delta_k * f_k, independent of rho), so
+// they consume a fixed share of every card/link they traverse; compute and
+// inter-operator traffic scale linearly with rho.  For each resource R with
+// fixed share F_R and linear share L_R * rho and capacity C_R:
+//     rho <= (C_R - F_R) / L_R        (L_R > 0)
+//     feasible iff F_R <= C_R         (L_R == 0)
+// rho* is the minimum over all resources; an allocation satisfies the
+// paper's constraints (1)-(5) at rho exactly when rho* >= rho — a property
+// the test suite checks against the independent constraint checker.
+#pragma once
+
+#include <string>
+
+#include "core/allocation.hpp"
+#include "core/problem.hpp"
+
+namespace insp {
+
+enum class BottleneckKind {
+  None,            ///< unbounded (no resource constrains throughput)
+  ProcessorCpu,
+  ProcessorNic,
+  ServerCard,
+  ServerProcLink,
+  ProcProcLink,
+  InfeasibleDownloads,  ///< fixed download demand alone exceeds a capacity
+};
+
+const char* to_string(BottleneckKind kind);
+
+struct FlowAnalysis {
+  /// Max sustainable throughput; 0 when downloads alone are infeasible;
+  /// +infinity when nothing constrains rho (single processor, no comm,
+  /// never the case with real catalogs since CPU always binds).
+  double max_throughput = 0.0;
+  BottleneckKind bottleneck = BottleneckKind::None;
+  /// Human-readable bottleneck, e.g. "P2 NIC" or "link S1->P0".
+  std::string bottleneck_detail;
+  bool downloads_feasible = false;
+};
+
+FlowAnalysis analyze_flow(const Problem& problem, const Allocation& alloc);
+
+} // namespace insp

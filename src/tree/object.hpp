@@ -1,0 +1,69 @@
+// Basic objects: the continuously-updated data items at the leaves of the
+// operator tree (paper §2.1).  An *object type* is a distinct basic object
+// (o_k); several tree leaves may reference the same type, and a type may be
+// replicated on several data servers.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace insp {
+
+struct ObjectType {
+  int id = -1;
+  MegaBytes size_mb = 0.0;  ///< delta_k
+  Hertz freq_hz = 0.0;      ///< f_k, download frequency
+
+  /// rate_k = delta_k * f_k: bandwidth consumed on every link/card the
+  /// object is streamed through (paper §2.1).
+  MBps rate() const { return size_mb * freq_hz; }
+};
+
+/// The set of distinct basic-object types available in one experiment.
+class ObjectCatalog {
+ public:
+  ObjectCatalog() = default;
+  explicit ObjectCatalog(std::vector<ObjectType> types)
+      : types_(std::move(types)) {
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+      assert(types_[i].id == static_cast<int>(i));
+    }
+  }
+
+  /// Paper setup: `count` types with sizes drawn uniformly from
+  /// [size_lo, size_hi] MB and a common download frequency.
+  static ObjectCatalog random(Rng& rng, int count, MegaBytes size_lo,
+                              MegaBytes size_hi, Hertz freq);
+
+  int count() const { return static_cast<int>(types_.size()); }
+  const ObjectType& type(int id) const {
+    assert(id >= 0 && id < count());
+    return types_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<ObjectType>& all() const { return types_; }
+
+  /// Uniformly rescale all download frequencies (frequency-sweep study).
+  void set_frequency(Hertz freq) {
+    for (auto& t : types_) t.freq_hz = freq;
+  }
+
+ private:
+  std::vector<ObjectType> types_;
+};
+
+inline ObjectCatalog ObjectCatalog::random(Rng& rng, int count,
+                                           MegaBytes size_lo,
+                                           MegaBytes size_hi, Hertz freq) {
+  assert(count > 0 && size_lo > 0 && size_hi >= size_lo && freq > 0);
+  std::vector<ObjectType> types;
+  types.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    types.push_back(ObjectType{i, rng.uniform_real(size_lo, size_hi), freq});
+  }
+  return ObjectCatalog(std::move(types));
+}
+
+} // namespace insp

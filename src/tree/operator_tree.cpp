@@ -1,0 +1,184 @@
+#include "tree/operator_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace insp {
+
+OperatorTree::OperatorTree(std::vector<OperatorNode> ops,
+                           std::vector<LeafRef> leaves, int root,
+                           ObjectCatalog catalog)
+    : OperatorTree(std::move(ops), std::move(leaves), std::vector<int>{root},
+                   std::move(catalog)) {}
+
+OperatorTree::OperatorTree(std::vector<OperatorNode> ops,
+                           std::vector<LeafRef> leaves, std::vector<int> roots,
+                           ObjectCatalog catalog)
+    : ops_(std::move(ops)),
+      leaves_(std::move(leaves)),
+      roots_(std::move(roots)),
+      catalog_(std::move(catalog)) {}
+
+std::vector<int> OperatorTree::object_types_of(int i) const {
+  std::vector<int> types;
+  for (int l : op(i).leaves) {
+    const int t = leaf(l).object_type;
+    if (std::find(types.begin(), types.end(), t) == types.end()) {
+      types.push_back(t);
+    }
+  }
+  return types;
+}
+
+std::vector<int> OperatorTree::al_operators() const {
+  std::vector<int> out;
+  for (const auto& n : ops_) {
+    if (n.is_al_operator()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<int> OperatorTree::top_down_order() const {
+  std::vector<int> order;
+  order.reserve(ops_.size());
+  for (int r : roots_) {
+    if (r != kNoNode) order.push_back(r);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (int c : op(order[i]).children) order.push_back(c);
+  }
+  return order;
+}
+
+std::vector<int> OperatorTree::bottom_up_order() const {
+  std::vector<int> order = top_down_order();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+void OperatorTree::compute_work_and_outputs(double alpha, double work_scale) {
+  for (int i : bottom_up_order()) {
+    auto& n = ops_[static_cast<std::size_t>(i)];
+    MegaBytes mass = 0.0;
+    for (int l : n.leaves) {
+      mass += catalog_.type(leaf(l).object_type).size_mb;
+    }
+    for (int c : n.children) {
+      mass += op(c).output_mb;
+    }
+    n.output_mb = mass;
+    n.work = work_scale * std::pow(mass, alpha);
+  }
+}
+
+std::optional<std::string> OperatorTree::validate() const {
+  if (ops_.empty()) return "tree has no operators";
+  if (roots_.empty()) return "tree has no roots";
+  for (int r : roots_) {
+    if (r < 0 || r >= num_operators()) return "invalid root index";
+    if (op(r).parent != kNoNode) return "root has a parent";
+  }
+
+  int roots = 0;
+  for (const auto& n : ops_) {
+    if (n.id != &n - ops_.data()) return "operator ids are not dense";
+    if (n.parent == kNoNode) {
+      ++roots;
+    } else {
+      if (n.parent < 0 || n.parent >= num_operators()) {
+        return "operator " + std::to_string(n.id) + " has invalid parent";
+      }
+      const auto& pc = op(n.parent).children;
+      if (std::find(pc.begin(), pc.end(), n.id) == pc.end()) {
+        return "operator " + std::to_string(n.id) +
+               " not listed in its parent's children";
+      }
+    }
+    const int arity = n.arity();
+    if (arity < 1 || arity > 2) {
+      return "operator " + std::to_string(n.id) + " has arity " +
+             std::to_string(arity) + " (must be 1 or 2)";
+    }
+    for (int c : n.children) {
+      if (c < 0 || c >= num_operators()) {
+        return "operator " + std::to_string(n.id) + " has invalid child";
+      }
+      if (op(c).parent != n.id) {
+        return "child " + std::to_string(c) + " does not point back to " +
+               std::to_string(n.id);
+      }
+    }
+    for (int l : n.leaves) {
+      if (l < 0 || l >= num_leaves()) {
+        return "operator " + std::to_string(n.id) + " has invalid leaf index";
+      }
+      if (leaf(l).parent_op != n.id) {
+        return "leaf " + std::to_string(l) + " does not point back to op " +
+               std::to_string(n.id);
+      }
+    }
+  }
+  if (roots != static_cast<int>(roots_.size())) {
+    return "parentless operators do not match the declared roots";
+  }
+
+  // Reachability (also catches cycles: a cycle is unreachable from the root
+  // given single-parent consistency checked above).
+  if (static_cast<int>(top_down_order().size()) != num_operators()) {
+    return "not all operators reachable from the root";
+  }
+
+  for (const auto& l : leaves_) {
+    if (l.object_type < 0 || l.object_type >= catalog_.count()) {
+      return "leaf references unknown object type";
+    }
+  }
+  return std::nullopt;
+}
+
+int TreeBuilder::add_operator(int parent) {
+  const int id = static_cast<int>(ops_.size());
+  OperatorNode n;
+  n.id = id;
+  n.parent = parent;
+  if (parent == kNoNode) {
+    if (root_ != kNoNode) {
+      throw std::invalid_argument("TreeBuilder: second root added");
+    }
+    root_ = id;
+  } else {
+    if (parent < 0 || parent >= id) {
+      throw std::invalid_argument("TreeBuilder: parent must already exist");
+    }
+    ops_[static_cast<std::size_t>(parent)].children.push_back(id);
+  }
+  ops_.push_back(std::move(n));
+  return id;
+}
+
+int TreeBuilder::add_leaf(int op, int object_type) {
+  if (op < 0 || op >= static_cast<int>(ops_.size())) {
+    throw std::invalid_argument("TreeBuilder: leaf attached to unknown op");
+  }
+  if (object_type < 0 || object_type >= catalog_.count()) {
+    throw std::invalid_argument("TreeBuilder: unknown object type");
+  }
+  const int id = static_cast<int>(leaves_.size());
+  leaves_.push_back(LeafRef{object_type, op});
+  ops_[static_cast<std::size_t>(op)].leaves.push_back(id);
+  return id;
+}
+
+OperatorTree TreeBuilder::build(double alpha, double work_scale) {
+  OperatorTree t(std::move(ops_), std::move(leaves_), root_,
+                 std::move(catalog_));
+  if (auto err = t.validate()) {
+    throw std::invalid_argument("TreeBuilder: " + *err);
+  }
+  t.compute_work_and_outputs(alpha, work_scale);
+  return t;
+}
+
+} // namespace insp

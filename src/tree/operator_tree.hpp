@@ -1,0 +1,131 @@
+// The application model (paper §2.1): a binary tree of operators whose
+// leaves are basic objects.  Each internal node n_i combines the outputs of
+// its <= 2 children (operators and/or basic objects), requires w_i
+// operations per result and emits delta_i MB per result.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tree/object.hpp"
+#include "util/units.hpp"
+
+namespace insp {
+
+/// Index of "no node".
+inline constexpr int kNoNode = -1;
+
+/// One leaf occurrence in the tree: a reference to a basic-object type.
+/// Distinct leaves may reference the same type (shared objects).
+struct LeafRef {
+  int object_type = -1;  ///< index into the ObjectCatalog
+  int parent_op = -1;    ///< the al-operator this leaf feeds
+};
+
+struct OperatorNode {
+  int id = -1;
+  int parent = kNoNode;            ///< Par(i); kNoNode for the root
+  std::vector<int> children;       ///< Ch(i): operator children, size <= 2
+  std::vector<int> leaves;         ///< Leaf(i): leaf indices, size <= 2
+  MegaOps work = 0.0;              ///< w_i
+  MegaBytes output_mb = 0.0;       ///< delta_i, data sent to the parent
+
+  /// al-operator ("almost leaf"): needs >= 1 basic object (paper §2.1).
+  bool is_al_operator() const { return !leaves.empty(); }
+  int arity() const {
+    return static_cast<int>(children.size() + leaves.size());
+  }
+};
+
+/// Immutable-after-build operator tree plus its object catalog.
+///
+/// Also models *forests* (several independent trees over one catalog):
+/// every root is listed in roots(); root() returns the first.  Forests
+/// arise in the multi-application extension (multi/multi_app.hpp), where
+/// each member tree is one application.  No tree edge ever connects two
+/// member trees, so all per-edge constraint semantics are unchanged.
+class OperatorTree {
+ public:
+  OperatorTree() = default;
+  OperatorTree(std::vector<OperatorNode> ops, std::vector<LeafRef> leaves,
+               int root, ObjectCatalog catalog);
+  /// Forest constructor: one entry in `roots` per member tree.
+  OperatorTree(std::vector<OperatorNode> ops, std::vector<LeafRef> leaves,
+               std::vector<int> roots, ObjectCatalog catalog);
+
+  int num_operators() const { return static_cast<int>(ops_.size()); }
+  int num_leaves() const { return static_cast<int>(leaves_.size()); }
+  int root() const { return roots_.empty() ? kNoNode : roots_.front(); }
+  const std::vector<int>& roots() const { return roots_; }
+  bool is_forest() const { return roots_.size() > 1; }
+
+  const OperatorNode& op(int i) const { return ops_[static_cast<std::size_t>(i)]; }
+  const LeafRef& leaf(int l) const { return leaves_[static_cast<std::size_t>(l)]; }
+  const std::vector<OperatorNode>& operators() const { return ops_; }
+  const std::vector<LeafRef>& leaf_refs() const { return leaves_; }
+  const ObjectCatalog& catalog() const { return catalog_; }
+  ObjectCatalog& mutable_catalog() { return catalog_; }
+
+  /// Distinct object types operator i needs (deduplicated; an operator with
+  /// two leaves of the same type needs that type once).
+  std::vector<int> object_types_of(int i) const;
+
+  /// Indices of al-operators (operators with >= 1 leaf child).
+  std::vector<int> al_operators() const;
+
+  /// Operator ids ordered bottom-up: every node appears after all its
+  /// operator children (reverse BFS from the root).
+  std::vector<int> bottom_up_order() const;
+  /// Top-down (parents before children).
+  std::vector<int> top_down_order() const;
+
+  /// Recompute w_i and delta_i bottom-up for the given alpha:
+  ///   input mass  m_i = sum(leaf sizes) + sum(child outputs)
+  ///   w_i      = work_scale * m_i^alpha   [Mops]
+  ///   delta_i  = m_i                       [MB]
+  /// (paper §5 simulation methodology; work_scale defaults to 1).
+  void compute_work_and_outputs(double alpha, double work_scale = 1.0);
+
+  /// delta of the data flowing over the tree edge child->parent.
+  MegaBytes edge_volume(int child_op) const {
+    return op(child_op).output_mb;
+  }
+
+  /// Structural invariants (paper's model constraints):
+  ///  - exactly one root; parent/child links consistent; ids dense
+  ///  - |Leaf(i)| + |Ch(i)| in [1, 2] for every operator
+  ///  - acyclic and fully connected (every op reachable from the root)
+  ///  - every leaf references a valid object type and its parent op
+  /// Returns std::nullopt if valid, otherwise a description of the issue.
+  std::optional<std::string> validate() const;
+
+ private:
+  std::vector<OperatorNode> ops_;
+  std::vector<LeafRef> leaves_;
+  std::vector<int> roots_;
+  ObjectCatalog catalog_;
+};
+
+/// Incremental construction helper used by generators, IO, and tests.
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(ObjectCatalog catalog) : catalog_(std::move(catalog)) {}
+
+  /// Adds an operator; parent == kNoNode makes it the root (exactly one).
+  int add_operator(int parent);
+  /// Attaches a leaf of the given object type to operator `op`.
+  int add_leaf(int op, int object_type);
+
+  /// Finalize; computes w/delta with the given alpha and validates.
+  /// Throws std::invalid_argument when the structure is not a valid tree.
+  OperatorTree build(double alpha, double work_scale = 1.0);
+
+ private:
+  std::vector<OperatorNode> ops_;
+  std::vector<LeafRef> leaves_;
+  int root_ = kNoNode;
+  ObjectCatalog catalog_;
+};
+
+} // namespace insp

@@ -1,0 +1,119 @@
+#include "tree/tree_generator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace insp {
+
+namespace {
+
+ObjectCatalog make_catalog(Rng& rng, const TreeGenConfig& c) {
+  return ObjectCatalog::random(rng, c.num_object_types, c.object_size_lo,
+                               c.object_size_hi, c.download_freq);
+}
+
+int effective_op_count(Rng& rng, const TreeGenConfig& c) {
+  if (c.num_operators < 1) {
+    throw std::invalid_argument("tree generator: num_operators must be >= 1");
+  }
+  if (!c.at_most_n || c.num_operators <= 2) return c.num_operators;
+  return static_cast<int>(
+      rng.uniform_int(c.num_operators / 2, c.num_operators));
+}
+
+} // namespace
+
+OperatorTree generate_random_tree(Rng& rng, const TreeGenConfig& config,
+                                  const ObjectCatalog& catalog) {
+  const int n = effective_op_count(rng, config);
+  TreeBuilder b(catalog);
+
+  // Grow: maintain open slots (an operator that can still take a child).
+  // Each operator is created with 1 or 2 open slots (binary_prob); expanding
+  // a random slot attaches a new operator there; remaining open slots become
+  // leaves.  Arity >= 1 keeps at least one slot open until all operators are
+  // placed.
+  auto arity = [&] { return rng.bernoulli(config.binary_prob) ? 2 : 1; };
+  const int root = b.add_operator(kNoNode);
+  std::vector<int> open_slots;
+  for (int s = arity(); s > 0; --s) open_slots.push_back(root);
+  for (int made = 1; made < n; ++made) {
+    const std::size_t pick = rng.index(open_slots.size());
+    const int parent = open_slots[pick];
+    open_slots[pick] = open_slots.back();
+    open_slots.pop_back();
+    const int id = b.add_operator(parent);
+    for (int s = arity(); s > 0; --s) open_slots.push_back(id);
+  }
+  for (int slot_owner : open_slots) {
+    b.add_leaf(slot_owner, static_cast<int>(rng.index(
+                               static_cast<std::size_t>(catalog.count()))));
+  }
+  return b.build(config.alpha, config.work_scale);
+}
+
+OperatorTree generate_random_tree(Rng& rng, const TreeGenConfig& config) {
+  ObjectCatalog catalog = make_catalog(rng, config);
+  return generate_random_tree(rng, config, catalog);
+}
+
+namespace {
+
+/// Builds the reduction over sources [lo, hi) under `parent`; returns the
+/// subtree root's operator id.
+int build_reduction(TreeBuilder& b, const ObjectCatalog& catalog, int parent,
+                    int lo, int hi, int leaves_per_source) {
+  const int op = b.add_operator(parent);
+  if (hi - lo == 1) {
+    for (int i = 0; i < leaves_per_source; ++i) {
+      b.add_leaf(op, lo % catalog.count());
+    }
+    return op;
+  }
+  const int mid = lo + (hi - lo + 1) / 2;
+  build_reduction(b, catalog, op, lo, mid, leaves_per_source);
+  build_reduction(b, catalog, op, mid, hi, leaves_per_source);
+  return op;
+}
+
+} // namespace
+
+OperatorTree generate_reduction_tree(const ObjectCatalog& catalog,
+                                     int num_sources, double alpha,
+                                     int leaves_per_source,
+                                     double work_scale) {
+  if (num_sources < 1) {
+    throw std::invalid_argument("reduction tree: need at least one source");
+  }
+  if (leaves_per_source < 1 || leaves_per_source > 2) {
+    throw std::invalid_argument(
+        "reduction tree: leaves_per_source must be 1 or 2 (binary model)");
+  }
+  TreeBuilder b(catalog);
+  build_reduction(b, catalog, kNoNode, 0, num_sources, leaves_per_source);
+  return b.build(alpha, work_scale);
+}
+
+OperatorTree generate_left_deep_tree(Rng& rng, const TreeGenConfig& config) {
+  ObjectCatalog catalog = make_catalog(rng, config);
+  const int n = effective_op_count(rng, config);
+  TreeBuilder b(catalog);
+  // Root at the top, chain of operator children going down-left; each level
+  // adds one leaf on the right, the bottom operator holds two leaves.
+  int prev = b.add_operator(kNoNode);
+  auto random_type = [&] {
+    return static_cast<int>(
+        rng.index(static_cast<std::size_t>(catalog.count())));
+  };
+  for (int i = 1; i < n; ++i) {
+    const int child = b.add_operator(prev);
+    b.add_leaf(prev, random_type());
+    prev = child;
+  }
+  b.add_leaf(prev, random_type());
+  b.add_leaf(prev, random_type());
+  return b.build(config.alpha, config.work_scale);
+}
+
+} // namespace insp

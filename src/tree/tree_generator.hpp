@@ -1,0 +1,57 @@
+// Random application generators replicating the paper's simulation
+// methodology (§5): random binary operator trees whose leaves draw from a
+// catalog of 15 object types, plus the left-deep chains used in the
+// complexity discussion (§3, Fig 1b).
+#pragma once
+
+#include "tree/operator_tree.hpp"
+#include "util/rng.hpp"
+
+namespace insp {
+
+struct TreeGenConfig {
+  int num_operators = 20;     ///< N: internal nodes ("at most N" per paper)
+  double alpha = 1.0;         ///< w_i = mass^alpha
+  double work_scale = 1.0;    ///< optional multiplier on w_i
+  int num_object_types = 15;  ///< paper: 15 types
+  MegaBytes object_size_lo = 5.0;    ///< small objects: [5,30] MB
+  MegaBytes object_size_hi = 30.0;   ///< large objects: [450,530] MB
+  Hertz download_freq = 0.5;  ///< high 1/2 s^-1; low 1/50 s^-1
+  /// When true, the actual operator count is drawn uniformly from
+  /// [num_operators/2, num_operators] ("trees with at most N operators").
+  bool at_most_n = false;
+  /// Probability that an operator takes two children (operators or leaves);
+  /// otherwise it is unary, like n5 in the paper's Fig 1(a).  0.5 makes the
+  /// expected leaf count ~N/2+1, which is the unique value consistent with
+  /// the paper's three reported feasibility anchors (alpha thresholds 1.8 at
+  /// N=60 and 2.2 at N=20; the N~80 cliff at alpha=1.7) — see DESIGN.md §6.
+  double binary_prob = 0.5;
+};
+
+/// Random full binary tree with exactly n (or "at most n") operators, grown
+/// by repeatedly expanding a uniformly random open leaf slot into a new
+/// operator.  Every operator ends with exactly two children (operator or
+/// leaf); leaves get uniformly random object types.
+OperatorTree generate_random_tree(Rng& rng, const TreeGenConfig& config);
+
+/// Same, reusing a pre-built object catalog (lets several trees share one
+/// catalog, e.g. in the frequency sweep).
+OperatorTree generate_random_tree(Rng& rng, const TreeGenConfig& config,
+                                  const ObjectCatalog& catalog);
+
+/// Left-deep tree (paper Fig 1(b)): operator i has one operator child and
+/// one leaf, except the bottom operator which has two leaves.
+OperatorTree generate_left_deep_tree(Rng& rng, const TreeGenConfig& config);
+
+/// Balanced binary reduction over per-source pipelines (the paper's §1
+/// video-surveillance shape): one al-operator per source combining
+/// `leaves_per_source` copies of that source's object type (e.g. frame
+/// differencing), reduced pairwise up to a single root.  Source s draws
+/// object type s mod catalog.count().  Produces ceil-balanced trees with
+/// num_sources al-operators and num_sources - 1 reduction operators.
+OperatorTree generate_reduction_tree(const ObjectCatalog& catalog,
+                                     int num_sources, double alpha,
+                                     int leaves_per_source = 2,
+                                     double work_scale = 1.0);
+
+} // namespace insp

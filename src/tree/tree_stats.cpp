@@ -1,0 +1,66 @@
+#include "tree/tree_stats.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace insp {
+
+TreeStats compute_tree_stats(const OperatorTree& tree) {
+  TreeStats s;
+  s.num_operators = tree.num_operators();
+  s.num_leaves = tree.num_leaves();
+
+  std::set<int> types;
+  for (const auto& l : tree.leaf_refs()) {
+    types.insert(l.object_type);
+    s.total_leaf_mass += tree.catalog().type(l.object_type).size_mb;
+    s.total_download_demand += tree.catalog().type(l.object_type).rate();
+  }
+  s.distinct_object_types = static_cast<int>(types.size());
+
+  const auto depths = operator_depths(tree);
+  for (const auto& n : tree.operators()) {
+    if (n.is_al_operator()) ++s.num_al_operators;
+    s.total_work += n.work;
+    if (n.parent != kNoNode) {
+      s.max_edge_volume = std::max(s.max_edge_volume, n.output_mb);
+    }
+    s.depth = std::max(s.depth, depths[static_cast<std::size_t>(n.id)]);
+  }
+  return s;
+}
+
+std::vector<int> object_popularity(const OperatorTree& tree) {
+  std::vector<int> pop(static_cast<std::size_t>(tree.catalog().count()), 0);
+  for (const auto& n : tree.operators()) {
+    for (int t : tree.object_types_of(n.id)) {
+      ++pop[static_cast<std::size_t>(t)];
+    }
+  }
+  return pop;
+}
+
+std::vector<int> edges_by_volume_desc(const OperatorTree& tree) {
+  std::vector<int> children;
+  for (const auto& n : tree.operators()) {
+    if (n.parent != kNoNode) children.push_back(n.id);
+  }
+  std::sort(children.begin(), children.end(), [&](int a, int b) {
+    const MegaBytes va = tree.op(a).output_mb, vb = tree.op(b).output_mb;
+    if (va != vb) return va > vb;
+    return a < b;
+  });
+  return children;
+}
+
+std::vector<int> operator_depths(const OperatorTree& tree) {
+  std::vector<int> depth(static_cast<std::size_t>(tree.num_operators()), 0);
+  for (int i : tree.top_down_order()) {
+    const auto& n = tree.op(i);
+    depth[static_cast<std::size_t>(i)] =
+        n.parent == kNoNode ? 1 : depth[static_cast<std::size_t>(n.parent)] + 1;
+  }
+  return depth;
+}
+
+} // namespace insp

@@ -1,0 +1,36 @@
+// Aggregate statistics over an operator tree; used by heuristics
+// (popularity, edge ordering) and by the experiment reports.
+#pragma once
+
+#include <vector>
+
+#include "tree/operator_tree.hpp"
+
+namespace insp {
+
+struct TreeStats {
+  int num_operators = 0;
+  int num_leaves = 0;
+  int num_al_operators = 0;
+  int distinct_object_types = 0;
+  int depth = 0;                  ///< root depth = 1
+  MegaBytes total_leaf_mass = 0;  ///< == root output (mass conservation)
+  MegaOps total_work = 0;
+  MegaBytes max_edge_volume = 0;  ///< largest child->parent delta
+  MBps total_download_demand = 0; ///< sum over leaves of their type's rate
+};
+
+TreeStats compute_tree_stats(const OperatorTree& tree);
+
+/// popularity[k] = number of operators that need object type k
+/// (paper, Object-Grouping heuristic).
+std::vector<int> object_popularity(const OperatorTree& tree);
+
+/// Tree edges (child op -> parent op) sorted by non-increasing data volume
+/// delta_child; ties broken by child id for determinism.
+std::vector<int> edges_by_volume_desc(const OperatorTree& tree);
+
+/// Depth of each operator (root = 1).
+std::vector<int> operator_depths(const OperatorTree& tree);
+
+} // namespace insp

@@ -1,0 +1,31 @@
+// ASCII line-chart renderer.  The bench binaries replicate the paper's
+// figures; this renders each figure's series directly in the terminal so
+// "who wins / where the crossover falls" is visible without plotting tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace insp {
+
+struct ChartSeries {
+  std::string name;
+  char marker = '*';
+  // (x, y) points; NaN y values are rendered as gaps (e.g. infeasible runs).
+  std::vector<std::pair<double, double>> points;
+};
+
+struct ChartOptions {
+  int width = 72;    ///< plot area columns
+  int height = 20;   ///< plot area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render series into a multi-line string. Ignores NaN points; returns a
+/// note-only chart when all points are NaN.
+std::string render_ascii_chart(const std::vector<ChartSeries>& series,
+                               const ChartOptions& options);
+
+} // namespace insp

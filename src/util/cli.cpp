@@ -1,0 +1,74 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace insp {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      positional_.push_back(a);
+      continue;
+    }
+    a = a.substr(2);
+    const auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      options_[a.substr(0, eq)] = a.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[a] = argv[++i];
+    } else {
+      options_[a] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& def) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? def : it->second;
+}
+
+long long CliArgs::get_int(const std::string& name, long long def) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name,
+                               std::uint64_t def) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? def
+                              : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+std::vector<std::string> CliArgs::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : options_) {
+    (void)v;
+    if (std::find(known.begin(), known.end(), k) == known.end()) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+} // namespace insp

@@ -1,0 +1,47 @@
+// Minimal CSV writer used by bench binaries to dump figure series next to
+// the human-readable tables, so downstream plotting is one `gnuplot`/pandas
+// call away.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace insp {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  /// In-memory mode (for tests); contents available via str().
+  CsvWriter();
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(const std::vector<std::string>& names);
+
+  CsvWriter& cell(const std::string& v);
+  CsvWriter& cell(double v);
+  CsvWriter& cell(long long v);
+  CsvWriter& cell(int v) { return cell(static_cast<long long>(v)); }
+  CsvWriter& cell(std::size_t v) { return cell(static_cast<long long>(v)); }
+  void end_row();
+
+  /// For in-memory mode.
+  std::string str() const;
+
+  /// Escape a field per RFC 4180 (quotes fields with commas/quotes/newlines).
+  static std::string escape(const std::string& field);
+
+ private:
+  void raw(const std::string& s);
+  std::ofstream file_;
+  std::ostringstream mem_;
+  bool to_file_ = false;
+  bool row_started_ = false;
+};
+
+} // namespace insp

@@ -1,0 +1,20 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace insp {
+
+LogLevel Log::level_ = LogLevel::Warn;
+
+LogLevel Log::level() { return level_; }
+
+void Log::set_level(LogLevel lvl) { level_ = lvl; }
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const int i = static_cast<int>(lvl);
+  if (i < 0 || i > 3) return;
+  std::fprintf(stderr, "[%s] %s\n", names[i], msg.c_str());
+}
+
+} // namespace insp

@@ -1,0 +1,52 @@
+// Tiny leveled logger.  Heuristics log placement decisions at Debug level so
+// failures in large sweeps can be diagnosed without a debugger; benches run
+// at Warn.  Not thread-safe by design: the library is single-threaded per
+// allocation problem (experiments parallelize across processes, not within).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace insp {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+  static void write(LogLevel lvl, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, ss_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream ss_;
+};
+} // namespace detail
+
+} // namespace insp
+
+#define INSP_LOG(lvl)                      \
+  if (!::insp::Log::enabled(lvl)) {        \
+  } else                                   \
+    ::insp::detail::LogLine(lvl)
+
+#define INSP_DEBUG INSP_LOG(::insp::LogLevel::Debug)
+#define INSP_INFO INSP_LOG(::insp::LogLevel::Info)
+#define INSP_WARN INSP_LOG(::insp::LogLevel::Warn)
+#define INSP_ERROR INSP_LOG(::insp::LogLevel::Error)

@@ -1,0 +1,75 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace insp {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - span) % span;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(r) * span;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) {
+      return lo + static_cast<std::int64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::canonical() {
+  // 53 random mantissa bits -> [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * canonical();
+}
+
+bool Rng::bernoulli(double p_true) { return canonical() < p_true; }
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+} // namespace insp

@@ -1,0 +1,53 @@
+// Streaming statistics accumulators used by the experiment harness to
+// aggregate per-seed results (mean cost, failure rates, percentiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace insp {
+
+/// Welford running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1); 0 for n < 2
+  double stddev() const;
+  double min() const;  ///< requires non-empty
+  double max() const;  ///< requires non-empty
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples; supports exact percentiles. Suitable for the small sample
+/// counts (tens per configuration) the experiments use.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0,100]. Requires non-empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& samples() const { return xs_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+};
+
+} // namespace insp

@@ -1,0 +1,163 @@
+// Focused tests for the heuristics' textual case analyses (paper §4.1):
+// Comm-Greedy's three edge cases, Object-Availability's per-type rounds,
+// and Subtree-Bottom-Up's forced coalesce — each exercised on instances
+// crafted to hit exactly that branch.
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+#include "core/placement_heuristics.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::simple_platform;
+
+/// Chain tree: n0 <- n1 <- n2 (root n0), with leaves at n1, n2, sizes
+/// chosen so edge volumes differ sharply: n2->n1 small, n1->n0 large.
+Fixture chain_fixture(MegaBytes small, MegaBytes large, MBps link_pp) {
+  ObjectCatalog objects({{0, small, 0.5}, {1, large, 0.5}});
+  TreeBuilder b(objects);
+  const int n0 = b.add_operator(kNoNode);
+  const int n1 = b.add_operator(n0);
+  const int n2 = b.add_operator(n1);
+  b.add_leaf(n1, 1);  // large: edge n1->n0 = small + large
+  b.add_leaf(n2, 0);  // small: edge n2->n1 = small
+  return Fixture{b.build(1.0),
+                 simple_platform({{0, 1}}, 2, 10000.0, 1000.0, link_pp),
+                 PriceCatalog::paper_default(), 1.0};
+}
+
+TEST(CommGreedyCases, CaseBothUnassignedBuysCheapestForPair) {
+  // Largest edge first: (n1, n0) are both unassigned; the cheapest
+  // processor must host the pair.
+  const Fixture f = chain_fixture(10.0, 50.0, 1000.0);
+  PlacementState state(f.problem());
+  Rng rng(1);
+  ASSERT_TRUE(place_comm_greedy(state, rng).success);
+  EXPECT_EQ(state.proc_of(0), state.proc_of(1));
+  // Everything light: single cheapest processor in the end.
+  EXPECT_EQ(state.num_live_processors(), 1);
+  EXPECT_DOUBLE_EQ(state.total_cost(), 7548.0);
+}
+
+TEST(CommGreedyCases, CaseOneAssignedJoinsExistingProcessor) {
+  // Tight link: after (n1,n0) are paired, edge (n2,n1) has n1 assigned;
+  // n2 must join n1's processor because the link cannot carry even the
+  // small edge.
+  const Fixture f = chain_fixture(10.0, 50.0, /*link_pp=*/5.0);
+  PlacementState state(f.problem());
+  Rng rng(1);
+  ASSERT_TRUE(place_comm_greedy(state, rng).success);
+  EXPECT_EQ(state.proc_of(2), state.proc_of(1));
+  EXPECT_EQ(state.num_live_processors(), 1);
+}
+
+TEST(CommGreedyCases, CaseBothAssignedMergesAndSells) {
+  // Star of two heavy edges: process order pairs (a-root) then (b-root);
+  // the second edge finds both endpoints assigned on different processors
+  // and must merge them (case iii), selling one.
+  ObjectCatalog objects({{0, 100.0, 0.5}});
+  TreeBuilder b(objects);
+  const int root = b.add_operator(kNoNode);
+  const int a = b.add_operator(root);
+  const int c = b.add_operator(root);
+  b.add_leaf(a, 0);
+  b.add_leaf(c, 0);
+  Fixture f{b.build(1.5), simple_platform({{0}}, 1),
+            PriceCatalog::paper_default(), 1.0};
+  PlacementState state(f.problem());
+  Rng rng(1);
+  ASSERT_TRUE(place_comm_greedy(state, rng).success);
+  // All three operators end co-located (work at alpha=1.5 still fits one
+  // fast CPU: 100^1.5 * 2 + 200^1.5 ~ 4.8k Mops).
+  EXPECT_EQ(state.proc_of(a), state.proc_of(root));
+  EXPECT_EQ(state.proc_of(c), state.proc_of(root));
+  EXPECT_EQ(state.num_live_processors(), 1);
+}
+
+/// Star over one 300 MB object with alpha = 0.5 and a single 25 Mops/s
+/// CPU model: w(a) = w(c) = 300^0.5 ~ 17.3, w(root) = 600^0.5 ~ 24.5.
+/// Each operator fits a processor alone; no two fit together — processors
+/// can never merge, yet the instance is feasible (three processors).
+Fixture unmergeable_star_fixture() {
+  ObjectCatalog objects({{0, 300.0, 0.5}});
+  TreeBuilder b(objects);
+  const int root = b.add_operator(kNoNode);
+  const int a = b.add_operator(root);
+  const int c = b.add_operator(root);
+  b.add_leaf(a, 0);
+  b.add_leaf(c, 0);
+  return Fixture{b.build(0.5), simple_platform({{0}}, 1),
+                 PriceCatalog(500.0, {{25.0, 0.0}}, {{1000.0, 0.0}}), 1.0};
+}
+
+TEST(CommGreedyCases, CaseMergeImpossibleKeepsSeparateProcessors) {
+  const Fixture f = unmergeable_star_fixture();
+  PlacementState state(f.problem());
+  Rng rng(1);
+  ASSERT_TRUE(place_comm_greedy(state, rng).success);
+  EXPECT_NE(state.proc_of(1), state.proc_of(2));  // a and c separate
+  EXPECT_EQ(state.num_live_processors(), 3);
+  EXPECT_TRUE(state.feasible());
+}
+
+TEST(ObjectAvailabilityCases, TypeRoundsSkipTypesWithoutAlOps) {
+  // Types 1 and 2 exist in the catalog but no leaf uses them: the per-type
+  // rounds must not buy processors for them.
+  ObjectCatalog objects(
+      {{0, 10.0, 0.5}, {1, 10.0, 0.5}, {2, 10.0, 0.5}});
+  TreeBuilder b(objects);
+  const int root = b.add_operator(kNoNode);
+  b.add_leaf(root, 0);
+  b.add_leaf(root, 0);
+  Fixture f{b.build(1.0), simple_platform({{0, 1, 2}}, 3),
+            PriceCatalog::paper_default(), 1.0};
+  PlacementState state(f.problem());
+  Rng rng(1);
+  ASSERT_TRUE(place_object_availability(state, rng).success);
+  EXPECT_EQ(state.num_live_processors(), 1);
+}
+
+TEST(ObjectAvailabilityCases, AlOpsLeftoverHandledByGreedyPhase) {
+  // Two al-operators of one type, but the type's processor cannot host
+  // both (CPU fits only one): the second is placed by the Comp-Greedy
+  // style tail phase.
+  const Fixture f = unmergeable_star_fixture();
+  PlacementState state(f.problem());
+  Rng rng(1);
+  ASSERT_TRUE(place_object_availability(state, rng).success);
+  EXPECT_EQ(state.num_unassigned(), 0);
+  EXPECT_NE(state.proc_of(1), state.proc_of(2));
+  EXPECT_TRUE(state.feasible());
+}
+
+TEST(SubtreeBottomUpCases, ForcedCoalesceWhenParentFitsNeitherChild) {
+  // Both child subtrees sit on processors whose links cannot carry their
+  // edges to a third processor; the parent can only be seated by
+  // coalescing children onto one processor.
+  ObjectCatalog objects({{0, 60.0, 0.5}});
+  TreeBuilder b(objects);
+  const int root = b.add_operator(kNoNode);
+  const int a = b.add_operator(root);
+  const int c = b.add_operator(root);
+  b.add_leaf(a, 0);
+  b.add_leaf(a, 0);
+  b.add_leaf(c, 0);
+  b.add_leaf(c, 0);
+  // Links carry at most 50 MB/s but each child edge is 120 MB/s: the root
+  // must co-locate with both children.
+  Fixture f{b.build(1.0), simple_platform({{0}}, 1, 10000.0, 1000.0,
+                                          /*link_pp=*/50.0),
+            PriceCatalog::paper_default(), 1.0};
+  PlacementState state(f.problem());
+  Rng rng(1);
+  ASSERT_TRUE(place_subtree_bottom_up(state, rng).success);
+  EXPECT_EQ(state.proc_of(a), state.proc_of(root));
+  EXPECT_EQ(state.proc_of(c), state.proc_of(root));
+  EXPECT_EQ(state.num_live_processors(), 1);
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,165 @@
+#include "core/server_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/constraints.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::fig1a_fixture;
+using testhelpers::simple_platform;
+
+Allocation skeleton(const Fixture& f) {
+  Allocation a;
+  PurchasedProcessor p;
+  p.config = f.catalog.most_expensive();
+  p.ops = {0, 1, 2, 3, 4};
+  a.processors.push_back(p);
+  a.op_to_proc = {0, 0, 0, 0, 0};
+  return a;
+}
+
+TEST(ServerSelection, ThreeLoopRoutesAllNeeds) {
+  const Fixture f = fig1a_fixture();
+  Allocation a = skeleton(f);
+  const auto r = select_servers_three_loop(f.problem(), a);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  ASSERT_EQ(a.processors[0].downloads.size(), 3u);
+  EXPECT_TRUE(check_allocation(f.problem(), a).ok());
+}
+
+TEST(ServerSelection, Loop1ExclusiveHolderIsForced) {
+  Fixture f = fig1a_fixture();
+  // o2 exists only on server 1; o0,o1 on both.
+  f.platform = simple_platform({{0, 1}, {0, 1, 2}}, 3);
+  Allocation a = skeleton(f);
+  const auto r = select_servers_three_loop(f.problem(), a);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  for (const auto& dl : a.processors[0].downloads) {
+    if (dl.object_type == 2) EXPECT_EQ(dl.server, 1);
+  }
+}
+
+TEST(ServerSelection, Loop1FailsWhenExclusiveServerTooSmall) {
+  Fixture f = fig1a_fixture(1.0, 480.0);  // o2 = 1440 MB, rate 720 MB/s
+  f.platform = simple_platform({{0, 1}, {0, 1, 2}}, 3, 10000.0,
+                               /*link_sp=*/500.0);
+  Allocation a = skeleton(f);
+  const auto r = select_servers_three_loop(f.problem(), a);
+  ASSERT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("loop1"), std::string::npos);
+}
+
+TEST(ServerSelection, Loop2PrefersSingleTypeServers) {
+  Fixture f = fig1a_fixture();
+  // Server 1 hosts only o1; servers 0 and 1 both host o1.
+  f.platform = simple_platform({{0, 1, 2}, {1}}, 3);
+  Allocation a = skeleton(f);
+  const auto r = select_servers_three_loop(f.problem(), a);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  for (const auto& dl : a.processors[0].downloads) {
+    if (dl.object_type == 1) EXPECT_EQ(dl.server, 1);
+  }
+}
+
+TEST(ServerSelection, Loop3BalancesByHeadroom) {
+  // Two processors each needing o0; two hosts with asymmetric remaining
+  // capacity: the larger headroom server is used first.
+  Fixture f = fig1a_fixture(1.0, 100.0);  // o0 rate 50 MB/s
+  f.platform = simple_platform({{0, 1, 2}, {0, 1, 2}}, 3, /*card=*/10000.0);
+  Allocation a;
+  PurchasedProcessor p0, p1;
+  p0.config = f.catalog.most_expensive();
+  p0.ops = {4, 3, 1, 0};  // needs o0, o1
+  p1.config = f.catalog.most_expensive();
+  p1.ops = {2};  // n3 needs o1, o2
+  a.processors = {p0, p1};
+  a.op_to_proc = {0, 0, 1, 0, 0};
+  const auto r = select_servers_three_loop(f.problem(), a);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(check_allocation(f.problem(), a).ok());
+}
+
+TEST(ServerSelection, Loop3FailsWhenNothingFits) {
+  Fixture f = fig1a_fixture(1.0, 480.0);  // rates 240/480/720 MB/s
+  // Both servers host everything but cards are too small for the sum.
+  f.platform = simple_platform({{0, 1, 2}, {0, 1, 2}}, 3, /*card=*/700.0);
+  Allocation a = skeleton(f);
+  const auto r = select_servers_three_loop(f.problem(), a);
+  ASSERT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("loop3"), std::string::npos);
+}
+
+TEST(ServerSelection, FailsOnUnhostedType) {
+  Fixture f = fig1a_fixture();
+  f.platform = simple_platform({{0, 1}}, 3);  // o2 nowhere
+  Allocation a = skeleton(f);
+  const auto r = select_servers_three_loop(f.problem(), a);
+  ASSERT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("hosted by no server"), std::string::npos);
+}
+
+TEST(ServerSelection, RandomSelectionRoutesFromHosts) {
+  const Fixture f = fig1a_fixture();
+  Allocation a = skeleton(f);
+  Rng rng(5);
+  const auto r = select_servers_random(f.problem(), a, rng);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(check_allocation(f.problem(), a).ok());
+}
+
+TEST(ServerSelection, RandomSelectionReportsOverload) {
+  Fixture f = fig1a_fixture(1.0, 480.0);
+  f.platform = simple_platform({{0, 1, 2}}, 3, /*card=*/700.0);
+  Allocation a = skeleton(f);
+  Rng rng(5);
+  const auto r = select_servers_random(f.problem(), a, rng);
+  ASSERT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("overloads"), std::string::npos);
+}
+
+TEST(ServerSelection, RandomSelectionDeterministicGivenSeed) {
+  const Fixture f = fig1a_fixture();
+  Allocation a1 = skeleton(f), a2 = skeleton(f);
+  Rng r1(9), r2(9);
+  ASSERT_TRUE(select_servers_random(f.problem(), a1, r1).success);
+  ASSERT_TRUE(select_servers_random(f.problem(), a2, r2).success);
+  EXPECT_EQ(a1.processors[0].downloads, a2.processors[0].downloads);
+}
+
+TEST(ServerSelection, PerProcessorDedupAcrossSharedTypes) {
+  const Fixture f = fig1a_fixture();
+  Allocation a = skeleton(f);
+  ASSERT_TRUE(select_servers_three_loop(f.problem(), a).success);
+  // o0 needed by two operators on the same processor: exactly one route.
+  int o0_routes = 0;
+  for (const auto& dl : a.processors[0].downloads) {
+    o0_routes += dl.object_type == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(o0_routes, 1);
+}
+
+TEST(ServerSelection, SameTypeOnTwoProcessorsRoutedTwice) {
+  const Fixture f = fig1a_fixture();
+  Allocation a;
+  PurchasedProcessor p0, p1;
+  p0.config = f.catalog.most_expensive();
+  p0.ops = {4, 3, 1, 0};
+  p1.config = f.catalog.most_expensive();
+  p1.ops = {2};
+  a.processors = {p0, p1};
+  a.op_to_proc = {0, 0, 1, 0, 0};
+  ASSERT_TRUE(select_servers_three_loop(f.problem(), a).success);
+  // o1 needed on both processors: one route each.
+  int o1_routes = 0;
+  for (const auto& p : a.processors) {
+    for (const auto& dl : p.downloads) o1_routes += dl.object_type == 1;
+  }
+  EXPECT_EQ(o1_routes, 2);
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,79 @@
+#include "ilp/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::fig1a_fixture;
+
+TEST(Bounds, OneProcessorFloor) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const CostLowerBound lb = cost_lower_bound(f.problem());
+  EXPECT_DOUBLE_EQ(lb.value, 7548.0);
+  EXPECT_STREQ(lb.binding, "one-processor");
+  EXPECT_EQ(processor_count_lower_bound(f.problem()), 1);
+}
+
+TEST(Bounds, HeaviestOperatorForcesFasterCpu) {
+  // Root mass 270, alpha 1.6 -> w ~ 7.7k Mops > 11.72 GHz cheapest... no:
+  // 270^1.6 = e^(1.6*5.598) = e^8.96 ~ 7.8k < 11.72k -> still cheapest.
+  // Use alpha 1.8: 270^1.8 ~ 2.4e4 -> needs the 25.60 GHz CPU.
+  const Fixture f = fig1a_fixture(1.8, 30.0);
+  const CostLowerBound lb = cost_lower_bound(f.problem());
+  EXPECT_STREQ(lb.binding, "heaviest-operator");
+  EXPECT_DOUBLE_EQ(lb.value, 7548.0 + 2399.0);
+}
+
+TEST(Bounds, InfeasibleInstanceGivesInfinity) {
+  const Fixture f = fig1a_fixture(2.5, 30.0);
+  const CostLowerBound lb = cost_lower_bound(f.problem());
+  EXPECT_TRUE(std::isinf(lb.value));
+  EXPECT_STREQ(lb.binding, "heaviest-operator-unplaceable");
+}
+
+TEST(Bounds, ProcessorCountDrivenByTotalWork) {
+  // Many heavy operators: total work 5 * 40k-ish needs >= several fastest
+  // CPUs. Craft via work_scale on a fig1a tree is easier with a custom
+  // catalog; instead use alpha high but below the per-op cliff.
+  Fixture f = fig1a_fixture(1.95, 30.0);
+  // Root alone is infeasible at 1.95; use 1.85 where each op fits but the
+  // sum exceeds one processor: w(root) = 270^1.85 ~ 3.1e4, total ~ 5e4+.
+  f = fig1a_fixture(1.85, 30.0);
+  const int nproc = processor_count_lower_bound(f.problem());
+  EXPECT_GE(nproc, 2);
+  const CostLowerBound lb = cost_lower_bound(f.problem());
+  EXPECT_GE(lb.value, nproc * 7548.0);
+}
+
+TEST(Bounds, DownloadVolumeDrivesCount) {
+  // Large objects: distinct rates 240+480+720 = 1440 MB/s; max NIC 2500:
+  // 1 processor suffices by NIC; shrink catalog NIC to force 2.
+  Fixture f = fig1a_fixture(0.5, 480.0);
+  f.catalog = PriceCatalog(100.0, {{50000.0, 0.0}}, {{1000.0, 0.0}});
+  EXPECT_GE(processor_count_lower_bound(f.problem()), 2);
+}
+
+TEST(Bounds, LowerBoundNeverExceedsHeuristicCosts) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Fixture f = testhelpers::random_fixture(seed, 30, 1.4);
+    const CostLowerBound lb = cost_lower_bound(f.problem());
+    for (HeuristicKind k : all_heuristics()) {
+      Rng rng(seed);
+      const AllocationOutcome out = allocate(f.problem(), k, rng);
+      if (out.success) {
+        EXPECT_LE(lb.value, out.cost + 1e-9)
+            << heuristic_name(k) << " seed " << seed;
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace insp

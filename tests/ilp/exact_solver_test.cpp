@@ -1,0 +1,222 @@
+#include "ilp/exact_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+#include "core/constraints.hpp"
+#include "core/server_selection.hpp"
+#include "ilp/bounds.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::fig1a_fixture;
+
+TEST(ExactSolver, EasyInstanceOptimalIsOneCheapestProcessor) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const ExactResult r = solve_exact(f.problem());
+  ASSERT_EQ(r.status, ExactStatus::Optimal) << r.describe();
+  ASSERT_TRUE(r.cost.has_value());
+  EXPECT_DOUBLE_EQ(*r.cost, 7548.0);
+  ASSERT_TRUE(r.allocation.has_value());
+  EXPECT_EQ(r.allocation->num_processors(), 1);
+  EXPECT_TRUE(check_allocation(f.problem(), *r.allocation).ok());
+}
+
+TEST(ExactSolver, ImpossibleInstanceIsInfeasible) {
+  const Fixture f = fig1a_fixture(2.5, 30.0);
+  const ExactResult r = solve_exact(f.problem());
+  EXPECT_EQ(r.status, ExactStatus::Infeasible);
+  EXPECT_FALSE(r.cost.has_value());
+}
+
+TEST(ExactSolver, CpuPressureForcesTwoProcessors) {
+  // alpha 1.85 on fig1a: total work > one fastest CPU, each op fits.
+  const Fixture f = fig1a_fixture(1.85, 30.0);
+  const ExactResult r = solve_exact(f.problem());
+  ASSERT_EQ(r.status, ExactStatus::Optimal) << r.describe();
+  ASSERT_TRUE(r.allocation.has_value());
+  EXPECT_GE(r.allocation->num_processors(), 2);
+  EXPECT_TRUE(check_allocation(f.problem(), *r.allocation).ok());
+}
+
+TEST(ExactSolver, NeverWorseThanAnyHeuristic) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Fixture f = testhelpers::random_fixture(seed, 8, 1.5);
+    const ExactResult r = solve_exact(f.problem());
+    if (r.status != ExactStatus::Optimal) continue;
+    for (HeuristicKind k : all_heuristics()) {
+      Rng rng(seed);
+      const AllocationOutcome out = allocate(f.problem(), k, rng);
+      if (out.success) {
+        EXPECT_LE(*r.cost, out.cost + 1e-6)
+            << heuristic_name(k) << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ExactSolver, RespectsCostLowerBound) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Fixture f = testhelpers::random_fixture(seed, 8, 1.3);
+    const ExactResult r = solve_exact(f.problem());
+    if (r.status != ExactStatus::Optimal) continue;
+    const CostLowerBound lb = cost_lower_bound(f.problem());
+    EXPECT_GE(*r.cost, lb.value - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(ExactSolver, HomogeneousCatalogSupported) {
+  Fixture f = fig1a_fixture(1.0, 10.0);
+  f.catalog = PriceCatalog::homogeneous();
+  const ExactResult r = solve_exact(f.problem());
+  ASSERT_EQ(r.status, ExactStatus::Optimal);
+  EXPECT_DOUBLE_EQ(*r.cost, 7548.0 + 5299.0 + 5999.0);
+  EXPECT_EQ(r.allocation->num_processors(), 1);
+}
+
+TEST(ExactSolver, IncumbentSeedPrunesWithoutChangingResult) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  ExactSolverConfig with_seed;
+  with_seed.incumbent = 8000.0;  // just above the true optimum
+  const ExactResult seeded = solve_exact(f.problem(), with_seed);
+  const ExactResult plain = solve_exact(f.problem());
+  ASSERT_EQ(seeded.status, ExactStatus::Optimal);
+  EXPECT_DOUBLE_EQ(*seeded.cost, *plain.cost);
+  EXPECT_LE(seeded.nodes_visited, plain.nodes_visited);
+}
+
+TEST(ExactSolver, NodeBudgetReportsExhaustion) {
+  const Fixture f = testhelpers::random_fixture(1, 12, 1.6);
+  ExactSolverConfig cfg;
+  cfg.node_budget = 5;
+  const ExactResult r = solve_exact(f.problem(), cfg);
+  EXPECT_EQ(r.status, ExactStatus::BudgetExhausted);
+}
+
+TEST(ExactRouter, FindsRoutingWhereThreeLoopSucceeds) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  Allocation a;
+  PurchasedProcessor p;
+  p.config = f.catalog.most_expensive();
+  p.ops = {0, 1, 2, 3, 4};
+  a.processors.push_back(p);
+  a.op_to_proc = {0, 0, 0, 0, 0};
+  EXPECT_TRUE(route_downloads_exact(f.problem(), a));
+  EXPECT_TRUE(check_allocation(f.problem(), a).ok());
+}
+
+TEST(ExactRouter, SolvesInstanceTheGreedyRouterCannot) {
+  // Type A: rate 10 MB/s, needed by two processors; type B: rate 45 MB/s,
+  // needed by one.  Both types hosted by both servers; cards 50 MB/s each.
+  // The three-loop heuristic balances the two A downloads across the two
+  // servers (headroom rule), leaving 40 MB/s everywhere — too little for B.
+  // The only feasible routing packs both A downloads on one server and B on
+  // the other; the exact backtracking router must find it.
+  ObjectCatalog objects({{0, 20.0, 0.5}, {1, 90.0, 0.5}});  // A=10, B=45
+  TreeBuilder b(objects);
+  const int op0 = b.add_operator(kNoNode);
+  const int op1 = b.add_operator(op0);
+  const int op2 = b.add_operator(op1);
+  b.add_leaf(op0, 1);  // B
+  b.add_leaf(op1, 0);  // A
+  b.add_leaf(op2, 0);  // A
+  Fixture f{b.build(0.5),
+            testhelpers::simple_platform({{0, 1}, {0, 1}}, 2, /*card=*/50.0),
+            PriceCatalog::paper_default(), 1.0};
+  Allocation a;
+  PurchasedProcessor p0, p1, p2;
+  p0.config = p1.config = p2.config = f.catalog.most_expensive();
+  p0.ops = {0};
+  p1.ops = {1};
+  p2.ops = {2};
+  a.processors = {p0, p1, p2};
+  a.op_to_proc = {0, 1, 2};
+
+  // The greedy three-loop fails on this instance ...
+  Allocation greedy = a;
+  EXPECT_FALSE(select_servers_three_loop(f.problem(), greedy).success);
+  // ... while the exact router succeeds and the result validates.
+  ASSERT_TRUE(route_downloads_exact(f.problem(), a));
+  EXPECT_TRUE(check_allocation(f.problem(), a).ok());
+  // Both A downloads ended on the same server.
+  int a_server[2] = {-1, -1};
+  int idx = 0;
+  for (std::size_t u = 1; u <= 2; ++u) {
+    for (const auto& dl : a.processors[u].downloads) {
+      if (dl.object_type == 0) a_server[idx++] = dl.server;
+    }
+  }
+  EXPECT_EQ(a_server[0], a_server[1]);
+}
+
+TEST(ExactSolver, MatchesBruteForceOnTinyHeterogeneousInstances) {
+  // Cross-check the B&B against an independent brute-force enumeration of
+  // partitions for 4-operator trees.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Fixture f = testhelpers::random_fixture(seed, 4, 1.6);
+    const Problem prob = f.problem();
+    const ExactResult r = solve_exact(prob);
+
+    // Brute force: all assignments of 4 ops onto at most 4 proc slots.
+    double best = std::numeric_limits<double>::infinity();
+    const int n = f.tree.num_operators();
+    std::vector<int> assign(static_cast<std::size_t>(n), 0);
+    const int total = static_cast<int>(std::pow(4, n));
+    for (int code = 0; code < total; ++code) {
+      int c = code;
+      int max_pid = 0;
+      for (int i = 0; i < n; ++i) {
+        assign[static_cast<std::size_t>(i)] = c % 4;
+        max_pid = std::max(max_pid, c % 4);
+        c /= 4;
+      }
+      Allocation a;
+      a.op_to_proc.assign(static_cast<std::size_t>(n), 0);
+      a.processors.resize(static_cast<std::size_t>(max_pid) + 1);
+      bool skip = false;
+      for (int i = 0; i < n; ++i) {
+        a.processors[static_cast<std::size_t>(assign[static_cast<std::size_t>(i)])]
+            .ops.push_back(i);
+        a.op_to_proc[static_cast<std::size_t>(i)] =
+            assign[static_cast<std::size_t>(i)];
+      }
+      for (auto& pp : a.processors) {
+        if (pp.ops.empty()) skip = true;  // only dense partitions
+        pp.config = f.catalog.most_expensive();
+      }
+      if (skip) continue;
+      if (!route_downloads_exact(prob, a)) continue;
+      const auto loads = compute_processor_loads(prob, a);
+      double cost = 0;
+      bool ok = true;
+      for (std::size_t u = 0; u < a.processors.size(); ++u) {
+        const auto cfg = f.catalog.cheapest_meeting(loads[u].cpu_demand,
+                                                    loads[u].nic_total());
+        if (!cfg) {
+          ok = false;
+          break;
+        }
+        a.processors[u].config = *cfg;
+        cost += f.catalog.cost(*cfg);
+      }
+      if (!ok || !check_allocation(prob, a).ok()) continue;
+      best = std::min(best, cost);
+    }
+
+    if (r.status == ExactStatus::Optimal) {
+      ASSERT_TRUE(std::isfinite(best)) << "seed " << seed;
+      EXPECT_NEAR(*r.cost, best, 1e-6) << "seed " << seed;
+    } else {
+      EXPECT_TRUE(std::isinf(best)) << "seed " << seed;
+    }
+  }
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,108 @@
+#include "ilp/ilp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_helpers.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::fig1a_fixture;
+
+TEST(IlpModel, HasLpFormatSections) {
+  const Fixture f = fig1a_fixture();
+  const std::string lp = build_ilp_lp_format(f.problem());
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+  // Ends with the LP terminator.
+  EXPECT_NE(lp.rfind("End\n"), std::string::npos);
+}
+
+TEST(IlpModel, StatsAccounting) {
+  const Fixture f = fig1a_fixture();
+  IlpModelStats stats;
+  IlpModelConfig cfg;
+  cfg.num_slots = 3;
+  build_ilp_lp_format(f.problem(), cfg, &stats);
+  const int N = 5, U = 3, C = 25, E = 4, K = 3;
+  // y: U*C; x: N*U; z: E*U*(U-1); need: K*U; d: sum over hosted pairs * U.
+  int d_vars = 0;
+  for (int k = 0; k < K; ++k) {
+    d_vars += static_cast<int>(f.platform.servers_with(k).size()) * U;
+  }
+  const int expected = U * C + N * U + E * U * (U - 1) + K * U + d_vars;
+  EXPECT_EQ(stats.num_variables, expected);
+  EXPECT_EQ(stats.num_binaries, expected);
+  EXPECT_GT(stats.num_constraints, 0);
+}
+
+TEST(IlpModel, DefaultSlotsEqualOperatorCount) {
+  const Fixture f = fig1a_fixture();
+  const std::string lp = build_ilp_lp_format(f.problem());
+  EXPECT_NE(lp.find("slots=5"), std::string::npos);
+  // Variable for the last slot exists, none beyond.
+  EXPECT_NE(lp.find("x_0_4"), std::string::npos);
+  EXPECT_EQ(lp.find("x_0_5"), std::string::npos);
+}
+
+TEST(IlpModel, AssignmentRowPerOperator) {
+  const Fixture f = fig1a_fixture();
+  IlpModelConfig cfg;
+  cfg.num_slots = 2;
+  const std::string lp = build_ilp_lp_format(f.problem(), cfg);
+  // Each operator's assignment row: "x_i_0 + x_i_1 = 1".
+  for (int i = 0; i < 5; ++i) {
+    std::ostringstream row;
+    row << "x_" << i << "_0 + x_" << i << "_1 = 1";
+    EXPECT_NE(lp.find(row.str()), std::string::npos) << row.str();
+  }
+}
+
+TEST(IlpModel, CapacityCoefficientsPresent) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  IlpModelConfig cfg;
+  cfg.num_slots = 2;
+  const std::string lp = build_ilp_lp_format(f.problem(), cfg);
+  // Fastest CPU speed and widest NIC bandwidth appear as y coefficients.
+  EXPECT_NE(lp.find("46880"), std::string::npos);
+  EXPECT_NE(lp.find("2500"), std::string::npos);
+  // Server card capacity (10 GB/s) and link capacities (1 GB/s).
+  EXPECT_NE(lp.find("10000"), std::string::npos);
+  EXPECT_NE(lp.find("<= 1000"), std::string::npos);
+}
+
+TEST(IlpModel, ObjectiveUsesCatalogCosts) {
+  const Fixture f = fig1a_fixture();
+  const std::string lp = build_ilp_lp_format(f.problem());
+  EXPECT_NE(lp.find("7548 y_"), std::string::npos);
+  EXPECT_NE(lp.find("18846 y_"), std::string::npos);
+}
+
+TEST(IlpModel, GrowsQuadraticallyInSlots) {
+  const Fixture f = fig1a_fixture();
+  IlpModelStats s2, s4;
+  IlpModelConfig cfg;
+  cfg.num_slots = 2;
+  build_ilp_lp_format(f.problem(), cfg, &s2);
+  cfg.num_slots = 4;
+  build_ilp_lp_format(f.problem(), cfg, &s4);
+  EXPECT_GT(s4.num_variables, s2.num_variables);
+  EXPECT_GT(s4.num_constraints, s2.num_constraints);
+  // z variables grow ~U^2: 4 edges * 4*3 vs 4 edges * 2*1.
+  EXPECT_GE(s4.num_variables - s2.num_variables, 4 * (12 - 2));
+}
+
+TEST(IlpModel, CommentHeaderDocumentsInstance) {
+  const Fixture f = fig1a_fixture();
+  const std::string lp = build_ilp_lp_format(f.problem());
+  EXPECT_NE(lp.find("\\ CINSP operator-placement ILP"), std::string::npos);
+  EXPECT_NE(lp.find("operators=5"), std::string::npos);
+  EXPECT_NE(lp.find("rho=1"), std::string::npos);
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,170 @@
+// Property suite over random paper-style instances: every heuristic's
+// successful output must satisfy a battery of invariants, cross-checked by
+// three independent implementations (constraint checker, flow analyzer,
+// event simulator).
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+#include "core/constraints.hpp"
+#include "ilp/bounds.hpp"
+#include "ilp/exact_solver.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/flow_analyzer.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+
+struct PropertyCase {
+  std::uint64_t seed;
+  int n_ops;
+  double alpha;
+  MegaBytes size_lo, size_hi;
+};
+
+class PipelineProperty
+    : public testing::TestWithParam<std::tuple<PropertyCase, HeuristicKind>> {
+};
+
+TEST_P(PipelineProperty, SuccessfulAllocationsSatisfyAllInvariants) {
+  const auto [pc, kind] = GetParam();
+  const Fixture f =
+      testhelpers::random_fixture(pc.seed, pc.n_ops, pc.alpha, pc.size_lo,
+                                  pc.size_hi);
+  const Problem prob = f.problem();
+  Rng rng(pc.seed * 31 + 7);
+  const AllocationOutcome out = allocate(prob, kind, rng);
+  if (!out.success) {
+    // Failure must carry a reason; nothing else to check.
+    EXPECT_FALSE(out.failure_reason.empty());
+    return;
+  }
+
+  // (1) The checker (independent recomputation) accepts the plan.
+  const CheckReport report = check_allocation(prob, out.allocation);
+  EXPECT_TRUE(report.ok()) << heuristic_name(kind) << "\n" << report.summary();
+
+  // (2) Cost accounting is consistent and bounded below.
+  EXPECT_DOUBLE_EQ(out.cost, out.allocation.total_cost(f.catalog));
+  EXPECT_LE(out.cost, out.cost_before_downgrade + 1e-9);
+  EXPECT_GE(out.cost + 1e-9, cost_lower_bound(prob).value);
+
+  // (3) Structure: every operator exactly once, processors non-empty.
+  std::vector<int> seen(static_cast<std::size_t>(f.tree.num_operators()), 0);
+  for (const auto& p : out.allocation.processors) {
+    EXPECT_FALSE(p.ops.empty());
+    for (int op : p.ops) ++seen[static_cast<std::size_t>(op)];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+
+  // (4) The fluid analysis certifies the target throughput.
+  const FlowAnalysis flow = analyze_flow(prob, out.allocation);
+  EXPECT_TRUE(flow.downloads_feasible);
+  EXPECT_GE(flow.max_throughput, prob.rho - 1e-6);
+
+  // (5) The event simulator sustains the target.
+  const EventSimResult sim = simulate_allocation(prob, out.allocation);
+  EXPECT_TRUE(sim.sustained)
+      << heuristic_name(kind) << " achieved " << sim.achieved_throughput;
+}
+
+std::vector<PropertyCase> property_cases() {
+  return {
+      {1, 10, 0.9, 5.0, 30.0},    {2, 25, 0.9, 5.0, 30.0},
+      {3, 40, 1.3, 5.0, 30.0},    {4, 60, 1.5, 5.0, 30.0},
+      {5, 60, 1.7, 5.0, 30.0},    {6, 15, 0.9, 450.0, 530.0},
+      {7, 30, 0.9, 450.0, 530.0}, {8, 80, 1.1, 5.0, 30.0},
+  };
+}
+
+std::string property_case_name(
+    const testing::TestParamInfo<std::tuple<PropertyCase, HeuristicKind>>&
+        info) {
+  std::string name = heuristic_name(std::get<1>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return "seed" + std::to_string(std::get<0>(info.param).seed) + "_" + name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, PipelineProperty,
+    testing::Combine(testing::ValuesIn(property_cases()),
+                     testing::ValuesIn(all_heuristics())),
+    property_case_name);
+
+TEST(PipelineDeterminism, IdenticalAcrossRepeatedRuns) {
+  const Fixture f = testhelpers::random_fixture(99, 35, 1.2);
+  for (HeuristicKind k : all_heuristics()) {
+    Rng r1(7), r2(7);
+    const AllocationOutcome a = allocate(f.problem(), k, r1);
+    const AllocationOutcome b = allocate(f.problem(), k, r2);
+    ASSERT_EQ(a.success, b.success);
+    if (a.success) {
+      EXPECT_EQ(a.allocation.op_to_proc, b.allocation.op_to_proc);
+      EXPECT_DOUBLE_EQ(a.cost, b.cost);
+      // Downloads identical too.
+      for (std::size_t u = 0; u < a.allocation.processors.size(); ++u) {
+        EXPECT_EQ(a.allocation.processors[u].downloads,
+                  b.allocation.processors[u].downloads);
+      }
+    }
+  }
+}
+
+TEST(PipelineRho, OptimalCostMonotoneInTarget) {
+  // The feasible set shrinks as rho grows, so the *optimal* cost is
+  // monotone non-decreasing (heuristics need not be — they may land in
+  // different local structures).
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Fixture f = testhelpers::random_fixture(seed, 7, 1.5);
+    const ExactResult at1 = solve_exact(f.problem());
+    f.rho = 2.0;
+    const ExactResult at2 = solve_exact(f.problem());
+    if (at1.status != ExactStatus::Optimal) continue;
+    if (at2.status == ExactStatus::Optimal) {
+      EXPECT_GE(*at2.cost + 1e-9, *at1.cost) << "seed " << seed;
+    }
+    // Infeasible at the higher target is also consistent with monotonicity.
+  }
+}
+
+TEST(PipelineLeftDeep, HandlesChainTopologies) {
+  Rng gen(3);
+  TreeGenConfig cfg;
+  cfg.num_operators = 20;
+  cfg.alpha = 1.0;
+  OperatorTree tree = generate_left_deep_tree(gen, cfg);
+  ServerDistConfig dist;
+  Platform platform = make_paper_platform(gen, dist);
+  Fixture f{std::move(tree), std::move(platform),
+            PriceCatalog::paper_default(), 1.0};
+  for (HeuristicKind k : all_heuristics()) {
+    Rng rng(11);
+    const AllocationOutcome out = allocate(f.problem(), k, rng);
+    ASSERT_TRUE(out.success) << heuristic_name(k) << ": "
+                             << out.failure_reason;
+    EXPECT_TRUE(check_allocation(f.problem(), out.allocation).ok());
+  }
+}
+
+TEST(PipelineSingleOp, DegenerateTreeWorks) {
+  ObjectCatalog objects({{0, 10.0, 0.5}});
+  TreeBuilder b(objects);
+  const int op = b.add_operator(kNoNode);
+  b.add_leaf(op, 0);
+  Fixture f{b.build(1.0), testhelpers::simple_platform({{0}}, 1),
+            PriceCatalog::paper_default(), 1.0};
+  for (HeuristicKind k : all_heuristics()) {
+    Rng rng(1);
+    const AllocationOutcome out = allocate(f.problem(), k, rng);
+    ASSERT_TRUE(out.success) << heuristic_name(k);
+    EXPECT_EQ(out.num_processors, 1);
+    EXPECT_DOUBLE_EQ(out.cost, 7548.0);
+  }
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,94 @@
+// Regression pins: exact end-to-end outputs for fixed seeds.  The
+// (seed, config) -> instance mapping and every heuristic are fully
+// deterministic, so these values must never drift silently — any
+// intentional behavior change has to update them consciously.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bench_support/experiment.hpp"
+
+namespace insp {
+namespace {
+
+InstanceConfig pinned_cfg(int n, double alpha) {
+  InstanceConfig cfg;
+  cfg.tree.num_operators = n;
+  cfg.tree.alpha = alpha;
+  cfg.tree.num_object_types = 15;
+  cfg.tree.object_size_lo = 5.0;
+  cfg.tree.object_size_hi = 30.0;
+  cfg.tree.download_freq = 0.5;
+  cfg.servers.num_servers = 6;
+  return cfg;
+}
+
+struct Pin {
+  HeuristicKind heuristic;
+  double cost;
+  int processors;
+};
+
+TEST(RegressionPins, InstanceShapeSeed424242) {
+  const Instance inst = make_instance(424242, pinned_cfg(40, 1.3));
+  EXPECT_EQ(inst.tree().num_operators(), 40);
+  EXPECT_EQ(inst.tree().num_leaves(), 20);
+  const auto& root = inst.tree().op(inst.tree().root());
+  EXPECT_NEAR(root.output_mb, 378.3585396806, 1e-6);
+  EXPECT_NEAR(root.work, 2245.3011705123, 1e-6);
+}
+
+TEST(RegressionPins, AllHeuristicsSeed424242) {
+  const Instance inst = make_instance(424242, pinned_cfg(40, 1.3));
+  const Problem prob = inst.problem();
+
+  // Pinned outcomes (cost, processor count) for rng seed 7.
+  const std::map<HeuristicKind, Pin> pins = {
+      {HeuristicKind::Random, {HeuristicKind::Random, 192245.0, 25}},
+      {HeuristicKind::CompGreedy, {HeuristicKind::CompGreedy, 9098.0, 1}},
+      {HeuristicKind::CommGreedy, {HeuristicKind::CommGreedy, 17444.0, 2}},
+      {HeuristicKind::SubtreeBottomUp,
+       {HeuristicKind::SubtreeBottomUp, 9098.0, 1}},
+      {HeuristicKind::ObjectGrouping,
+       {HeuristicKind::ObjectGrouping, 33737.0, 4}},
+      {HeuristicKind::ObjectAvailability,
+       {HeuristicKind::ObjectAvailability, 73080.0, 9}},
+  };
+
+  for (HeuristicKind k : all_heuristics()) {
+    Rng rng(7);
+    const AllocationOutcome out = allocate(prob, k, rng);
+    ASSERT_TRUE(out.success) << heuristic_name(k) << ": "
+                             << out.failure_reason;
+    const auto it = pins.find(k);
+    ASSERT_NE(it, pins.end());
+    EXPECT_NEAR(out.cost, it->second.cost, 0.5)
+        << heuristic_name(k) << " cost drifted (got " << out.cost << ")";
+    EXPECT_EQ(out.num_processors, it->second.processors)
+        << heuristic_name(k) << " processor count drifted";
+  }
+}
+
+TEST(RegressionPins, HighAlphaSeed99InstanceIsInfeasible) {
+  // seed 99 at (N=60, alpha=1.7) draws a tree whose root operator exceeds
+  // every CPU: pinned as a failure (the paper's feasibility cliff).
+  const Instance inst = make_instance(99, pinned_cfg(60, 1.7));
+  Rng rng(3);
+  const AllocationOutcome out =
+      allocate(inst.problem(), HeuristicKind::CompGreedy, rng);
+  ASSERT_FALSE(out.success);
+  EXPECT_NE(out.failure_reason.find("placement"), std::string::npos);
+}
+
+TEST(RegressionPins, HighAlphaSeed100Feasible) {
+  const Instance inst = make_instance(100, pinned_cfg(60, 1.7));
+  Rng rng(3);
+  const AllocationOutcome out =
+      allocate(inst.problem(), HeuristicKind::CompGreedy, rng);
+  ASSERT_TRUE(out.success) << out.failure_reason;
+  EXPECT_NEAR(out.cost, 67636.0, 0.5) << "got " << out.cost;
+  EXPECT_EQ(out.num_processors, 4);
+}
+
+} // namespace
+} // namespace insp

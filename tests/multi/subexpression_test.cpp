@@ -1,0 +1,150 @@
+#include "multi/subexpression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::fig1a_tree;
+
+/// op = JOIN(o_a, o_b) with an optional extra level.
+OperatorTree leaf_pair_tree(const ObjectCatalog& objects, int a, int b) {
+  TreeBuilder builder(objects);
+  const int root = builder.add_operator(kNoNode);
+  builder.add_leaf(root, a);
+  builder.add_leaf(root, b);
+  return builder.build(1.0);
+}
+
+ObjectCatalog small_catalog() {
+  return ObjectCatalog({{0, 10.0, 0.5}, {1, 20.0, 0.5}, {2, 30.0, 0.5}});
+}
+
+TEST(Subexpression, IdenticalApplicationsShareEverything) {
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  const auto shared = find_common_subexpressions(apps);
+  // The maximal shared expression is the whole tree (nested duplicates are
+  // suppressed by the maximality rule).
+  ASSERT_FALSE(shared.empty());
+  EXPECT_EQ(shared.front().num_operators, 5);
+  EXPECT_EQ(shared.front().occurrences.size(), 2u);
+  MegaOps full_work = 0.0;
+  for (const auto& n : apps[0].tree.operators()) full_work += n.work;
+  EXPECT_DOUBLE_EQ(shared.front().work, full_work);
+  EXPECT_DOUBLE_EQ(shared.front().work_saved(), full_work);
+}
+
+TEST(Subexpression, DisjointApplicationsShareNothing) {
+  const ObjectCatalog objects = small_catalog();
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({leaf_pair_tree(objects, 0, 1), 1.0});
+  apps.push_back({leaf_pair_tree(objects, 1, 2), 1.0});
+  EXPECT_TRUE(find_common_subexpressions(apps).empty());
+}
+
+TEST(Subexpression, CommutativityChildOrderIgnored) {
+  const ObjectCatalog objects = small_catalog();
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({leaf_pair_tree(objects, 0, 1), 1.0});
+  apps.push_back({leaf_pair_tree(objects, 1, 0), 1.0});  // swapped leaves
+  const auto shared = find_common_subexpressions(apps);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared.front().occurrences.size(), 2u);
+}
+
+TEST(Subexpression, WithinApplicationDuplicatesFound) {
+  // One application containing the same sub-join twice.
+  const ObjectCatalog objects = small_catalog();
+  TreeBuilder b(objects);
+  const int root = b.add_operator(kNoNode);
+  const int l = b.add_operator(root);
+  const int r = b.add_operator(root);
+  b.add_leaf(l, 0);
+  b.add_leaf(l, 1);
+  b.add_leaf(r, 0);
+  b.add_leaf(r, 1);
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({b.build(1.0), 1.0});
+  const auto shared = find_common_subexpressions(apps);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared.front().occurrences.size(), 2u);
+  EXPECT_EQ(shared.front().occurrences[0].app, 0);
+  EXPECT_EQ(shared.front().occurrences[1].app, 0);
+}
+
+TEST(Subexpression, NestedDuplicatesSuppressed) {
+  // Both apps contain JOIN(JOIN(o0,o1), o2): only the outer join reported.
+  const ObjectCatalog objects = small_catalog();
+  auto build = [&] {
+    TreeBuilder b(objects);
+    const int root = b.add_operator(kNoNode);
+    const int inner = b.add_operator(root);
+    b.add_leaf(inner, 0);
+    b.add_leaf(inner, 1);
+    b.add_leaf(root, 2);
+    return b.build(1.0);
+  };
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({build(), 1.0});
+  apps.push_back({build(), 1.0});
+  const auto shared = find_common_subexpressions(apps);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared.front().num_operators, 2);
+}
+
+TEST(Subexpression, DownloadRateDeduplicatesTypes) {
+  const ObjectCatalog objects = small_catalog();
+  TreeBuilder b(objects);
+  const int root = b.add_operator(kNoNode);
+  b.add_leaf(root, 0);
+  b.add_leaf(root, 0);  // same type twice
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({b.build(1.0), 1.0});
+  TreeBuilder b2(objects);
+  const int root2 = b2.add_operator(kNoNode);
+  b2.add_leaf(root2, 0);
+  b2.add_leaf(root2, 0);
+  apps.push_back({b2.build(1.0), 1.0});
+  const auto shared = find_common_subexpressions(apps);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_DOUBLE_EQ(shared.front().download_rate, 5.0);  // one 10MB @ 0.5Hz
+}
+
+TEST(Subexpression, SavingsEstimateScalesWithOccurrences) {
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  const PriceCatalog catalog = PriceCatalog::paper_default();
+  const SharingSavings s = estimate_sharing_savings(apps, catalog);
+  MegaOps full_work = 0.0;
+  for (const auto& n : apps[0].tree.operators()) full_work += n.work;
+  EXPECT_DOUBLE_EQ(s.work_saved, 2.0 * full_work);
+  EXPECT_GT(s.download_saved, 0.0);
+  EXPECT_GT(s.cost_bound, 0.0);
+  // Re-pricing at the best Mops/$ rate: bounded by cost of the saved work
+  // on the most cost-effective CPU.
+  EXPECT_LT(s.cost_bound, 2.0 * full_work);  // ratio >> 1 Mops/$
+}
+
+TEST(Subexpression, SortedByWorkSavedDescending) {
+  const ObjectCatalog objects = small_catalog();
+  // App pair sharing a big subtree; another pair sharing a small one.
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  apps.push_back({leaf_pair_tree(objects, 0, 1), 1.0});
+  apps.push_back({leaf_pair_tree(objects, 0, 1), 1.0});
+  const auto shared = find_common_subexpressions(apps);
+  ASSERT_GE(shared.size(), 2u);
+  for (std::size_t i = 1; i < shared.size(); ++i) {
+    EXPECT_GE(shared[i - 1].work_saved(), shared[i].work_saved());
+  }
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,113 @@
+#include "net/bandwidth_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace insp {
+namespace {
+
+TEST(CardLedger, AddRemoveTracksUsage) {
+  CardLedger cards({100.0, 200.0});
+  EXPECT_DOUBLE_EQ(cards.used(0), 0.0);
+  cards.add(0, 30.0);
+  cards.add(0, 20.0);
+  EXPECT_DOUBLE_EQ(cards.used(0), 50.0);
+  EXPECT_DOUBLE_EQ(cards.headroom(0), 50.0);
+  cards.remove(0, 30.0);
+  EXPECT_DOUBLE_EQ(cards.used(0), 20.0);
+  EXPECT_DOUBLE_EQ(cards.used(1), 0.0);
+}
+
+TEST(CardLedger, CanAddRespectsCapacity) {
+  CardLedger cards({100.0});
+  EXPECT_TRUE(cards.can_add(0, 100.0));
+  cards.add(0, 60.0);
+  EXPECT_TRUE(cards.can_add(0, 40.0));
+  EXPECT_FALSE(cards.can_add(0, 41.0));
+}
+
+TEST(CardLedger, EpsilonToleranceAtBoundary) {
+  CardLedger cards({1.0});
+  cards.add(0, 0.3);
+  cards.add(0, 0.3);
+  cards.add(0, 0.3);
+  // 0.9 + 0.1 may exceed 1.0 by floating error; must still fit.
+  EXPECT_TRUE(cards.can_add(0, 0.1));
+}
+
+TEST(CardLedger, SetCapacityKeepsUsage) {
+  CardLedger cards({100.0});
+  cards.add(0, 40.0);
+  cards.set_capacity(0, 50.0);
+  EXPECT_DOUBLE_EQ(cards.capacity(0), 50.0);
+  EXPECT_DOUBLE_EQ(cards.used(0), 40.0);
+  EXPECT_FALSE(cards.can_add(0, 20.0));
+}
+
+TEST(CardLedger, RemoveToZeroCancelsDrift) {
+  CardLedger cards({10.0});
+  cards.add(0, 0.1);
+  cards.add(0, 0.2);
+  cards.remove(0, 0.2);
+  cards.remove(0, 0.1);
+  EXPECT_DOUBLE_EQ(cards.used(0), 0.0);
+}
+
+TEST(LinkLedger, SymmetricKeys) {
+  LinkLedger links(100.0);
+  links.add(3, 7, 25.0);
+  EXPECT_DOUBLE_EQ(links.used(7, 3), 25.0);
+  EXPECT_DOUBLE_EQ(links.used(3, 7), 25.0);
+  links.remove(7, 3, 25.0);
+  EXPECT_DOUBLE_EQ(links.used(3, 7), 0.0);
+  EXPECT_EQ(links.active_links(), 0u);
+}
+
+TEST(LinkLedger, IndependentPairs) {
+  LinkLedger links(100.0);
+  links.add(0, 1, 10.0);
+  links.add(0, 2, 20.0);
+  links.add(1, 2, 30.0);
+  EXPECT_DOUBLE_EQ(links.used(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(links.used(0, 2), 20.0);
+  EXPECT_DOUBLE_EQ(links.used(1, 2), 30.0);
+  EXPECT_EQ(links.active_links(), 3u);
+}
+
+TEST(LinkLedger, CanAddAndHeadroom) {
+  LinkLedger links(50.0);
+  links.add(0, 1, 30.0);
+  EXPECT_TRUE(links.can_add(0, 1, 20.0));
+  EXPECT_FALSE(links.can_add(0, 1, 21.0));
+  EXPECT_DOUBLE_EQ(links.headroom(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(links.headroom(5, 6), 50.0);  // untouched pair
+}
+
+TEST(LinkLedger, AllWithinDetectsOverload) {
+  LinkLedger links(50.0);
+  links.add(0, 1, 30.0);
+  EXPECT_TRUE(links.all_within());
+  links.add(0, 1, 30.0);
+  EXPECT_FALSE(links.all_within());
+}
+
+TEST(LinkLedger, EntriesExposesActiveLinks) {
+  LinkLedger links(100.0);
+  links.add(2, 1, 5.0);
+  const auto& entries = links.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.begin()->first, (std::pair<int, int>{1, 2}));
+  EXPECT_DOUBLE_EQ(entries.begin()->second, 5.0);
+}
+
+TEST(LinkLedger, ZeroedEntriesErased) {
+  LinkLedger links(100.0);
+  links.add(0, 1, 5.0);
+  links.add(0, 1, 7.0);
+  links.remove(0, 1, 5.0);
+  EXPECT_EQ(links.active_links(), 1u);
+  links.remove(0, 1, 7.0);
+  EXPECT_EQ(links.active_links(), 0u);
+}
+
+} // namespace
+} // namespace insp

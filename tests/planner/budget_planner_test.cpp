@@ -1,0 +1,91 @@
+#include "planner/budget_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/constraints.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::fig1a_fixture;
+
+TEST(BudgetPlanner, InfeasibleWhenBudgetBelowOneProcessor) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  BudgetPlanConfig cfg;
+  cfg.budget = 5000.0;  // below the cheapest processor ($7,548)
+  Rng rng(1);
+  const BudgetPlanResult r = plan_for_budget(f.problem(), cfg, rng);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(BudgetPlanner, SingleCheapProcessorBudget) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  BudgetPlanConfig cfg;
+  cfg.budget = 7548.0;
+  cfg.heuristic = HeuristicKind::CompGreedy;
+  Rng rng(1);
+  const BudgetPlanResult r = plan_for_budget(f.problem(), cfg, rng);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.outcome.cost, 7548.0 + 1e-9);
+  // fig1a on one 11.72 GHz processor: rho* ~ 11720 / 250 ~ 46.9 results/s,
+  // but the NIC caps it earlier; either way the planner should find a
+  // double-digit rate.
+  EXPECT_GT(r.planned_rho, 5.0);
+  EXPECT_GE(r.sustainable_rho, r.planned_rho - 1e-6);
+}
+
+TEST(BudgetPlanner, MoreBudgetNeverLowersThroughput) {
+  const Fixture f = testhelpers::random_fixture(3, 20, 1.2);
+  double last_rho = 0.0;
+  for (Dollars budget : {8000.0, 20000.0, 60000.0, 200000.0}) {
+    BudgetPlanConfig cfg;
+    cfg.budget = budget;
+    cfg.heuristic = HeuristicKind::SubtreeBottomUp;
+    Rng rng(5);
+    const BudgetPlanResult r = plan_for_budget(f.problem(), cfg, rng);
+    if (!r.feasible) continue;
+    EXPECT_GE(r.planned_rho + 1e-9, last_rho) << "budget " << budget;
+    last_rho = r.planned_rho;
+  }
+  EXPECT_GT(last_rho, 0.0);
+}
+
+TEST(BudgetPlanner, ChosenPlanIsValidAtPlannedRho) {
+  const Fixture f = testhelpers::random_fixture(8, 25, 1.1);
+  BudgetPlanConfig cfg;
+  cfg.budget = 40000.0;
+  Rng rng(2);
+  const BudgetPlanResult r = plan_for_budget(f.problem(), cfg, rng);
+  if (!r.feasible) GTEST_SKIP() << "instance needs more than the budget";
+  Problem at_plan = f.problem();
+  at_plan.rho = r.planned_rho;
+  EXPECT_TRUE(check_allocation(at_plan, r.outcome.allocation).ok());
+  EXPECT_LE(r.outcome.cost, cfg.budget + 1e-9);
+}
+
+TEST(BudgetPlanner, RespectsRhoCap) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  BudgetPlanConfig cfg;
+  cfg.budget = 1e9;  // unlimited money
+  cfg.rho_max = 2.0;
+  Rng rng(1);
+  const BudgetPlanResult r = plan_for_budget(f.problem(), cfg, rng);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.planned_rho, 2.0 + 1e-9);
+  EXPECT_NEAR(r.planned_rho, 2.0, 1e-6);
+}
+
+TEST(BudgetPlanner, SustainableAtLeastPlanned) {
+  const Fixture f = testhelpers::random_fixture(4, 15, 1.3);
+  BudgetPlanConfig cfg;
+  cfg.budget = 30000.0;
+  Rng rng(9);
+  const BudgetPlanResult r = plan_for_budget(f.problem(), cfg, rng);
+  if (!r.feasible) GTEST_SKIP();
+  EXPECT_GE(r.sustainable_rho, r.planned_rho - 1e-6);
+}
+
+} // namespace
+} // namespace insp

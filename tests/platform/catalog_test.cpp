@@ -1,0 +1,117 @@
+#include "platform/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace insp {
+namespace {
+
+TEST(Catalog, PaperDefaultShape) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  EXPECT_EQ(cat.cpus().size(), 5u);
+  EXPECT_EQ(cat.nics().size(), 5u);
+  EXPECT_EQ(cat.num_configs(), 25);
+  EXPECT_DOUBLE_EQ(cat.base_price(), 7548.0);
+  EXPECT_FALSE(cat.is_homogeneous());
+}
+
+TEST(Catalog, UnitsConversion) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  // 11.72 GHz -> 11720 Mops/s; 46.88 GHz max.
+  EXPECT_DOUBLE_EQ(cat.cpus().front().speed, 11720.0);
+  EXPECT_DOUBLE_EQ(cat.max_speed(), 46880.0);
+  // 1 Gbps -> 125 MB/s; 20 Gbps -> 2500 MB/s.
+  EXPECT_DOUBLE_EQ(cat.nics().front().bandwidth, 125.0);
+  EXPECT_DOUBLE_EQ(cat.max_bandwidth(), 2500.0);
+}
+
+TEST(Catalog, CheapestAndMostExpensive) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  EXPECT_DOUBLE_EQ(cat.cost(cat.cheapest()), 7548.0);
+  // Most expensive: base + 5299 (46.88 GHz) + 5999 (20 Gbps).
+  EXPECT_DOUBLE_EQ(cat.cost(cat.most_expensive()), 7548.0 + 5299.0 + 5999.0);
+  EXPECT_DOUBLE_EQ(cat.speed(cat.most_expensive()), 46880.0);
+  EXPECT_DOUBLE_EQ(cat.bandwidth(cat.most_expensive()), 2500.0);
+}
+
+TEST(Catalog, CostComposition) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  // 25.60 GHz (idx 2, +2399) with 4 Gbps (idx 2, +1197).
+  const ProcessorConfig cfg{2, 2};
+  EXPECT_DOUBLE_EQ(cat.cost(cfg), 7548.0 + 2399.0 + 1197.0);
+}
+
+TEST(Catalog, ByCostIsSortedAndComplete) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  const auto& order = cat.by_cost();
+  ASSERT_EQ(order.size(), 25u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(cat.cost(order[i - 1]), cat.cost(order[i]));
+  }
+  EXPECT_DOUBLE_EQ(cat.cost(order.front()), 7548.0);
+}
+
+TEST(Catalog, CheapestMeetingPicksMinimalUpgrade) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  // Needs more than 11.72 GHz but within 19.20; NIC fits the 1 Gbps card.
+  const auto cfg = cat.cheapest_meeting(15000.0, 100.0);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_DOUBLE_EQ(cat.speed(*cfg), 19200.0);
+  EXPECT_DOUBLE_EQ(cat.bandwidth(*cfg), 125.0);
+  EXPECT_DOUBLE_EQ(cat.cost(*cfg), 7548.0 + 1550.0);
+}
+
+TEST(Catalog, CheapestMeetingZeroLoadIsCheapest) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  const auto cfg = cat.cheapest_meeting(0.0, 0.0);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_DOUBLE_EQ(cat.cost(*cfg), 7548.0);
+}
+
+TEST(Catalog, CheapestMeetingImpossibleReturnsNullopt) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  EXPECT_FALSE(cat.cheapest_meeting(50000.0, 0.0).has_value());
+  EXPECT_FALSE(cat.cheapest_meeting(0.0, 3000.0).has_value());
+}
+
+TEST(Catalog, CheapestMeetingBoundaryWithEpsilon) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  // Exactly the max: must still fit (epsilon tolerance).
+  const auto cfg = cat.cheapest_meeting(46880.0, 2500.0);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_DOUBLE_EQ(cat.cost(*cfg), cat.cost(cat.most_expensive()));
+}
+
+TEST(Catalog, HomogeneousSingleConfig) {
+  const PriceCatalog cat = PriceCatalog::homogeneous();
+  EXPECT_TRUE(cat.is_homogeneous());
+  EXPECT_EQ(cat.num_configs(), 1);
+  EXPECT_DOUBLE_EQ(cat.cost(cat.cheapest()), cat.cost(cat.most_expensive()));
+  EXPECT_DOUBLE_EQ(cat.max_speed(), 46880.0);
+}
+
+TEST(Catalog, RejectsEmptyLists) {
+  EXPECT_THROW(PriceCatalog(100.0, {}, {{125.0, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PriceCatalog(100.0, {{1000.0, 0.0}}, {}),
+               std::invalid_argument);
+}
+
+TEST(Catalog, UnsortedInputsAreSorted) {
+  PriceCatalog cat(10.0,
+                   {{3000.0, 30.0}, {1000.0, 0.0}, {2000.0, 20.0}},
+                   {{250.0, 5.0}, {125.0, 0.0}});
+  EXPECT_DOUBLE_EQ(cat.cpus().front().speed, 1000.0);
+  EXPECT_DOUBLE_EQ(cat.cpus().back().speed, 3000.0);
+  EXPECT_DOUBLE_EQ(cat.nics().front().bandwidth, 125.0);
+}
+
+TEST(Catalog, DescribeMentionsSpeedBandwidthCost) {
+  const PriceCatalog cat = PriceCatalog::paper_default();
+  const std::string d = cat.describe(cat.most_expensive());
+  EXPECT_NE(d.find("46.88"), std::string::npos);
+  EXPECT_NE(d.find("20"), std::string::npos);
+  EXPECT_NE(d.find("18846"), std::string::npos);
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,65 @@
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::simple_platform;
+
+TEST(Platform, PaperDefaultCapacities) {
+  const Platform p = Platform::paper_default({{0, 1}, {1, 2}, {2}}, 3);
+  EXPECT_EQ(p.num_servers(), 3);
+  EXPECT_DOUBLE_EQ(p.server(0).card_bandwidth, 10000.0);  // 10 GB/s
+  EXPECT_DOUBLE_EQ(p.link_server_proc(), 1000.0);         // 1 GB/s
+  EXPECT_DOUBLE_EQ(p.link_proc_proc(), 1000.0);
+}
+
+TEST(Platform, ServersWithTypeIndex) {
+  const Platform p = simple_platform({{0, 1}, {1, 2}, {2}}, 3);
+  EXPECT_EQ(p.servers_with(0), std::vector<int>{0});
+  EXPECT_EQ(p.servers_with(1), (std::vector<int>{0, 1}));
+  EXPECT_EQ(p.servers_with(2), (std::vector<int>{1, 2}));
+  EXPECT_EQ(p.availability(1), 2);
+  EXPECT_TRUE(p.all_types_hosted());
+}
+
+TEST(Platform, UnhostedTypeDetected) {
+  const Platform p = simple_platform({{0}, {0}}, 2);
+  EXPECT_EQ(p.availability(1), 0);
+  EXPECT_FALSE(p.all_types_hosted());
+}
+
+TEST(Platform, HostsUsesSortedSearch) {
+  const Platform p = simple_platform({{2, 0, 1}}, 3);
+  EXPECT_TRUE(p.server(0).hosts(0));
+  EXPECT_TRUE(p.server(0).hosts(1));
+  EXPECT_TRUE(p.server(0).hosts(2));
+}
+
+TEST(Platform, DuplicateHostedTypesDeduplicated) {
+  const Platform p = simple_platform({{1, 1, 0}}, 2);
+  EXPECT_EQ(p.server(0).object_types, (std::vector<int>{0, 1}));
+  EXPECT_EQ(p.availability(1), 1);
+}
+
+TEST(Platform, RejectsNoServers) {
+  EXPECT_THROW(Platform({}, 1000.0, 1000.0, 3), std::invalid_argument);
+}
+
+TEST(Platform, RejectsUnknownHostedType) {
+  std::vector<DataServer> servers = {{0, 1000.0, {5}}};
+  EXPECT_THROW(Platform(std::move(servers), 1000.0, 1000.0, 3),
+               std::invalid_argument);
+}
+
+TEST(Platform, RejectsNonPositiveTypeCount) {
+  std::vector<DataServer> servers = {{0, 1000.0, {}}};
+  EXPECT_THROW(Platform(std::move(servers), 1000.0, 1000.0, 0),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,87 @@
+#include "platform/server_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace insp {
+namespace {
+
+TEST(ServerDistribution, EveryTypeHostedAtLeastOnce) {
+  Rng rng(1);
+  ServerDistConfig cfg;  // 6 servers, 15 types
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto hosted = distribute_objects(rng, cfg);
+    ASSERT_EQ(hosted.size(), 6u);
+    std::vector<int> count(15, 0);
+    for (const auto& server : hosted) {
+      for (int t : server) ++count[static_cast<std::size_t>(t)];
+    }
+    for (int t = 0; t < 15; ++t) {
+      EXPECT_GE(count[static_cast<std::size_t>(t)], 1) << "type " << t;
+    }
+  }
+}
+
+TEST(ServerDistribution, NoReplicationGivesExactlyOneHost) {
+  Rng rng(2);
+  ServerDistConfig cfg;
+  cfg.replication_prob = 0.0;
+  const auto hosted = distribute_objects(rng, cfg);
+  std::vector<int> count(15, 0);
+  for (const auto& server : hosted) {
+    for (int t : server) ++count[static_cast<std::size_t>(t)];
+  }
+  for (int t = 0; t < 15; ++t) {
+    EXPECT_EQ(count[static_cast<std::size_t>(t)], 1);
+  }
+}
+
+TEST(ServerDistribution, FullReplicationEverywhere) {
+  Rng rng(3);
+  ServerDistConfig cfg;
+  cfg.replication_prob = 1.0;
+  const auto hosted = distribute_objects(rng, cfg);
+  for (const auto& server : hosted) {
+    EXPECT_EQ(server.size(), 15u);
+  }
+}
+
+TEST(ServerDistribution, ReplicationLevelMatchesProbability) {
+  Rng rng(4);
+  ServerDistConfig cfg;
+  cfg.replication_prob = 0.25;
+  double total_copies = 0;
+  const int reps = 50;
+  for (int i = 0; i < reps; ++i) {
+    for (const auto& server : distribute_objects(rng, cfg)) {
+      total_copies += static_cast<double>(server.size());
+    }
+  }
+  // E[copies per type] = 1 + 5 * 0.25 = 2.25 over 15 types.
+  EXPECT_NEAR(total_copies / (reps * 15.0), 2.25, 0.15);
+}
+
+TEST(ServerDistribution, DeterministicGivenSeed) {
+  Rng a(9), b(9);
+  ServerDistConfig cfg;
+  EXPECT_EQ(distribute_objects(a, cfg), distribute_objects(b, cfg));
+}
+
+TEST(ServerDistribution, MakePaperPlatformWiring) {
+  Rng rng(5);
+  ServerDistConfig cfg;
+  const Platform p = make_paper_platform(rng, cfg);
+  EXPECT_EQ(p.num_servers(), 6);
+  EXPECT_EQ(p.num_object_types(), 15);
+  EXPECT_TRUE(p.all_types_hosted());
+  EXPECT_DOUBLE_EQ(p.server(0).card_bandwidth, 10000.0);
+}
+
+TEST(ServerDistribution, RejectsBadCounts) {
+  Rng rng(6);
+  ServerDistConfig cfg;
+  cfg.num_servers = 0;
+  EXPECT_THROW(distribute_objects(rng, cfg), std::invalid_argument);
+}
+
+} // namespace
+} // namespace insp

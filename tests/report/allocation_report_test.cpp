@@ -1,0 +1,105 @@
+#include "report/allocation_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::fig1a_fixture;
+
+AllocationOutcome make_two_proc_outcome(const Fixture& f) {
+  // Random placement gives several processors on this instance.
+  Rng rng(11);
+  return allocate(f.problem(), HeuristicKind::Random, rng);
+}
+
+TEST(AllocationReport, DotHasClustersOperatorsAndServers) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const AllocationOutcome out = make_two_proc_outcome(f);
+  ASSERT_TRUE(out.success);
+  const std::string dot = allocation_to_dot(f.problem(), out.allocation);
+  EXPECT_NE(dot.find("digraph allocation"), std::string::npos);
+  for (int u = 0; u < out.num_processors; ++u) {
+    EXPECT_NE(dot.find("subgraph cluster_P" + std::to_string(u)),
+              std::string::npos);
+  }
+  for (int op = 0; op < f.tree.num_operators(); ++op) {
+    EXPECT_NE(dot.find("n" + std::to_string(op) + " [shape=box"),
+              std::string::npos);
+  }
+  EXPECT_NE(dot.find("S0 [shape=house"), std::string::npos);
+  // Crossing edges are highlighted.
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  // Download streams are dashed and bandwidth-labeled.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("MB/s"), std::string::npos);
+}
+
+TEST(AllocationReport, SingleProcessorDotHasNoCrossingEdges) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  Rng rng(1);
+  const AllocationOutcome out =
+      allocate(f.problem(), HeuristicKind::SubtreeBottomUp, rng);
+  ASSERT_TRUE(out.success);
+  ASSERT_EQ(out.num_processors, 1);
+  const std::string dot = allocation_to_dot(f.problem(), out.allocation);
+  EXPECT_EQ(dot.find("color=red"), std::string::npos);
+}
+
+TEST(AllocationReport, UtilizationTableCoversEveryResource) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const AllocationOutcome out = make_two_proc_outcome(f);
+  ASSERT_TRUE(out.success);
+  const std::string table = utilization_table(f.problem(), out.allocation);
+  for (int u = 0; u < out.num_processors; ++u) {
+    EXPECT_NE(table.find("P" + std::to_string(u) + " cpu"),
+              std::string::npos);
+    EXPECT_NE(table.find("P" + std::to_string(u) + " nic"),
+              std::string::npos);
+  }
+  for (int l = 0; l < f.platform.num_servers(); ++l) {
+    EXPECT_NE(table.find("S" + std::to_string(l) + " card"),
+              std::string::npos);
+  }
+  EXPECT_NE(table.find('%'), std::string::npos);
+}
+
+TEST(AllocationReport, UtilizationPercentagesAreSane) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  Rng rng(1);
+  const AllocationOutcome out =
+      allocate(f.problem(), HeuristicKind::CompGreedy, rng);
+  ASSERT_TRUE(out.success);
+  const std::string table = utilization_table(f.problem(), out.allocation);
+  // No resource of a validated plan exceeds 100%.
+  std::istringstream lines(table);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto p = line.find('%');
+    if (p == std::string::npos || p < 5) continue;
+    const double v = std::stod(line.substr(p - 5, 5));
+    EXPECT_LE(v, 100.0) << line;
+    EXPECT_GE(v, 0.0) << line;
+  }
+}
+
+TEST(AllocationReport, PlanSummaryAggregatesPurchases) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  Rng rng(11);
+  const AllocationOutcome out =
+      allocate(f.problem(), HeuristicKind::Random, rng);
+  ASSERT_TRUE(out.success);
+  const std::string summary = plan_summary(f.problem(), out.allocation);
+  EXPECT_NE(summary.find("PURCHASE PLAN"), std::string::npos);
+  EXPECT_NE(summary.find("sustainable throughput"), std::string::npos);
+  EXPECT_NE(summary.find("bottleneck"), std::string::npos);
+  // Identical configs are aggregated with a count ("N x desc").
+  EXPECT_NE(summary.find(" x "), std::string::npos);
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,168 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+#include "sim/flow_analyzer.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::fig1a_fixture;
+
+Allocation one_proc([[maybe_unused]] const Fixture& f,
+                    ProcessorConfig cfg) {
+  Allocation a;
+  PurchasedProcessor p;
+  p.config = cfg;
+  p.ops = {0, 1, 2, 3, 4};
+  p.downloads = {{0, 0}, {1, 0}, {2, 0}};
+  a.processors.push_back(p);
+  a.op_to_proc = {0, 0, 0, 0, 0};
+  return a;
+}
+
+TEST(EventSim, SustainsTargetOnValidSingleProcessor) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const Allocation a = one_proc(f, f.catalog.most_expensive());
+  const EventSimResult r = simulate_allocation(f.problem(), a);
+  EXPECT_TRUE(r.sustained);
+  EXPECT_NEAR(r.achieved_throughput, 1.0, 0.02);
+  EXPECT_GE(r.first_output_period, 0);
+}
+
+TEST(EventSim, PipelineLatencyGrowsWithCrossProcessorDepth) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  // Split: n1|n2 on P0, rest on P1 -> one crossing edge adds transfer lag.
+  Allocation split;
+  PurchasedProcessor p0, p1;
+  p0.config = f.catalog.most_expensive();
+  p0.ops = {4, 3};
+  p0.downloads = {{0, 0}, {1, 0}};
+  p1.config = f.catalog.most_expensive();
+  p1.ops = {0, 1, 2};
+  p1.downloads = {{1, 0}, {2, 0}};
+  split.processors = {p0, p1};
+  split.op_to_proc = {1, 1, 1, 0, 0};
+
+  const EventSimResult colocated =
+      simulate_allocation(f.problem(), one_proc(f, f.catalog.most_expensive()));
+  const EventSimResult crossed = simulate_allocation(f.problem(), split);
+  EXPECT_TRUE(crossed.sustained);
+  EXPECT_GT(crossed.first_output_period, colocated.first_output_period);
+}
+
+TEST(EventSim, DetectsCpuOversubscription) {
+  // Force an over-capacity processor by shrinking the catalog's CPU.
+  Fixture f = fig1a_fixture(1.0, 10.0);
+  f.catalog = PriceCatalog(10.0, {{100.0, 0.0}}, {{2500.0, 0.0}});
+  const Allocation a = one_proc(f, f.catalog.cheapest());
+  // Total work 250 Mops on 100 Mops/s -> at most 0.4 results/s.
+  const EventSimResult r = simulate_allocation(f.problem(), a);
+  EXPECT_FALSE(r.sustained);
+  EXPECT_NEAR(r.achieved_throughput, 0.4, 0.05);
+}
+
+TEST(EventSim, DetectsCommOversubscription) {
+  Fixture f = fig1a_fixture(1.0, 10.0);
+  // NIC 30 MB/s: the crossing edge n2->n5 (40 MB) cannot keep up.
+  f.catalog = PriceCatalog(10.0, {{50000.0, 0.0}}, {{30.0, 0.0}});
+  Allocation a;
+  PurchasedProcessor p0, p1;
+  p0.config = f.catalog.cheapest();
+  p0.ops = {4, 3};
+  p0.downloads = {{0, 0}, {1, 0}};
+  p1.config = f.catalog.cheapest();
+  p1.ops = {0, 1, 2};
+  p1.downloads = {{1, 0}, {2, 0}};
+  a.processors = {p0, p1};
+  a.op_to_proc = {1, 1, 1, 0, 0};
+  const EventSimResult r = simulate_allocation(f.problem(), a);
+  EXPECT_FALSE(r.sustained);
+  // (30 - 15 dl) MB/s over a 40 MB edge -> ~0.375 results/s.
+  EXPECT_LT(r.achieved_throughput, 0.5);
+}
+
+TEST(EventSim, AgreesWithFlowAnalyzerOnHeuristicPlans) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Fixture f = testhelpers::random_fixture(seed, 20, 1.2);
+    Rng rng(seed);
+    const AllocationOutcome out =
+        allocate(f.problem(), HeuristicKind::CommGreedy, rng);
+    if (!out.success) continue;
+    const FlowAnalysis flow = analyze_flow(f.problem(), out.allocation);
+    const EventSimResult sim = simulate_allocation(f.problem(), out.allocation);
+    // A valid plan (rho* >= 1) must sustain the simulated target.
+    ASSERT_GE(flow.max_throughput, 1.0 - 1e-9);
+    EXPECT_TRUE(sim.sustained) << "seed " << seed << " achieved "
+                               << sim.achieved_throughput;
+  }
+}
+
+TEST(EventSim, ThroughputCappedAtTarget) {
+  // Even with huge headroom the pipeline produces one result per period.
+  const Fixture f = fig1a_fixture(0.5, 10.0);
+  const Allocation a = one_proc(f, f.catalog.most_expensive());
+  const EventSimResult r = simulate_allocation(f.problem(), a);
+  EXPECT_LE(r.achieved_throughput, 1.0 + 0.02);
+}
+
+// Parameterized sweep: the backpressure bound must not throttle *valid*
+// allocations once it exceeds the pipeline latency, for colocated and
+// split plans alike.
+class EventSimBackpressure
+    : public testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(EventSimBackpressure, ValidPlansSustainTargetWhenBoundCoversLatency) {
+  const auto [max_ahead, split] = GetParam();
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  Allocation a;
+  if (split) {
+    PurchasedProcessor p0, p1;
+    p0.config = f.catalog.most_expensive();
+    p0.ops = {4, 3};
+    p0.downloads = {{0, 0}, {1, 0}};
+    p1.config = f.catalog.most_expensive();
+    p1.ops = {0, 1, 2};
+    p1.downloads = {{1, 0}, {2, 0}};
+    a.processors = {p0, p1};
+    a.op_to_proc = {1, 1, 1, 0, 0};
+  } else {
+    a = one_proc(f, f.catalog.most_expensive());
+  }
+  EventSimConfig cfg;
+  cfg.max_results_ahead = max_ahead;
+  const EventSimResult r = simulate_allocation(f.problem(), a, cfg);
+  // A crossing hop has ~3 periods of latency: bounds >= 4 must sustain; a
+  // colocated plan sustains from bound 2 already.
+  if (max_ahead >= 4 || (!split && max_ahead >= 2)) {
+    EXPECT_TRUE(r.sustained)
+        << "max_ahead=" << max_ahead << " split=" << split << " achieved "
+        << r.achieved_throughput;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounds, EventSimBackpressure,
+    testing::Combine(testing::Values(2, 4, 6, 8),
+                     testing::Values(false, true)),
+    [](const auto& param_info) {
+      return "ahead" + std::to_string(std::get<0>(param_info.param)) +
+             (std::get<1>(param_info.param) ? "_split" : "_colocated");
+    });
+
+TEST(EventSim, RespectsConfiguredPeriods) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const Allocation a = one_proc(f, f.catalog.most_expensive());
+  EventSimConfig cfg;
+  cfg.periods = 50;
+  cfg.warmup_periods = 10;
+  const EventSimResult r = simulate_allocation(f.problem(), a, cfg);
+  EXPECT_LE(r.results_produced, 50);
+  EXPECT_GT(r.results_produced, 30);
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,136 @@
+#include "sim/flow_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+#include "core/constraints.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::fig1a_fixture;
+
+Allocation one_proc([[maybe_unused]] const Fixture& f,
+                    ProcessorConfig cfg) {
+  Allocation a;
+  PurchasedProcessor p;
+  p.config = cfg;
+  p.ops = {0, 1, 2, 3, 4};
+  p.downloads = {{0, 0}, {1, 0}, {2, 0}};
+  a.processors.push_back(p);
+  a.op_to_proc = {0, 0, 0, 0, 0};
+  return a;
+}
+
+TEST(FlowAnalyzer, CpuBottleneckExactValue) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const Allocation a = one_proc(f, f.catalog.most_expensive());
+  const FlowAnalysis flow = analyze_flow(f.problem(), a);
+  // Total work = 30+40+40+50+90 = 250 Mops on 46,880 Mops/s.
+  EXPECT_TRUE(flow.downloads_feasible);
+  EXPECT_EQ(flow.bottleneck, BottleneckKind::ProcessorCpu);
+  EXPECT_NEAR(flow.max_throughput, 46880.0 / 250.0, 1e-9);
+}
+
+TEST(FlowAnalyzer, NicBottleneckWhenCommCrosses) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  Allocation a;
+  PurchasedProcessor p0, p1;
+  p0.config = f.catalog.cheapest();  // 1 Gbps = 125 MB/s
+  p0.ops = {4, 3};
+  p0.downloads = {{0, 0}, {1, 0}};
+  p1.config = f.catalog.most_expensive();
+  p1.ops = {0, 1, 2};
+  p1.downloads = {{1, 0}, {2, 0}};
+  a.processors = {p0, p1};
+  a.op_to_proc = {1, 1, 1, 0, 0};
+  const FlowAnalysis flow = analyze_flow(f.problem(), a);
+  // P0 NIC: fixed downloads 15 MB/s, linear 40 MB (edge n2->n5) per result:
+  // rho* from that card = (125-15)/40 = 2.75. CPU on P0: 46880... cheapest
+  // CPU 11720/70 = 167; P1 CPU 46880/180 = 260; so NIC binds at 2.75.
+  EXPECT_EQ(flow.bottleneck, BottleneckKind::ProcessorNic);
+  EXPECT_NEAR(flow.max_throughput, (125.0 - 15.0) / 40.0, 1e-9);
+  EXPECT_NE(flow.bottleneck_detail.find("P0"), std::string::npos);
+}
+
+TEST(FlowAnalyzer, InfeasibleDownloadsGiveZero) {
+  const Fixture f = fig1a_fixture(1.0, 480.0);  // rates 240..720 MB/s
+  const Allocation a = one_proc(f, f.catalog.cheapest());  // 125 MB/s card
+  const FlowAnalysis flow = analyze_flow(f.problem(), a);
+  EXPECT_FALSE(flow.downloads_feasible);
+  EXPECT_DOUBLE_EQ(flow.max_throughput, 0.0);
+  EXPECT_EQ(flow.bottleneck, BottleneckKind::InfeasibleDownloads);
+}
+
+TEST(FlowAnalyzer, ProcProcLinkBottleneck) {
+  Fixture f = fig1a_fixture(1.0, 10.0);
+  f.platform = testhelpers::simple_platform({{0, 1, 2}}, 3, 10000.0, 1000.0,
+                                            /*link_pp=*/60.0);
+  Allocation a;
+  PurchasedProcessor p0, p1;
+  p0.config = f.catalog.most_expensive();
+  p0.ops = {4, 3};
+  p0.downloads = {{0, 0}, {1, 0}};
+  p1.config = f.catalog.most_expensive();
+  p1.ops = {0, 1, 2};
+  p1.downloads = {{1, 0}, {2, 0}};
+  a.processors = {p0, p1};
+  a.op_to_proc = {1, 1, 1, 0, 0};
+  const FlowAnalysis flow = analyze_flow(f.problem(), a);
+  // Link P0<->P1 carries 40 MB per result with capacity 60 -> rho* = 1.5.
+  EXPECT_EQ(flow.bottleneck, BottleneckKind::ProcProcLink);
+  EXPECT_NEAR(flow.max_throughput, 1.5, 1e-9);
+}
+
+TEST(FlowAnalyzer, ServerSideConstraintsAreFixedShares) {
+  Fixture f = fig1a_fixture(1.0, 10.0);
+  // Distinct downloads: 5 + 10 + 15 = 30 MB/s; card 31 barely fits.
+  f.platform = testhelpers::simple_platform({{0, 1, 2}}, 3, /*card=*/31.0);
+  const Allocation a = one_proc(f, f.catalog.most_expensive());
+  const FlowAnalysis flow = analyze_flow(f.problem(), a);
+  EXPECT_TRUE(flow.downloads_feasible);
+  // Server card nearly full but downloads are rho-independent: the CPU
+  // still sets rho*.
+  EXPECT_EQ(flow.bottleneck, BottleneckKind::ProcessorCpu);
+  // Shrinking the card below the fixed demand flips to infeasible.
+  f.platform = testhelpers::simple_platform({{0, 1, 2}}, 3, /*card=*/29.0);
+  const FlowAnalysis bad = analyze_flow(f.problem(), a);
+  EXPECT_FALSE(bad.downloads_feasible);
+}
+
+TEST(FlowAnalyzer, AgreementWithConstraintChecker) {
+  // Property: checker passes at rho exactly when rho <= rho*.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Fixture f = testhelpers::random_fixture(seed, 25, 1.3);
+    Rng rng(seed);
+    const AllocationOutcome out =
+        allocate(f.problem(), HeuristicKind::SubtreeBottomUp, rng);
+    if (!out.success) continue;
+    const FlowAnalysis flow = analyze_flow(f.problem(), out.allocation);
+    EXPECT_GE(flow.max_throughput, f.rho - 1e-6) << "seed " << seed;
+
+    // Scale the demand up beyond rho*: the checker must reject.
+    Problem harder = f.problem();
+    harder.rho = flow.max_throughput * 1.05;
+    const CheckReport r = check_allocation(harder, out.allocation);
+    EXPECT_FALSE(r.ok()) << "seed " << seed << " rho* " << flow.max_throughput;
+
+    // Slightly below rho*: the checker must accept (if downloads fit, which
+    // they do since the original allocation was valid).
+    Problem easier = f.problem();
+    easier.rho = flow.max_throughput * 0.95;
+    EXPECT_TRUE(check_allocation(easier, out.allocation).ok())
+        << "seed " << seed;
+  }
+}
+
+TEST(FlowAnalyzer, BottleneckKindNames) {
+  EXPECT_STREQ(to_string(BottleneckKind::ProcessorCpu), "processor-cpu");
+  EXPECT_STREQ(to_string(BottleneckKind::InfeasibleDownloads),
+               "infeasible-downloads");
+}
+
+} // namespace
+} // namespace insp

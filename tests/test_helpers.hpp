@@ -1,0 +1,108 @@
+// Shared fixtures for the test suite: hand-built trees with known loads,
+// platforms with controlled capacities, and convenience wrappers that keep
+// Problem's pointers alive.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "platform/server_distribution.hpp"
+#include "tree/tree_generator.hpp"
+
+namespace insp::testhelpers {
+
+/// Owns everything a Problem points to.
+struct Fixture {
+  OperatorTree tree;
+  Platform platform;
+  PriceCatalog catalog;
+  Throughput rho = 1.0;
+
+  Problem problem() const {
+    Problem p;
+    p.tree = &tree;
+    p.platform = &platform;
+    p.catalog = &catalog;
+    p.rho = rho;
+    return p;
+  }
+};
+
+/// The paper's Fig 1(a) tree: five operators, objects o0,o1,o2.
+///   n4 = root, children n5 and n3;  n5 -> n2 (unary)
+///   n2: leaf o0 + child n1;  n1: leaves o0, o1;  n3: leaves o1, o2
+/// (paper names o1,o2,o3; zero-based here).  Object sizes/frequencies are
+/// parameters so tests can steer loads.
+inline OperatorTree fig1a_tree(double alpha = 1.0, MegaBytes size = 10.0,
+                               Hertz freq = 0.5) {
+  ObjectCatalog objects({
+      {0, size, freq},
+      {1, size * 2.0, freq},
+      {2, size * 3.0, freq},
+  });
+  TreeBuilder b(objects);
+  const int n4 = b.add_operator(kNoNode);
+  const int n5 = b.add_operator(n4);
+  const int n3 = b.add_operator(n4);
+  const int n2 = b.add_operator(n5);
+  const int n1 = b.add_operator(n2);
+  b.add_leaf(n2, 0);
+  b.add_leaf(n1, 0);
+  b.add_leaf(n1, 1);
+  b.add_leaf(n3, 1);
+  b.add_leaf(n3, 2);
+  return b.build(alpha);
+}
+
+/// A platform with explicit hosted types and uniform capacities.
+inline Platform simple_platform(std::vector<std::vector<int>> hosted,
+                                int num_types,
+                                MBps server_card = 10000.0,
+                                MBps link_sp = 1000.0,
+                                MBps link_pp = 1000.0) {
+  std::vector<DataServer> servers;
+  for (std::size_t l = 0; l < hosted.size(); ++l) {
+    servers.push_back(
+        DataServer{static_cast<int>(l), server_card, std::move(hosted[l])});
+  }
+  return Platform(std::move(servers), link_sp, link_pp, num_types);
+}
+
+/// Fixture around fig1a with every object on every server (no routing
+/// pressure) and the paper catalog.
+inline Fixture fig1a_fixture(double alpha = 1.0, MegaBytes size = 10.0,
+                             Hertz freq = 0.5) {
+  Fixture f{
+      fig1a_tree(alpha, size, freq),
+      simple_platform({{0, 1, 2}, {0, 1, 2}}, 3),
+      PriceCatalog::paper_default(),
+      1.0,
+  };
+  return f;
+}
+
+/// Random paper-style instance for property tests.
+inline Fixture random_fixture(std::uint64_t seed, int n_ops, double alpha,
+                              MegaBytes size_lo = 5.0, MegaBytes size_hi = 30.0,
+                              Hertz freq = 0.5) {
+  Rng rng(seed);
+  TreeGenConfig cfg;
+  cfg.num_operators = n_ops;
+  cfg.alpha = alpha;
+  cfg.num_object_types = 15;
+  cfg.object_size_lo = size_lo;
+  cfg.object_size_hi = size_hi;
+  cfg.download_freq = freq;
+  OperatorTree tree = generate_random_tree(rng, cfg);
+
+  ServerDistConfig dist;
+  dist.num_servers = 6;
+  dist.num_object_types = 15;
+  Platform platform = make_paper_platform(rng, dist);
+
+  return Fixture{std::move(tree), std::move(platform),
+                 PriceCatalog::paper_default(), 1.0};
+}
+
+} // namespace insp::testhelpers

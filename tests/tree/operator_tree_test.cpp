@@ -1,0 +1,168 @@
+#include "tree/operator_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "../test_helpers.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::fig1a_tree;
+
+TEST(OperatorTree, Fig1aStructure) {
+  const OperatorTree t = fig1a_tree();
+  EXPECT_EQ(t.num_operators(), 5);
+  EXPECT_EQ(t.num_leaves(), 5);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_FALSE(t.validate().has_value());
+}
+
+TEST(OperatorTree, AlOperatorDetection) {
+  const OperatorTree t = fig1a_tree();
+  // n4 (id 0) and n5 (id 1) have no leaves; n3 (2), n2 (3), n1 (4) do.
+  EXPECT_FALSE(t.op(0).is_al_operator());
+  EXPECT_FALSE(t.op(1).is_al_operator());
+  EXPECT_TRUE(t.op(2).is_al_operator());
+  EXPECT_TRUE(t.op(3).is_al_operator());
+  EXPECT_TRUE(t.op(4).is_al_operator());
+  EXPECT_EQ(t.al_operators(), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(OperatorTree, ArityConstraintHolds) {
+  const OperatorTree t = fig1a_tree();
+  for (const auto& n : t.operators()) {
+    EXPECT_GE(n.arity(), 1);
+    EXPECT_LE(n.arity(), 2);
+  }
+}
+
+TEST(OperatorTree, ObjectTypesDeduplicated) {
+  ObjectCatalog objects({{0, 10.0, 0.5}});
+  TreeBuilder b(objects);
+  const int op = b.add_operator(kNoNode);
+  b.add_leaf(op, 0);
+  b.add_leaf(op, 0);  // same object twice (paper: several leaves may share)
+  const OperatorTree t = b.build(1.0);
+  EXPECT_EQ(t.object_types_of(0), std::vector<int>{0});
+  EXPECT_EQ(t.num_leaves(), 2);
+}
+
+TEST(OperatorTree, MassConservationDeltaRootEqualsLeafSum) {
+  const OperatorTree t = fig1a_tree(1.0, 10.0);
+  // Leaves: o0(10) at n2, o0(10)+o1(20) at n1, o1(20)+o2(30) at n3 = 90.
+  EXPECT_DOUBLE_EQ(t.op(t.root()).output_mb, 90.0);
+}
+
+TEST(OperatorTree, WorkIsPowerLawOfInputMass) {
+  const double alpha = 1.7;
+  const OperatorTree t = fig1a_tree(alpha, 10.0);
+  // n1 (id 4): inputs 10 + 20 = 30 -> w = 30^1.7.
+  EXPECT_NEAR(t.op(4).work, std::pow(30.0, alpha), 1e-9);
+  // n2 (id 3): leaf 10 + child n1 output 30 -> w = 40^1.7.
+  EXPECT_NEAR(t.op(3).work, std::pow(40.0, alpha), 1e-9);
+  // Unary n5 (id 1): single child n2 output 40 -> w = 40^1.7.
+  EXPECT_NEAR(t.op(1).work, std::pow(40.0, alpha), 1e-9);
+}
+
+TEST(OperatorTree, WorkScaleMultiplies) {
+  const OperatorTree base = fig1a_tree(1.0, 10.0);
+  ObjectCatalog objects = base.catalog();
+  OperatorTree copy = base;
+  copy.compute_work_and_outputs(1.0, 2.5);
+  for (int i = 0; i < base.num_operators(); ++i) {
+    EXPECT_NEAR(copy.op(i).work, 2.5 * base.op(i).work, 1e-9);
+  }
+}
+
+TEST(OperatorTree, BottomUpOrderPutsChildrenFirst) {
+  const OperatorTree t = fig1a_tree();
+  const auto order = t.bottom_up_order();
+  ASSERT_EQ(order.size(), 5u);
+  std::vector<int> position(5);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const auto& n : t.operators()) {
+    for (int c : n.children) {
+      EXPECT_LT(position[static_cast<std::size_t>(c)],
+                position[static_cast<std::size_t>(n.id)]);
+    }
+  }
+}
+
+TEST(OperatorTree, TopDownOrderStartsAtRoot) {
+  const OperatorTree t = fig1a_tree();
+  EXPECT_EQ(t.top_down_order().front(), t.root());
+}
+
+TEST(TreeBuilder, RejectsSecondRoot) {
+  ObjectCatalog objects({{0, 1.0, 1.0}});
+  TreeBuilder b(objects);
+  b.add_operator(kNoNode);
+  EXPECT_THROW(b.add_operator(kNoNode), std::invalid_argument);
+}
+
+TEST(TreeBuilder, RejectsUnknownParent) {
+  ObjectCatalog objects({{0, 1.0, 1.0}});
+  TreeBuilder b(objects);
+  b.add_operator(kNoNode);
+  EXPECT_THROW(b.add_operator(7), std::invalid_argument);
+}
+
+TEST(TreeBuilder, RejectsUnknownObjectType) {
+  ObjectCatalog objects({{0, 1.0, 1.0}});
+  TreeBuilder b(objects);
+  const int op = b.add_operator(kNoNode);
+  EXPECT_THROW(b.add_leaf(op, 3), std::invalid_argument);
+}
+
+TEST(TreeBuilder, RejectsArityZero) {
+  ObjectCatalog objects({{0, 1.0, 1.0}});
+  TreeBuilder b(objects);
+  b.add_operator(kNoNode);  // no children, no leaves
+  EXPECT_THROW(b.build(1.0), std::invalid_argument);
+}
+
+TEST(TreeBuilder, RejectsArityThree) {
+  ObjectCatalog objects({{0, 1.0, 1.0}});
+  TreeBuilder b(objects);
+  const int op = b.add_operator(kNoNode);
+  b.add_leaf(op, 0);
+  b.add_leaf(op, 0);
+  b.add_leaf(op, 0);
+  EXPECT_THROW(b.build(1.0), std::invalid_argument);
+}
+
+TEST(OperatorTree, ValidateCatchesBrokenParentLink) {
+  OperatorTree t = fig1a_tree();
+  // Validation is also exercised through the builder; break a link via the
+  // public surface: a tree constructed directly with inconsistent parents.
+  std::vector<OperatorNode> ops(2);
+  ops[0].id = 0;
+  ops[0].parent = kNoNode;
+  ops[0].children = {1};
+  ops[1].id = 1;
+  ops[1].parent = 0;
+  std::vector<LeafRef> leaves = {{0, 0}, {0, 1}};
+  ops[0].leaves = {0};
+  ops[1].leaves = {1};
+  ObjectCatalog objects({{0, 1.0, 1.0}});
+  OperatorTree ok(ops, leaves, 0, objects);
+  EXPECT_FALSE(ok.validate().has_value());
+
+  ops[1].parent = 1;  // self-parent, not matching children list
+  OperatorTree bad(ops, leaves, 0, objects);
+  EXPECT_TRUE(bad.validate().has_value());
+}
+
+TEST(OperatorTree, EdgeVolumeIsChildOutput) {
+  const OperatorTree t = fig1a_tree(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(t.edge_volume(4), 30.0);  // n1 -> n2
+  EXPECT_DOUBLE_EQ(t.edge_volume(3), 40.0);  // n2 -> n5
+}
+
+} // namespace
+} // namespace insp

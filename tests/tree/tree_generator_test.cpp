@@ -1,0 +1,225 @@
+#include "tree/tree_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tree/tree_stats.hpp"
+
+namespace insp {
+namespace {
+
+TreeGenConfig base_config(int n) {
+  TreeGenConfig cfg;
+  cfg.num_operators = n;
+  cfg.alpha = 0.9;
+  cfg.num_object_types = 15;
+  cfg.object_size_lo = 5.0;
+  cfg.object_size_hi = 30.0;
+  cfg.download_freq = 0.5;
+  return cfg;
+}
+
+TEST(TreeGenerator, ExactOperatorCount) {
+  Rng rng(1);
+  for (int n : {1, 2, 5, 20, 60, 140}) {
+    const OperatorTree t = generate_random_tree(rng, base_config(n));
+    EXPECT_EQ(t.num_operators(), n);
+    EXPECT_FALSE(t.validate().has_value());
+  }
+}
+
+TEST(TreeGenerator, AtMostNDrawsWithinRange) {
+  Rng rng(2);
+  TreeGenConfig cfg = base_config(60);
+  cfg.at_most_n = true;
+  for (int i = 0; i < 50; ++i) {
+    const OperatorTree t = generate_random_tree(rng, cfg);
+    EXPECT_GE(t.num_operators(), 30);
+    EXPECT_LE(t.num_operators(), 60);
+  }
+}
+
+TEST(TreeGenerator, DeterministicGivenSeed) {
+  Rng a(77), b(77);
+  const OperatorTree ta = generate_random_tree(a, base_config(40));
+  const OperatorTree tb = generate_random_tree(b, base_config(40));
+  ASSERT_EQ(ta.num_operators(), tb.num_operators());
+  ASSERT_EQ(ta.num_leaves(), tb.num_leaves());
+  for (int i = 0; i < ta.num_operators(); ++i) {
+    EXPECT_EQ(ta.op(i).parent, tb.op(i).parent);
+    EXPECT_DOUBLE_EQ(ta.op(i).work, tb.op(i).work);
+  }
+  for (int l = 0; l < ta.num_leaves(); ++l) {
+    EXPECT_EQ(ta.leaf(l).object_type, tb.leaf(l).object_type);
+  }
+}
+
+TEST(TreeGenerator, ObjectSizesWithinConfiguredRange) {
+  Rng rng(3);
+  TreeGenConfig cfg = base_config(30);
+  cfg.object_size_lo = 450.0;
+  cfg.object_size_hi = 530.0;
+  const OperatorTree t = generate_random_tree(rng, cfg);
+  for (const auto& ot : t.catalog().all()) {
+    EXPECT_GE(ot.size_mb, 450.0);
+    EXPECT_LT(ot.size_mb, 530.0);
+    EXPECT_DOUBLE_EQ(ot.freq_hz, 0.5);
+  }
+}
+
+TEST(TreeGenerator, BinaryProbOneGivesFullBinaryTree) {
+  Rng rng(4);
+  TreeGenConfig cfg = base_config(31);
+  cfg.binary_prob = 1.0;
+  const OperatorTree t = generate_random_tree(rng, cfg);
+  // Full binary: exactly N+1 leaves and every operator has arity 2.
+  EXPECT_EQ(t.num_leaves(), 32);
+  for (const auto& n : t.operators()) {
+    EXPECT_EQ(n.arity(), 2);
+  }
+}
+
+TEST(TreeGenerator, BinaryProbZeroGivesChain) {
+  Rng rng(5);
+  TreeGenConfig cfg = base_config(10);
+  cfg.binary_prob = 0.0;
+  const OperatorTree t = generate_random_tree(rng, cfg);
+  EXPECT_EQ(t.num_leaves(), 1);
+  const TreeStats stats = compute_tree_stats(t);
+  EXPECT_EQ(stats.depth, 10);
+}
+
+TEST(TreeGenerator, DefaultLeafCountNearHalfN) {
+  Rng rng(6);
+  double total_leaves = 0;
+  const int reps = 40, n = 100;
+  for (int i = 0; i < reps; ++i) {
+    total_leaves += generate_random_tree(rng, base_config(n)).num_leaves();
+  }
+  // E[leaves] = N * E[arity] - (N-1) ~ N/2 + 1 for binary_prob = 0.5.
+  EXPECT_NEAR(total_leaves / reps, n / 2.0 + 1.0, 6.0);
+}
+
+TEST(TreeGenerator, LeafTypesCoverCatalog) {
+  Rng rng(7);
+  TreeGenConfig cfg = base_config(200);
+  std::set<int> seen;
+  const OperatorTree t = generate_random_tree(rng, cfg);
+  for (const auto& l : t.leaf_refs()) seen.insert(l.object_type);
+  // With ~100 leaves over 15 types, near-complete coverage is expected.
+  EXPECT_GE(seen.size(), 12u);
+  for (int type : seen) {
+    EXPECT_GE(type, 0);
+    EXPECT_LT(type, 15);
+  }
+}
+
+TEST(TreeGenerator, SharedCatalogReuse) {
+  Rng rng(8);
+  ObjectCatalog catalog =
+      ObjectCatalog::random(rng, 15, 5.0, 30.0, 0.5);
+  const OperatorTree t1 = generate_random_tree(rng, base_config(20), catalog);
+  const OperatorTree t2 = generate_random_tree(rng, base_config(20), catalog);
+  for (int k = 0; k < catalog.count(); ++k) {
+    EXPECT_DOUBLE_EQ(t1.catalog().type(k).size_mb,
+                     t2.catalog().type(k).size_mb);
+  }
+}
+
+TEST(TreeGenerator, LeftDeepShape) {
+  Rng rng(9);
+  const OperatorTree t = generate_left_deep_tree(rng, base_config(8));
+  EXPECT_EQ(t.num_operators(), 8);
+  EXPECT_EQ(t.num_leaves(), 9);  // one per level + two at the bottom
+  EXPECT_FALSE(t.validate().has_value());
+  // Every operator except the deepest has exactly one operator child.
+  int unary_chain = 0;
+  for (const auto& n : t.operators()) {
+    if (n.children.size() == 1) ++unary_chain;
+    EXPECT_LE(n.children.size(), 1u);
+  }
+  EXPECT_EQ(unary_chain, 7);
+  const TreeStats stats = compute_tree_stats(t);
+  EXPECT_EQ(stats.depth, 8);
+}
+
+TEST(TreeGenerator, ReductionTreeShape) {
+  Rng rng(31);
+  const ObjectCatalog catalog =
+      ObjectCatalog::random(rng, 8, 10.0, 20.0, 0.5);
+  for (int sources : {1, 2, 3, 7, 8, 16}) {
+    const OperatorTree t = generate_reduction_tree(catalog, sources, 1.0);
+    EXPECT_FALSE(t.validate().has_value());
+    // sources al-operators + (sources - 1) reduction operators.
+    EXPECT_EQ(t.num_operators(), 2 * sources - 1) << sources;
+    EXPECT_EQ(static_cast<int>(t.al_operators().size()), sources) << sources;
+    EXPECT_EQ(t.num_leaves(), 2 * sources) << sources;
+  }
+}
+
+TEST(TreeGenerator, ReductionTreeIsBalanced) {
+  Rng rng(32);
+  const ObjectCatalog catalog =
+      ObjectCatalog::random(rng, 8, 10.0, 20.0, 0.5);
+  const OperatorTree t = generate_reduction_tree(catalog, 16, 1.0);
+  const TreeStats s = compute_tree_stats(t);
+  // 16 sources: log2(16) = 4 reduction levels + the al level.
+  EXPECT_EQ(s.depth, 5);
+}
+
+TEST(TreeGenerator, ReductionTreeCyclesThroughTypes) {
+  Rng rng(33);
+  const ObjectCatalog catalog =
+      ObjectCatalog::random(rng, 3, 10.0, 20.0, 0.5);
+  const OperatorTree t =
+      generate_reduction_tree(catalog, 5, 1.0, /*leaves_per_source=*/1);
+  // Sources 0..4 -> types 0,1,2,0,1.
+  std::vector<int> types;
+  for (const auto& l : t.leaf_refs()) types.push_back(l.object_type);
+  std::sort(types.begin(), types.end());
+  EXPECT_EQ(types, (std::vector<int>{0, 0, 1, 1, 2}));
+}
+
+TEST(TreeGenerator, ReductionTreeRejectsBadArguments) {
+  Rng rng(34);
+  const ObjectCatalog catalog =
+      ObjectCatalog::random(rng, 3, 10.0, 20.0, 0.5);
+  EXPECT_THROW(generate_reduction_tree(catalog, 0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(generate_reduction_tree(catalog, 4, 1.0, 3),
+               std::invalid_argument);
+}
+
+TEST(TreeGenerator, SingleOperatorTree) {
+  Rng rng(10);
+  const OperatorTree t = generate_random_tree(rng, base_config(1));
+  EXPECT_EQ(t.num_operators(), 1);
+  EXPECT_GE(t.num_leaves(), 1);
+  EXPECT_LE(t.num_leaves(), 2);
+}
+
+TEST(TreeGenerator, RejectsNonPositiveCount) {
+  Rng rng(11);
+  EXPECT_THROW(generate_random_tree(rng, base_config(0)),
+               std::invalid_argument);
+}
+
+TEST(TreeGenerator, FrequencyOverride) {
+  Rng rng(12);
+  TreeGenConfig cfg = base_config(10);
+  cfg.download_freq = 0.02;  // low frequency 1/50
+  OperatorTree t = generate_random_tree(rng, cfg);
+  for (const auto& ot : t.catalog().all()) {
+    EXPECT_DOUBLE_EQ(ot.freq_hz, 0.02);
+    EXPECT_NEAR(ot.rate(), ot.size_mb * 0.02, 1e-12);
+  }
+  t.mutable_catalog().set_frequency(0.5);
+  for (const auto& ot : t.catalog().all()) {
+    EXPECT_DOUBLE_EQ(ot.freq_hz, 0.5);
+  }
+}
+
+} // namespace
+} // namespace insp

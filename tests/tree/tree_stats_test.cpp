@@ -1,0 +1,95 @@
+#include "tree/tree_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "tree/tree_generator.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::fig1a_tree;
+
+TEST(TreeStats, Fig1aAggregates) {
+  const OperatorTree t = fig1a_tree(1.0, 10.0, 0.5);
+  const TreeStats s = compute_tree_stats(t);
+  EXPECT_EQ(s.num_operators, 5);
+  EXPECT_EQ(s.num_leaves, 5);
+  EXPECT_EQ(s.num_al_operators, 3);
+  EXPECT_EQ(s.distinct_object_types, 3);
+  EXPECT_EQ(s.depth, 4);  // n4 -> n5 -> n2 -> n1
+  EXPECT_DOUBLE_EQ(s.total_leaf_mass, 90.0);
+  // Downloads: per-leaf rates = (10+10+20+20+30) * 0.5.
+  EXPECT_DOUBLE_EQ(s.total_download_demand, 45.0);
+  // Largest edge: n3 -> n4 carries 50.
+  EXPECT_DOUBLE_EQ(s.max_edge_volume, 50.0);
+}
+
+TEST(TreeStats, PopularityCountsOperatorsNotLeaves) {
+  const OperatorTree t = fig1a_tree();
+  const auto pop = object_popularity(t);
+  ASSERT_EQ(pop.size(), 3u);
+  EXPECT_EQ(pop[0], 2);  // o0 needed by n2 and n1
+  EXPECT_EQ(pop[1], 2);  // o1 needed by n1 and n3
+  EXPECT_EQ(pop[2], 1);  // o2 needed by n3
+}
+
+TEST(TreeStats, PopularityDeduplicatesWithinOperator) {
+  ObjectCatalog objects({{0, 10.0, 0.5}});
+  TreeBuilder b(objects);
+  const int op = b.add_operator(kNoNode);
+  b.add_leaf(op, 0);
+  b.add_leaf(op, 0);
+  const OperatorTree t = b.build(1.0);
+  EXPECT_EQ(object_popularity(t)[0], 1);
+}
+
+TEST(TreeStats, EdgesSortedByVolumeDesc) {
+  const OperatorTree t = fig1a_tree(1.0, 10.0);
+  const auto edges = edges_by_volume_desc(t);
+  ASSERT_EQ(edges.size(), 4u);  // every non-root op
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GE(t.op(edges[i - 1]).output_mb, t.op(edges[i]).output_mb);
+  }
+  // n3 (id 2) carries 50 MB: the largest edge.
+  EXPECT_EQ(edges.front(), 2);
+}
+
+TEST(TreeStats, DepthsRootIsOne) {
+  const OperatorTree t = fig1a_tree();
+  const auto d = operator_depths(t);
+  EXPECT_EQ(d[static_cast<std::size_t>(t.root())], 1);
+  for (const auto& n : t.operators()) {
+    if (n.parent != kNoNode) {
+      EXPECT_EQ(d[static_cast<std::size_t>(n.id)],
+                d[static_cast<std::size_t>(n.parent)] + 1);
+    }
+  }
+}
+
+TEST(TreeStats, TotalWorkMatchesSum) {
+  const OperatorTree t = fig1a_tree(1.2, 10.0);
+  const TreeStats s = compute_tree_stats(t);
+  MegaOps sum = 0;
+  for (const auto& n : t.operators()) sum += n.work;
+  EXPECT_DOUBLE_EQ(s.total_work, sum);
+}
+
+TEST(TreeStats, RandomTreeInvariants) {
+  Rng rng(21);
+  TreeGenConfig cfg;
+  cfg.num_operators = 80;
+  for (int rep = 0; rep < 10; ++rep) {
+    const OperatorTree t = generate_random_tree(rng, cfg);
+    const TreeStats s = compute_tree_stats(t);
+    // Mass conservation: root output equals total leaf mass.
+    EXPECT_NEAR(t.op(t.root()).output_mb, s.total_leaf_mass, 1e-9);
+    EXPECT_GE(s.num_al_operators, 1);
+    EXPECT_LE(s.num_al_operators, s.num_operators);
+    EXPECT_GE(s.depth, 1);
+    EXPECT_LE(s.depth, s.num_operators);
+  }
+}
+
+} // namespace
+} // namespace insp

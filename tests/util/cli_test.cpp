@@ -1,0 +1,61 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace insp {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  auto args = make({"prog", "--n", "60", "--alpha", "1.7"});
+  EXPECT_EQ(args.get_int("n", 0), 60);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0), 1.7);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  auto args = make({"prog", "--seed=99", "--csv=out.csv"});
+  EXPECT_EQ(args.get_u64("seed", 0), 99u);
+  EXPECT_EQ(args.get("csv", ""), "out.csv");
+}
+
+TEST(Cli, BooleanFlagForms) {
+  auto args = make({"prog", "--verbose", "--fast=false"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("fast", true));
+  EXPECT_TRUE(args.get_bool("absent", true));
+  EXPECT_FALSE(args.get_bool("absent", false));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  auto args = make({"prog"});
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_EQ(args.get("name", "def"), "def");
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(Cli, PositionalArguments) {
+  auto args = make({"prog", "input.tree", "--n", "5", "out.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.tree");
+  EXPECT_EQ(args.positional()[1], "out.txt");
+}
+
+TEST(Cli, UnknownOptionDetection) {
+  auto args = make({"prog", "--n", "5", "--typo", "x"});
+  const auto unknown = args.unknown({"n", "alpha"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Cli, FlagFollowedByFlagHasTrueValue) {
+  auto args = make({"prog", "--a", "--b", "7"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_EQ(args.get_int("b", 0), 7);
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,149 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace insp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitmixKnownSequenceIsStable) {
+  // Pin the derived sequence so instances regenerate identically across
+  // library versions (the experiment-reproducibility contract).
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  const std::uint64_t second = splitmix64(s);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafull);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ull);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 17);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rng.uniform_int(42, 42), 42);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.uniform_int(0, 9));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 7))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 8, draws / 8 * 0.1);
+  }
+}
+
+TEST(Rng, CanonicalInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.canonical();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real(5.0, 30.0);
+    ASSERT_GE(v, 5.0);
+    ASSERT_LT(v, 30.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    hits += rng.bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(draws), 0.25, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.index(7), 7u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rng.index(1), 0u);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(31);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Streams should differ from each other and from the parent.
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+  // Splitting is itself deterministic.
+  Rng parent2(31);
+  Rng child1b = parent2.split();
+  parent2.split();
+  Rng cmp = child1;  // child1 already advanced one step
+  (void)cmp;
+  child1b.next_u64();
+  EXPECT_EQ(child1.next_u64(), child1b.next_u64());
+}
+
+} // namespace
+} // namespace insp
