@@ -33,6 +33,7 @@ struct BenchFlags {
   int repetitions;
   std::uint64_t seed;
   std::string csv_path;
+  int threads;  ///< sweep worker threads: 0 = hardware concurrency, 1 = serial
 };
 
 inline BenchFlags parse_flags(int argc, char** argv, int default_reps = 20) {
@@ -41,7 +42,18 @@ inline BenchFlags parse_flags(int argc, char** argv, int default_reps = 20) {
   f.repetitions = static_cast<int>(args.get_int("reps", default_reps));
   f.seed = args.get_u64("seed", 42);
   f.csv_path = args.get("csv", "");
+  f.threads = static_cast<int>(args.get_int("threads", 0));
   return f;
+}
+
+/// Pre-wired sweep spec: repetitions, seed, and thread count come from the
+/// standard flags so every bench binary is parallel by default.
+inline SweepSpec make_sweep_spec(const BenchFlags& flags) {
+  SweepSpec spec;
+  spec.repetitions = flags.repetitions;
+  spec.base_seed = flags.seed;
+  spec.num_threads = flags.threads;
+  return spec;
 }
 
 inline void report(const SweepResult& result, const std::string& title,

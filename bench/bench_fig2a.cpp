@@ -8,11 +8,9 @@ using namespace insp::benchx;
 int main(int argc, char** argv) {
   const BenchFlags flags = parse_flags(argc, argv);
 
-  SweepSpec spec;
+  SweepSpec spec = make_sweep_spec(flags);
   spec.x_name = "N";
   spec.xs = {20, 40, 60, 80, 100, 120, 140};
-  spec.repetitions = flags.repetitions;
-  spec.base_seed = flags.seed;
   spec.config_for = [](double n) {
     return paper_instance(static_cast<int>(n), 0.9);
   };

@@ -12,11 +12,9 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("n", 60));
   const BenchFlags flags = parse_flags(argc, argv);
 
-  SweepSpec spec;
+  SweepSpec spec = make_sweep_spec(flags);
   spec.x_name = "alpha";
   for (double a = 0.5; a <= 2.5001; a += 0.1) spec.xs.push_back(a);
-  spec.repetitions = flags.repetitions;
-  spec.base_seed = flags.seed;
   spec.config_for = [n](double alpha) { return paper_instance(n, alpha); };
 
   const SweepResult result = run_sweep(spec);

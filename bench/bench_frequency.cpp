@@ -14,11 +14,9 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("n", 80));
   const BenchFlags flags = parse_flags(argc, argv);
 
-  SweepSpec spec;
+  SweepSpec spec = make_sweep_spec(flags);
   spec.x_name = "freq(1/s)";
   spec.xs = {1.0 / 2, 1.0 / 5, 1.0 / 10, 1.0 / 25, 1.0 / 50};
-  spec.repetitions = flags.repetitions;
-  spec.base_seed = flags.seed;
   spec.config_for = [n](double freq) {
     InstanceConfig cfg = paper_instance(n, 0.9);
     cfg.tree.download_freq = freq;

@@ -11,11 +11,9 @@ using namespace insp::benchx;
 int main(int argc, char** argv) {
   const BenchFlags flags = parse_flags(argc, argv);
 
-  SweepSpec spec;
+  SweepSpec spec = make_sweep_spec(flags);
   spec.x_name = "N";
   spec.xs = {10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60};
-  spec.repetitions = flags.repetitions;
-  spec.base_seed = flags.seed;
   spec.config_for = [](double n) {
     InstanceConfig cfg = paper_instance(static_cast<int>(n), 0.9);
     cfg.tree.object_size_lo = 450.0;

@@ -14,11 +14,9 @@ namespace {
 
 void run(const char* title, MegaBytes lo, MegaBytes hi, int n,
          const BenchFlags& flags) {
-  SweepSpec spec;
+  SweepSpec spec = make_sweep_spec(flags);
   spec.x_name = "repl-prob";
   spec.xs = {0.0, 0.1, 0.25, 0.5, 0.8};
-  spec.repetitions = flags.repetitions;
-  spec.base_seed = flags.seed;
   spec.heuristics = {HeuristicKind::SubtreeBottomUp,
                      HeuristicKind::CommGreedy,
                      HeuristicKind::ObjectAvailability};

@@ -76,6 +76,11 @@ struct SweepSpec {
   std::uint64_t base_seed = 42;
   std::vector<HeuristicKind> heuristics;  ///< empty = all six
   AllocatorOptions allocator_options;
+  /// Worker threads for the (x, repetition) grid: 0 = hardware concurrency,
+  /// 1 = serial.  Every task derives its RNG purely from
+  /// (base_seed, x_index, rep), so the result is bit-identical for every
+  /// thread count.
+  int num_threads = 0;
 };
 
 SweepResult run_sweep(const SweepSpec& spec);

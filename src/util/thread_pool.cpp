@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace insp {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = resolve_num_threads(num_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+unsigned ThreadPool::resolve_num_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::parallel_for(std::size_t n, unsigned num_threads,
+                              const std::function<void(std::size_t)>& body) {
+  const unsigned threads = resolve_num_threads(num_threads);
+  if (n <= 1 || threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // One long-running task per worker, all pulling indices from a shared
+  // counter.  Cheaper than queueing n closures and naturally load-balanced.
+  std::atomic<std::size_t> next{0};
+  const std::size_t spawned =
+      std::min<std::size_t>(threads, n);  // never more workers than items
+  ThreadPool pool(static_cast<unsigned>(spawned));
+  for (std::size_t w = 0; w < spawned; ++w) {
+    pool.submit([&next, n, &body] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        body(i);
+      }
+    });
+  }
+  pool.wait();
+}
+
+} // namespace insp

@@ -1,0 +1,58 @@
+// Fixed-size thread pool with a single shared task queue (no work stealing).
+// Built for the experiment harness: coarse-grained, independent tasks whose
+// results are written to pre-allocated slots, so the pool needs no futures
+// or return plumbing.  Tasks must not throw — an escaping exception
+// terminates the process.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace insp {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task.  May be called from any thread, including workers.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished running.
+  void wait();
+
+  /// 0 -> hardware_concurrency (at least 1); otherwise the request itself.
+  static unsigned resolve_num_threads(unsigned requested);
+
+  /// Run body(0..n-1) across `num_threads` workers (0 = auto).  Iterations
+  /// are claimed from a shared atomic counter, so the assignment of index
+  /// to thread is nondeterministic — callers needing deterministic results
+  /// must make each iteration self-contained (own RNG, own output slot).
+  /// Runs inline when n <= 1 or only one thread is requested/available.
+  static void parallel_for(std::size_t n, unsigned num_threads,
+                           const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;  ///< signals workers: task ready / stop
+  std::condition_variable cv_idle_;  ///< signals wait(): everything drained
+  std::size_t in_flight_ = 0;        ///< queued + currently running tasks
+  bool stop_ = false;
+};
+
+} // namespace insp

@@ -13,7 +13,7 @@ using testhelpers::simple_platform;
 
 /// Hand-built allocation over the fig1a fixture: all five ops on one
 /// processor, downloads routed to server 0.
-Allocation one_proc_allocation(const Fixture& f, ProcessorConfig cfg) {
+Allocation one_proc_allocation(const Fixture&, ProcessorConfig cfg) {
   Allocation a;
   PurchasedProcessor proc;
   proc.config = cfg;

@@ -39,7 +39,9 @@ TEST(ServerSelection, Loop1ExclusiveHolderIsForced) {
   const auto r = select_servers_three_loop(f.problem(), a);
   ASSERT_TRUE(r.success) << r.failure_reason;
   for (const auto& dl : a.processors[0].downloads) {
-    if (dl.object_type == 2) EXPECT_EQ(dl.server, 1);
+    if (dl.object_type == 2) {
+      EXPECT_EQ(dl.server, 1);
+    }
   }
 }
 
@@ -61,7 +63,9 @@ TEST(ServerSelection, Loop2PrefersSingleTypeServers) {
   const auto r = select_servers_three_loop(f.problem(), a);
   ASSERT_TRUE(r.success) << r.failure_reason;
   for (const auto& dl : a.processors[0].downloads) {
-    if (dl.object_type == 1) EXPECT_EQ(dl.server, 1);
+    if (dl.object_type == 1) {
+      EXPECT_EQ(dl.server, 1);
+    }
   }
 }
 
