@@ -1,11 +1,11 @@
-// Ablations of the documented design decisions (DESIGN.md §3): how much do
-// (a) SBU's opportunistic sibling-processor coalescing and (b) the iterated
-// (transitive) grouping technique matter, and (c) how often does the
-// three-loop server selection succeed where random selection fails.
+// Ablations of the documented design decisions (docs/DESIGN.md §3): how
+// much do (a) SBU's opportunistic sibling-processor coalescing and (b) the
+// iterated (transitive) grouping technique matter, and (c) how often does
+// the three-loop server selection succeed where random selection fails.
+// Every variant (default and ablation) is pulled from the strategy registry.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/ablation_variants.hpp"
 #include "core/downgrade.hpp"
 #include "core/server_selection.hpp"
 
@@ -54,7 +54,8 @@ void print_stats(const char* name, const VariantStats& s) {
 } // namespace
 
 int main(int argc, char** argv) {
-  const BenchFlags flags = parse_flags(argc, argv);
+  const BenchFlags flags =
+      parse_flags(argc, argv, /*default_reps=*/20, /*accepts_heuristics=*/false);
 
   std::printf("Ablations of documented design decisions\n"
               "========================================\n\n");
@@ -67,9 +68,9 @@ int main(int argc, char** argv) {
         const Instance inst = make_instance(flags.seed + rep,
                                             paper_instance(n, alpha));
         const Problem prob = inst.problem();
-        run_variant(prob, place_subtree_bottom_up, flags.seed + rep, true,
-                    &with_coalesce);
-        run_variant(prob, place_subtree_bottom_up_no_coalesce,
+        run_variant(prob, strategy_for(HeuristicKind::SubtreeBottomUp).place,
+                    flags.seed + rep, true, &with_coalesce);
+        run_variant(prob, strategy_for(HeuristicKind::SbuNoCoalesce).place,
                     flags.seed + rep, true, &without_coalesce);
       }
       std::printf("SBU coalescing (N=%d, alpha=%.1f):\n", n, alpha);
@@ -89,9 +90,10 @@ int main(int argc, char** argv) {
       cfg.tree.object_size_hi = 530.0;
       const Instance inst = make_instance(flags.seed + rep, cfg);
       const Problem prob = inst.problem();
-      run_variant(prob, place_random, flags.seed + rep, false, &iterated);
-      run_variant(prob, place_random_pair_grouping, flags.seed + rep, false,
-                  &pair_only);
+      run_variant(prob, strategy_for(HeuristicKind::Random).place,
+                  flags.seed + rep, false, &iterated);
+      run_variant(prob, strategy_for(HeuristicKind::RandomPairGrouping).place,
+                  flags.seed + rep, false, &pair_only);
     }
     print_stats("iterated transitive grouping (default)", iterated);
     print_stats("pair-only grouping (paper-literal)", pair_only);
@@ -108,10 +110,10 @@ int main(int argc, char** argv) {
       cfg.tree.object_size_hi = 530.0;
       const Instance inst = make_instance(flags.seed + rep, cfg);
       const Problem prob = inst.problem();
-      run_variant(prob, place_comp_greedy, flags.seed + rep, true,
-                  &three_loop);
-      run_variant(prob, place_comp_greedy, flags.seed + rep, false,
-                  &random_sel);
+      run_variant(prob, strategy_for(HeuristicKind::CompGreedy).place,
+                  flags.seed + rep, true, &three_loop);
+      run_variant(prob, strategy_for(HeuristicKind::CompGreedy).place,
+                  flags.seed + rep, false, &random_sel);
     }
     print_stats("three-loop selection (default)", three_loop);
     print_stats("random selection", random_sel);

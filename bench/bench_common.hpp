@@ -3,11 +3,15 @@
 // epilogue every bench emits.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench_support/experiment.hpp"
 #include "bench_support/reporting.hpp"
+#include "core/strategy_registry.hpp"
 #include "util/cli.hpp"
 
 namespace insp::benchx {
@@ -34,25 +38,75 @@ struct BenchFlags {
   std::uint64_t seed;
   std::string csv_path;
   int threads;  ///< sweep worker threads: 0 = hardware concurrency, 1 = serial
+  /// Strategies selected via --heuristics (comma-separated registry names);
+  /// empty = the paper's six.
+  std::vector<HeuristicKind> heuristics;
 };
 
-inline BenchFlags parse_flags(int argc, char** argv, int default_reps = 20) {
+/// Parses a comma-separated list of strategy names against the placement
+/// registry (display or CLI spelling).  Unknown names abort with the list of
+/// registered spellings — the single source of truth for every bench flag.
+inline std::vector<HeuristicKind> parse_heuristic_list(
+    const std::string& csv) {
+  std::vector<HeuristicKind> kinds;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string token = csv.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) continue;
+    const PlacementStrategy* s = strategy_by_name(token);
+    if (s == nullptr) {
+      std::fprintf(stderr, "unknown heuristic '%s'; registered:\n",
+                   token.c_str());
+      for (const PlacementStrategy& reg : placement_registry()) {
+        std::fprintf(stderr, "  %-22s (--heuristics=%s)%s\n", reg.name,
+                     reg.cli_name, reg.paper_core ? "" : "  [ablation]");
+      }
+      std::exit(2);
+    }
+    // Dedupe, keeping first-mention order: a repeated name would otherwise
+    // double-count every run into the same sweep cell.
+    if (std::find(kinds.begin(), kinds.end(), s->kind) == kinds.end()) {
+      kinds.push_back(s->kind);
+    }
+  }
+  return kinds;
+}
+
+/// `accepts_heuristics = false` is for benches with a fixed strategy set
+/// (ablations, ILP comparison, ...): they reject --heuristics outright
+/// rather than silently ignoring it.
+inline BenchFlags parse_flags(int argc, char** argv, int default_reps = 20,
+                              bool accepts_heuristics = true) {
   CliArgs args(argc, argv);
   BenchFlags f;
   f.repetitions = static_cast<int>(args.get_int("reps", default_reps));
   f.seed = args.get_u64("seed", 42);
   f.csv_path = args.get("csv", "");
   f.threads = static_cast<int>(args.get_int("threads", 0));
+  const std::string heuristics_csv = args.get("heuristics", "");
+  if (!heuristics_csv.empty() && !accepts_heuristics) {
+    std::fprintf(stderr,
+                 "%s runs a fixed strategy set and does not support "
+                 "--heuristics\n",
+                 args.program().c_str());
+    std::exit(2);
+  }
+  f.heuristics = parse_heuristic_list(heuristics_csv);
   return f;
 }
 
-/// Pre-wired sweep spec: repetitions, seed, and thread count come from the
-/// standard flags so every bench binary is parallel by default.
+/// Pre-wired sweep spec: repetitions, seed, thread count, and the heuristic
+/// selection come from the standard flags so every bench binary is parallel
+/// and registry-filterable by default.
 inline SweepSpec make_sweep_spec(const BenchFlags& flags) {
   SweepSpec spec;
   spec.repetitions = flags.repetitions;
   spec.base_seed = flags.seed;
   spec.num_threads = flags.threads;
+  spec.heuristics = flags.heuristics;
   return spec;
 }
 

@@ -4,7 +4,7 @@
 // processor in all solved cases (N = 20), (b) Subtree-bottom-up is optimal
 // in most cases, (c) ranking SBU > Greedy (Comm-Greedy best) > Object-
 // Grouping > Object-Availability > Random.  Our exact branch-and-bound
-// replaces CPLEX (DESIGN.md §4).
+// replaces CPLEX (docs/DESIGN.md §4).
 #include <cstdio>
 #include <map>
 
@@ -16,7 +16,8 @@ using namespace insp::benchx;
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  const BenchFlags flags = parse_flags(argc, argv, /*default_reps=*/10);
+  const BenchFlags flags =
+      parse_flags(argc, argv, /*default_reps=*/10, /*accepts_heuristics=*/false);
   const int n_max = static_cast<int>(args.get_int("nmax", 12));
 
   std::printf(

@@ -17,9 +17,13 @@ void run(const char* title, MegaBytes lo, MegaBytes hi, int n,
   SweepSpec spec = make_sweep_spec(flags);
   spec.x_name = "repl-prob";
   spec.xs = {0.0, 0.1, 0.25, 0.5, 0.8};
-  spec.heuristics = {HeuristicKind::SubtreeBottomUp,
-                     HeuristicKind::CommGreedy,
-                     HeuristicKind::ObjectAvailability};
+  // Default to the three heuristics whose replication sensitivity the study
+  // is about; --heuristics (already in the spec) overrides.
+  if (spec.heuristics.empty()) {
+    spec.heuristics = {HeuristicKind::SubtreeBottomUp,
+                       HeuristicKind::CommGreedy,
+                       HeuristicKind::ObjectAvailability};
+  }
   spec.config_for = [=](double p) {
     InstanceConfig cfg = paper_instance(n, 0.9);
     cfg.tree.object_size_lo = lo;

@@ -12,15 +12,7 @@
 namespace insp {
 
 char heuristic_marker(HeuristicKind kind) {
-  switch (kind) {
-    case HeuristicKind::Random: return 'R';
-    case HeuristicKind::CompGreedy: return 'W';
-    case HeuristicKind::CommGreedy: return 'C';
-    case HeuristicKind::SubtreeBottomUp: return 'S';
-    case HeuristicKind::ObjectGrouping: return 'G';
-    case HeuristicKind::ObjectAvailability: return 'A';
-  }
-  return '?';
+  return strategy_for(kind).marker;
 }
 
 namespace {

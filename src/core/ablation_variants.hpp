@@ -1,4 +1,4 @@
-// Ablation variants of the design decisions DESIGN.md documents for the
+// Ablation variants of the design decisions docs/DESIGN.md documents for the
 // heuristics.  The bench_ablations binary compares each variant against the
 // default to quantify how much the decision matters:
 //  - Subtree-Bottom-Up without opportunistic sibling-processor coalescing

@@ -7,54 +7,6 @@
 
 namespace insp {
 
-const std::vector<HeuristicKind>& all_heuristics() {
-  static const std::vector<HeuristicKind> kAll = {
-      HeuristicKind::Random,          HeuristicKind::CompGreedy,
-      HeuristicKind::CommGreedy,      HeuristicKind::SubtreeBottomUp,
-      HeuristicKind::ObjectGrouping,  HeuristicKind::ObjectAvailability,
-  };
-  return kAll;
-}
-
-const char* heuristic_name(HeuristicKind kind) {
-  switch (kind) {
-    case HeuristicKind::Random: return "Random";
-    case HeuristicKind::CompGreedy: return "Comp-Greedy";
-    case HeuristicKind::CommGreedy: return "Comm-Greedy";
-    case HeuristicKind::SubtreeBottomUp: return "Subtree-bottom-up";
-    case HeuristicKind::ObjectGrouping: return "Object-Grouping";
-    case HeuristicKind::ObjectAvailability: return "Object-Availability";
-  }
-  return "?";
-}
-
-std::optional<HeuristicKind> heuristic_from_name(const std::string& name) {
-  for (HeuristicKind k : all_heuristics()) {
-    if (name == heuristic_name(k)) return k;
-  }
-  return std::nullopt;
-}
-
-namespace {
-
-PlacementOutcome run_placement(HeuristicKind kind, PlacementState& state,
-                               Rng& rng) {
-  switch (kind) {
-    case HeuristicKind::Random: return place_random(state, rng);
-    case HeuristicKind::CompGreedy: return place_comp_greedy(state, rng);
-    case HeuristicKind::CommGreedy: return place_comm_greedy(state, rng);
-    case HeuristicKind::SubtreeBottomUp:
-      return place_subtree_bottom_up(state, rng);
-    case HeuristicKind::ObjectGrouping:
-      return place_object_grouping(state, rng);
-    case HeuristicKind::ObjectAvailability:
-      return place_object_availability(state, rng);
-  }
-  return {false, "unknown heuristic"};
-}
-
-} // namespace
-
 AllocationOutcome allocate(const Problem& problem, HeuristicKind kind,
                            Rng& rng, const AllocatorOptions& options) {
   AllocationOutcome out;
@@ -62,10 +14,11 @@ AllocationOutcome allocate(const Problem& problem, HeuristicKind kind,
     out.failure_reason = "invalid problem instance";
     return out;
   }
+  const PlacementStrategy& strat = strategy_for(kind);
 
   // ---- Phase 1: operator placement. ---------------------------------------
   PlacementState state(problem);
-  const PlacementOutcome placed = run_placement(kind, state, rng);
+  const PlacementOutcome placed = strat.place(state, rng);
   if (!placed.success) {
     out.failure_reason = "placement: " + placed.failure_reason;
     return out;
@@ -78,8 +31,7 @@ AllocationOutcome allocate(const Problem& problem, HeuristicKind kind,
   // ---- Phase 2: server selection. ------------------------------------------
   ServerSelectionKind ss = options.server_selection;
   if (ss == ServerSelectionKind::PaperDefault) {
-    ss = kind == HeuristicKind::Random ? ServerSelectionKind::RandomChoice
-                                       : ServerSelectionKind::ThreeLoop;
+    ss = strat.default_selection;
   }
   const ServerSelectionResult sel =
       ss == ServerSelectionKind::RandomChoice

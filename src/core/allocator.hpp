@@ -12,31 +12,10 @@
 #include "core/constraints.hpp"
 #include "core/placement_heuristics.hpp"
 #include "core/problem.hpp"
+#include "core/strategy_registry.hpp"
 #include "util/rng.hpp"
 
 namespace insp {
-
-enum class HeuristicKind {
-  Random,
-  CompGreedy,
-  CommGreedy,
-  SubtreeBottomUp,
-  ObjectGrouping,
-  ObjectAvailability,
-};
-
-/// All six, in the paper's presentation order.
-const std::vector<HeuristicKind>& all_heuristics();
-const char* heuristic_name(HeuristicKind kind);
-std::optional<HeuristicKind> heuristic_from_name(const std::string& name);
-
-enum class ServerSelectionKind {
-  /// Paper pairing: Random placement -> random selection; all other
-  /// heuristics -> the sophisticated three-loop selection.
-  PaperDefault,
-  RandomChoice,
-  ThreeLoop,
-};
 
 struct AllocatorOptions {
   ServerSelectionKind server_selection = ServerSelectionKind::PaperDefault;

@@ -64,8 +64,10 @@ PlacementOutcome place_comm_greedy(PlacementState& state, Rng& /*rng*/) {
     }
   }
 
-  // A single-operator tree has no edges; seat the root directly.
-  for (int op : state.unassigned_ops()) {
+  // A single-operator tree has no edges; seat the root directly.  Copy the
+  // snapshot: placing mutates the unassigned list we would be iterating.
+  const std::vector<int> leftover = state.unassigned_ops();
+  for (int op : leftover) {
     std::string why;
     if (!place_with_grouping(state, op, GroupConfigPolicy::CheapestFirst,
                              &why)) {

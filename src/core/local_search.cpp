@@ -75,7 +75,10 @@ bool relocation_pass(PlacementState& state, LocalSearchStats& stats) {
     const int home = state.proc_of(op);
     if (home == kNoNode || state.ops_on(home).size() < 2) continue;
     const Dollars before = projected_downgraded_cost(state);
-    for (int target : state.live_processors()) {
+    // Copy: a restore move below can auto-sell an emptied target, which
+    // mutates the live list.
+    const std::vector<int> targets = state.live_processors();
+    for (int target : targets) {
       if (target == home) continue;
       if (!state.try_place({op}, target)) continue;
       const Dollars after = projected_downgraded_cost(state);

@@ -5,28 +5,51 @@
 
 namespace insp {
 
+namespace {
+
+/// Insert `v` into sorted `xs` (no duplicates expected).
+void sorted_insert(std::vector<int>& xs, int v) {
+  xs.insert(std::lower_bound(xs.begin(), xs.end(), v), v);
+}
+
+/// Erase `v` from sorted `xs`; it must be present.
+void sorted_erase(std::vector<int>& xs, int v) {
+  auto it = std::lower_bound(xs.begin(), xs.end(), v);
+  assert(it != xs.end() && *it == v);
+  xs.erase(it);
+}
+
+} // namespace
+
 PlacementState::PlacementState(Problem problem)
     : problem_(problem),
       op_to_proc_(static_cast<std::size_t>(problem.tree->num_operators()),
                   kNoNode),
-      pp_links_(problem.platform->link_proc_proc()),
-      num_unassigned_(problem.tree->num_operators()) {
+      pp_links_(problem.platform->link_proc_proc()) {
   assert(problem.valid());
+  unassigned_ids_.resize(op_to_proc_.size());
+  for (std::size_t i = 0; i < unassigned_ids_.size(); ++i) {
+    unassigned_ids_[i] = static_cast<int>(i);
+  }
 }
 
 int PlacementState::buy(ProcessorConfig config) {
+  assert(txn_mode_ == TxnMode::kNone);
   const int pid = static_cast<int>(procs_.size());
   ProcState p;
   p.cfg = config;
   p.live = true;
   procs_.push_back(std::move(p));
+  live_ids_.push_back(pid);  // pids grow monotonically: stays sorted
   return pid;
 }
 
 void PlacementState::sell(int pid) {
+  assert(txn_mode_ == TxnMode::kNone);
   auto& p = proc(pid);
   assert(p.live && p.ops.empty());
   p.live = false;
+  sorted_erase(live_ids_, pid);
 }
 
 bool PlacementState::is_live(int pid) const {
@@ -39,20 +62,6 @@ const ProcessorConfig& PlacementState::config(int pid) const {
   return proc(pid).cfg;
 }
 
-std::vector<int> PlacementState::live_processors() const {
-  std::vector<int> out;
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    if (procs_[i].live) out.push_back(static_cast<int>(i));
-  }
-  return out;
-}
-
-int PlacementState::num_live_processors() const {
-  int n = 0;
-  for (const auto& p : procs_) n += p.live ? 1 : 0;
-  return n;
-}
-
 int PlacementState::proc_of(int op) const {
   return op_to_proc_[static_cast<std::size_t>(op)];
 }
@@ -62,62 +71,155 @@ const std::vector<int>& PlacementState::ops_on(int pid) const {
   return proc(pid).ops;
 }
 
-std::vector<int> PlacementState::unassigned_ops() const {
-  std::vector<int> out;
-  for (std::size_t i = 0; i < op_to_proc_.size(); ++i) {
-    if (op_to_proc_[i] == kNoNode) out.push_back(static_cast<int>(i));
-  }
+std::vector<std::pair<int, MBps>> PlacementState::neighbors(int op) const {
+  std::vector<std::pair<int, MBps>> out;
+  for_each_neighbor(op, [&](int nb, MBps volume) {
+    out.emplace_back(nb, volume);
+  });
   return out;
 }
 
-std::vector<std::pair<int, MBps>> PlacementState::neighbors(int op) const {
+template <typename Fn>
+void PlacementState::for_each_neighbor(int op, Fn&& fn) const {
   const OperatorTree& tree = *problem_.tree;
   const auto& n = tree.op(op);
-  std::vector<std::pair<int, MBps>> out;
   if (n.parent != kNoNode) {
-    out.emplace_back(n.parent, problem_.rho * n.output_mb);
+    fn(n.parent, problem_.rho * n.output_mb);
   }
   for (int c : n.children) {
-    out.emplace_back(c, problem_.rho * tree.op(c).output_mb);
+    fn(c, problem_.rho * tree.op(c).output_mb);
   }
-  return out;
 }
+
+// --- transactions ----------------------------------------------------------
+
+void PlacementState::begin_txn(TxnMode mode) {
+  assert(txn_mode_ == TxnMode::kNone);
+  assert(mode != TxnMode::kNone);
+  txn_mode_ = mode;
+  ++txn_epoch_;
+  snap_count_ = 0;
+  touched_procs_.clear();
+  moved_ops_.clear();
+  pp_links_.begin_txn();
+}
+
+void PlacementState::touch_proc(int pid) {
+  ProcState& p = proc(pid);
+  if (p.touch_epoch == txn_epoch_) return;
+  p.touch_epoch = txn_epoch_;
+  touched_procs_.push_back(pid);
+  if (txn_mode_ != TxnMode::kFull) return;
+  if (snap_count_ == snaps_.size()) snaps_.emplace_back();
+  ProcSnapshot& s = snaps_[snap_count_++];
+  s.pid = pid;
+  s.work = p.work;
+  s.download = p.download;
+  s.comm = p.comm;
+  s.ops.assign(p.ops.begin(), p.ops.end());
+  s.type_count.assign(p.type_count.begin(), p.type_count.end());
+}
+
+void PlacementState::commit_txn() {
+  assert(txn_mode_ != TxnMode::kNone);
+  txn_mode_ = TxnMode::kNone;
+  pp_links_.commit_txn();
+}
+
+void PlacementState::rollback_txn() {
+  assert(txn_mode_ == TxnMode::kFull);
+  txn_mode_ = TxnMode::kNone;
+  // Touched processors: restore the value snapshots verbatim.
+  for (std::size_t i = snap_count_; i-- > 0;) {
+    const ProcSnapshot& s = snaps_[i];
+    ProcState& p = proc(s.pid);
+    p.work = s.work;
+    p.download = s.download;
+    p.comm = s.comm;
+    p.ops.assign(s.ops.begin(), s.ops.end());
+    p.type_count.assign(s.type_count.begin(), s.type_count.end());
+  }
+  // Moved operators: reverse replay restores op_to_proc_ and the sorted
+  // unassigned list (ints: exact).
+  for (auto it = moved_ops_.rbegin(); it != moved_ops_.rend(); ++it) {
+    const auto [op, prev] = *it;
+    const int cur = op_to_proc_[static_cast<std::size_t>(op)];
+    if (cur == kNoNode && prev != kNoNode) {
+      sorted_erase(unassigned_ids_, op);
+    } else if (cur != kNoNode && prev == kNoNode) {
+      sorted_insert(unassigned_ids_, op);
+    }
+    op_to_proc_[static_cast<std::size_t>(op)] = prev;
+  }
+  pp_links_.rollback_txn();
+}
+
+bool PlacementState::touched_feasible() const {
+  const PriceCatalog& cat = *problem_.catalog;
+  for (int pid : touched_procs_) {
+    const ProcState& p = proc(pid);
+    if (!p.live) continue;
+    if (!fits_within(problem_.rho * p.work, cat.speed(p.cfg))) return false;
+    if (!fits_within(p.download + p.comm, cat.bandwidth(p.cfg))) return false;
+  }
+  return pp_links_.touched_within();
+}
+
+// --- assignment -------------------------------------------------------------
 
 void PlacementState::assign_op(int op, int pid) {
   assert(proc_of(op) == kNoNode);
+  if (txn_mode_ != TxnMode::kNone) {
+    touch_proc(pid);
+    if (txn_mode_ == TxnMode::kFull) moved_ops_.emplace_back(op, kNoNode);
+  }
   auto& p = proc(pid);
   op_to_proc_[static_cast<std::size_t>(op)] = pid;
+  sorted_erase(unassigned_ids_, op);
   p.ops.push_back(op);
   p.work += problem_.tree->op(op).work;
   for (int t : problem_.tree->object_types_of(op)) {
-    if (++p.type_count[t] == 1) {
+    auto it = std::lower_bound(
+        p.type_count.begin(), p.type_count.end(), t,
+        [](const std::pair<int, int>& e, int type) { return e.first < type; });
+    if (it != p.type_count.end() && it->first == t) {
+      ++it->second;
+    } else {
+      p.type_count.insert(it, {t, 1});
       p.download += problem_.tree->catalog().type(t).rate();
     }
   }
-  for (const auto& [nb, volume] : neighbors(op)) {
+  for_each_neighbor(op, [&](int nb, MBps volume) {
     const int q = proc_of(nb);
-    if (q == kNoNode || q == pid) continue;
+    if (q == kNoNode || q == pid) return;
+    if (txn_mode_ != TxnMode::kNone) touch_proc(q);
     p.comm += volume;
     proc(q).comm += volume;
     pp_links_.add(pid, q, volume);
-  }
-  --num_unassigned_;
+  });
 }
 
 void PlacementState::unassign_op(int op) {
   const int pid = proc_of(op);
   assert(pid != kNoNode);
+  if (txn_mode_ != TxnMode::kNone) {
+    touch_proc(pid);
+    if (txn_mode_ == TxnMode::kFull) moved_ops_.emplace_back(op, pid);
+  }
   auto& p = proc(pid);
-  for (const auto& [nb, volume] : neighbors(op)) {
+  for_each_neighbor(op, [&](int nb, MBps volume) {
     const int q = proc_of(nb);
-    if (q == kNoNode || q == pid) continue;
+    if (q == kNoNode || q == pid) return;
+    if (txn_mode_ != TxnMode::kNone) touch_proc(q);
     p.comm -= volume;
     proc(q).comm -= volume;
     pp_links_.remove(pid, q, volume);
-  }
+  });
   for (int t : problem_.tree->object_types_of(op)) {
-    auto it = p.type_count.find(t);
-    assert(it != p.type_count.end());
+    auto it = std::lower_bound(
+        p.type_count.begin(), p.type_count.end(), t,
+        [](const std::pair<int, int>& e, int type) { return e.first < type; });
+    assert(it != p.type_count.end() && it->first == t);
     if (--it->second == 0) {
       p.download -= problem_.tree->catalog().type(t).rate();
       p.type_count.erase(it);
@@ -129,15 +231,7 @@ void PlacementState::unassign_op(int op) {
   *pos = p.ops.back();
   p.ops.pop_back();
   op_to_proc_[static_cast<std::size_t>(op)] = kNoNode;
-  ++num_unassigned_;
-}
-
-void PlacementState::place_unchecked(const std::vector<int>& ops, int pid) {
-  for (int op : ops) {
-    if (proc_of(op) == pid) continue;
-    if (proc_of(op) != kNoNode) unassign_op(op);
-    assign_op(op, pid);
-  }
+  sorted_insert(unassigned_ids_, op);
 }
 
 bool PlacementState::feasible() const {
@@ -150,30 +244,59 @@ bool PlacementState::feasible() const {
   return pp_links_.all_within();
 }
 
-bool PlacementState::try_place(std::vector<int> ops, int pid) {
-  assert(is_live(pid));
-  PlacementState trial(*this);
-  trial.place_unchecked(ops, pid);
-  if (!trial.feasible()) return false;
+bool PlacementState::probe(const std::vector<int>& ops, int pid, bool commit) {
+  // `ops` routinely aliases ops_on() of a processor the move empties, and
+  // assign/unassign reshuffle those vectors — copy into reusable scratch.
+  scratch_ops_.assign(ops.begin(), ops.end());
+  sell_candidates_.clear();
+  begin_txn(TxnMode::kFull);
+  for (int op : scratch_ops_) {
+    const int src = proc_of(op);
+    if (src == pid) continue;
+    if (src != kNoNode) {
+      unassign_op(op);
+      sell_candidates_.push_back(src);
+    }
+    assign_op(op, pid);
+  }
+  if (!touched_feasible()) {
+    rollback_txn();
+    return false;
+  }
+  if (!commit) {
+    rollback_txn();
+    return true;
+  }
+  commit_txn();
   // Sell the source processors the move emptied (Random: "this last
   // processor is sold back"; SBU: "possibly returning some processors").
   // Only sources are sold — processors that were already empty (e.g. just
   // bought by the caller) are none of this move's business.
-  for (int op : ops) {
-    const int src = proc_of(op);  // pre-move assignment (this, not trial)
-    if (src == kNoNode || src == pid) continue;
-    auto& p = trial.procs_[static_cast<std::size_t>(src)];
-    if (p.live && p.ops.empty()) p.live = false;
+  for (int src : sell_candidates_) {
+    const auto& p = proc(src);
+    if (p.live && p.ops.empty()) sell(src);
   }
-  *this = std::move(trial);
   return true;
 }
 
-bool PlacementState::can_place(std::vector<int> ops, int pid) const {
-  PlacementState trial(*this);
-  trial.place_unchecked(ops, pid);
-  return trial.feasible();
+bool PlacementState::try_place(const std::vector<int>& ops, int pid) {
+  assert(is_live(pid));
+  return probe(ops, pid, /*commit=*/true);
 }
+
+bool PlacementState::can_place(const std::vector<int>& ops, int pid) {
+  return probe(ops, pid, /*commit=*/false);
+}
+
+bool PlacementState::search_place(int op, int pid) {
+  begin_txn(TxnMode::kTrack);
+  assign_op(op, pid);
+  const bool ok = touched_feasible();
+  commit_txn();
+  return ok;
+}
+
+// --- loads ------------------------------------------------------------------
 
 MegaOps PlacementState::cpu_demand(int pid) const {
   return problem_.rho * proc(pid).work;
@@ -208,7 +331,7 @@ Dollars PlacementState::total_cost() const {
 }
 
 Allocation PlacementState::to_allocation() const {
-  assert(num_unassigned_ == 0);
+  assert(num_unassigned() == 0);
   Allocation alloc;
   std::vector<int> dense(procs_.size(), kNoNode);
   for (std::size_t i = 0; i < procs_.size(); ++i) {

@@ -2,19 +2,28 @@
 // of purchased processors, the (partial) operator assignment, and the
 // incremental load accounting the feasibility checks run against.
 //
-// Semantics (DESIGN.md §3): tree edges to *unassigned* neighbors consume no
-// bandwidth; a realized cross-processor edge is charged to both processor
-// NICs and to the pairwise link.  Downloads are charged per processor and
-// per distinct object type (two co-located operators share a download; the
-// same type on two processors is downloaded twice, per the paper).
+// Semantics (docs/DESIGN.md §3): tree edges to *unassigned* neighbors
+// consume no bandwidth; a realized cross-processor edge is charged to both
+// processor NICs and to the pairwise link.  Downloads are charged per
+// processor and per distinct object type (two co-located operators share a
+// download; the same type on two processors is downloaded twice, per the
+// paper).
 //
-// `try_place` is transactional: it applies a move to a copy of the state,
-// validates every capacity, and commits only when feasible — heuristics can
-// probe candidate moves without corrupting the state.
+// `try_place` is transactional (docs/DESIGN.md §5): the move is applied
+// incrementally under an undo journal, only the processors and pairwise
+// links the move touched are re-validated, and on failure the journal is
+// replayed in reverse — restoring the state bit for bit.  Validation and
+// snapshotting therefore scale with the move's footprint, not the state
+// (the one caveat: keeping unassigned_ops() sorted shifts up to
+// O(#unassigned) ints per moved operator — trivial next to the deep copy
+// plus full-state scan this replaces).  Heuristics can probe candidate
+// moves without corrupting the state.  Probes assume the current state is
+// feasible (every committed mutation preserves that invariant).
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/allocation.hpp"
@@ -39,34 +48,49 @@ class PlacementState {
   void sell(int pid);
   bool is_live(int pid) const;
   const ProcessorConfig& config(int pid) const;
-  /// Ids of live processors, ascending (purchase order).
-  std::vector<int> live_processors() const;
-  int num_live_processors() const;
+  /// Ids of live processors, ascending (purchase order).  The reference is
+  /// invalidated by buy/sell and by any committed try_place (which may
+  /// auto-sell an emptied source); copy it before mutating the state while
+  /// iterating.
+  const std::vector<int>& live_processors() const { return live_ids_; }
+  int num_live_processors() const {
+    return static_cast<int>(live_ids_.size());
+  }
 
   // --- assignment ----------------------------------------------------------
   int proc_of(int op) const;  ///< kNoNode if unassigned
   const std::vector<int>& ops_on(int pid) const;
-  int num_unassigned() const { return num_unassigned_; }
-  std::vector<int> unassigned_ops() const;
+  int num_unassigned() const {
+    return static_cast<int>(unassigned_ids_.size());
+  }
+  /// Ids of unassigned operators, ascending.  Same invalidation caveat as
+  /// live_processors().
+  const std::vector<int>& unassigned_ops() const { return unassigned_ids_; }
 
   /// Moves every operator in `ops` (currently assigned anywhere, or
-  /// unassigned) onto live processor `pid`, then validates *all* capacities
-  /// (CPU, NICs including neighbor processors, pairwise links).  On success
-  /// the move is committed and any processor emptied by the move — other
-  /// than `pid` — is sold automatically; on failure the state is unchanged.
-  /// Taken by value: callers routinely pass ops_on(p) of a processor the
-  /// move itself empties.
-  bool try_place(std::vector<int> ops, int pid);
+  /// unassigned) onto live processor `pid`, then validates every capacity
+  /// the move touched (CPU, NICs including neighbor processors, pairwise
+  /// links).  On success the move is committed and any processor emptied by
+  /// the move — other than `pid` — is sold automatically; on failure the
+  /// undo journal restores the state exactly.  `ops` may alias ops_on() of a
+  /// processor the move empties (it is copied internally).
+  bool try_place(const std::vector<int>& ops, int pid);
 
-  /// try_place without the commit: reports feasibility only.
-  bool can_place(std::vector<int> ops, int pid) const;
+  /// try_place without the commit: reports feasibility only.  Non-const on
+  /// purpose: the probe applies the move and rolls it back bit-identically,
+  /// so no change is observable afterwards, but the state (journal, loads,
+  /// scratch) is mutated in between — probing a shared PlacementState from
+  /// several threads is a data race; give each thread its own copy.
+  bool can_place(const std::vector<int>& ops, int pid);
 
   /// Expert hooks for exhaustive search (ilp::ExactSolver): raw assignment
-  /// updates with incremental accounting but *no* validation and no
-  /// auto-selling.  `op` must be unassigned (resp. assigned).  Because
+  /// updates with incremental accounting and *no* auto-selling.  `op` must
+  /// be unassigned (resp. assigned).  search_place keeps the assignment
+  /// unconditionally and returns the touched-set feasibility verdict —
+  /// equal to feasible() whenever the pre-move state was feasible.  Because
   /// realized loads grow monotonically along a search path, a state that
-  /// fails feasible() can be pruned together with all its extensions.
-  void search_place(int op, int pid) { assign_op(op, pid); }
+  /// fails the verdict can be pruned together with all its extensions.
+  bool search_place(int op, int pid);
   void search_unassign(int op) { unassign_op(op); }
 
   // --- loads (at the problem's rho) ----------------------------------------
@@ -97,15 +121,48 @@ class PlacementState {
     ProcessorConfig cfg;
     bool live = false;
     std::vector<int> ops;
-    MegaOps work = 0.0;              // sum of w_i (rho applied at check time)
-    std::map<int, int> type_count;   // object type -> #ops here needing it
+    MegaOps work = 0.0;  // sum of w_i (rho applied at check time)
+    /// (object type, #ops here needing it), sorted by type.
+    std::vector<std::pair<int, int>> type_count;
     MBps download = 0.0;
-    MBps comm = 0.0;                 // crossing in+out charged to this card
+    MBps comm = 0.0;  // crossing in+out charged to this card
+    std::uint64_t touch_epoch = 0;  // == txn_epoch_ when touched this txn
   };
+
+  /// Value snapshot of one touched processor, taken on first touch inside a
+  /// full transaction; rollback restores it verbatim (bit-exact, unlike
+  /// replaying -= deltas on doubles).
+  struct ProcSnapshot {
+    int pid = -1;
+    MegaOps work = 0.0;
+    MBps download = 0.0;
+    MBps comm = 0.0;
+    std::vector<int> ops;
+    std::vector<std::pair<int, int>> type_count;
+  };
+
+  /// kTrack records only the touched set (enough to validate);
+  /// kFull also snapshots state for rollback.
+  enum class TxnMode { kNone, kTrack, kFull };
+
+  void begin_txn(TxnMode mode);
+  void commit_txn();
+  void rollback_txn();
+  /// First-touch hook: records `pid` in the touched set (and snapshots it in
+  /// kFull mode).  Must run before any mutation of the processor.
+  void touch_proc(int pid);
+  /// Capacity check over the touched processors and links only.
+  bool touched_feasible() const;
+  /// Shared body of try_place/can_place.
+  bool probe(const std::vector<int>& ops, int pid, bool commit);
 
   void assign_op(int op, int pid);
   void unassign_op(int op);
-  void place_unchecked(const std::vector<int>& ops, int pid);
+  /// Calls fn(neighbor op, rho * edge volume) for the parent (first) and
+  /// each operator child, exactly like neighbors() but allocation-free.
+  template <typename Fn>
+  void for_each_neighbor(int op, Fn&& fn) const;
+
   ProcState& proc(int pid) { return procs_[static_cast<std::size_t>(pid)]; }
   const ProcState& proc(int pid) const {
     return procs_[static_cast<std::size_t>(pid)];
@@ -115,7 +172,19 @@ class PlacementState {
   std::vector<ProcState> procs_;
   std::vector<int> op_to_proc_;
   LinkLedger pp_links_;
-  int num_unassigned_ = 0;
+  std::vector<int> live_ids_;        // live pids, ascending
+  std::vector<int> unassigned_ids_;  // unassigned ops, ascending
+
+  // --- transaction scratch (reused across probes; no steady-state
+  // allocation) ------------------------------------------------------------
+  TxnMode txn_mode_ = TxnMode::kNone;
+  std::uint64_t txn_epoch_ = 0;
+  std::vector<ProcSnapshot> snaps_;  // pool; first snap_count_ are active
+  std::size_t snap_count_ = 0;
+  std::vector<int> touched_procs_;
+  std::vector<std::pair<int, int>> moved_ops_;  // (op, previous pid)
+  std::vector<int> scratch_ops_;
+  std::vector<int> sell_candidates_;
 };
 
 } // namespace insp

@@ -1,0 +1,66 @@
+// Unified catalog of operator-placement strategies: the paper's six
+// heuristics (§4.1) plus the documented ablation variants (docs/DESIGN.md
+// §3), each bundling the enum kind, canonical display name, CLI spelling,
+// placement function, and the server-selection policy the paper pairs it
+// with.  The allocator pipeline, the experiment harness, and the bench CLI
+// flag parsing all consume this one table instead of maintaining parallel
+// switch statements, name lists, and function maps.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/placement_heuristics.hpp"
+
+namespace insp {
+
+enum class HeuristicKind {
+  // The paper's six, in presentation order.
+  Random,
+  CompGreedy,
+  CommGreedy,
+  SubtreeBottomUp,
+  ObjectGrouping,
+  ObjectAvailability,
+  // Ablation variants of documented design decisions (docs/DESIGN.md §3).
+  SbuNoCoalesce,
+  RandomPairGrouping,
+};
+
+enum class ServerSelectionKind {
+  /// Resolve to the strategy's registered pairing (paper: Random placement
+  /// -> random selection; all other heuristics -> the sophisticated
+  /// three-loop selection).
+  PaperDefault,
+  RandomChoice,
+  ThreeLoop,
+};
+
+struct PlacementStrategy {
+  HeuristicKind kind;
+  const char* name;      ///< canonical display name (the paper's spelling)
+  const char* cli_name;  ///< lower-case spelling for --heuristics flags
+  char marker;           ///< single-char series marker for ASCII charts
+  PlacementFn place;
+  /// The server-selection phase this strategy is paired with when the
+  /// caller asks for PaperDefault.  Never PaperDefault itself.
+  ServerSelectionKind default_selection;
+  bool paper_core;  ///< one of the paper's six (vs an ablation variant)
+};
+
+/// Every registered strategy: the paper's six first, then the ablations.
+const std::vector<PlacementStrategy>& placement_registry();
+
+/// Registry row for a kind (every enumerator is registered).
+const PlacementStrategy& strategy_for(HeuristicKind kind);
+
+/// Lookup by display or CLI name; nullptr when unknown.
+const PlacementStrategy* strategy_by_name(const std::string& name);
+
+/// The paper's six, in the paper's presentation order.
+const std::vector<HeuristicKind>& all_heuristics();
+const char* heuristic_name(HeuristicKind kind);
+std::optional<HeuristicKind> heuristic_from_name(const std::string& name);
+
+} // namespace insp

@@ -199,8 +199,10 @@ class Search {
     const int max_target = std::min(opened + 1,
                                     problem_.tree->num_operators());
     for (int u = 0; u < max_target; ++u) {
-      state_.search_place(op, u);
-      if (state_.feasible()) {
+      // search_place validates only the capacities the assignment touched —
+      // equivalent to a full feasible() scan here because every state on the
+      // search path was feasible when it was extended.
+      if (state_.search_place(op, u)) {
         dfs(depth + 1, std::max(opened, u + 1));
       }
       state_.search_unassign(op);

@@ -1,5 +1,5 @@
 // Exact optimal-cost solver, standing in for the paper's CPLEX runs
-// (DESIGN.md §4).  Branch-and-bound over operator->processor partitions:
+// (docs/DESIGN.md §4).  Branch-and-bound over operator->processor partitions:
 //
 //  - operators are assigned in non-increasing w order; a new processor may
 //    only be opened as the next unused index (symmetry breaking);

@@ -40,7 +40,13 @@ MBps LinkLedger::used(int a, int b) const {
 }
 
 void LinkLedger::add(int a, int b, MBps amount) {
-  used_[key(a, b)] += amount;
+  const auto k = key(a, b);
+  // Single map traversal: journal the prior value off the emplaced node.
+  auto [it, inserted] = used_.try_emplace(k, 0.0);
+  if (in_txn_) {
+    journal_.push_back({k, inserted ? 0.0 : it->second, !inserted});
+  }
+  it->second += amount;
 }
 
 bool LinkLedger::all_within() const {
@@ -52,13 +58,56 @@ bool LinkLedger::all_within() const {
 }
 
 void LinkLedger::remove(int a, int b, MBps amount) {
-  auto it = used_.find(key(a, b));
+  const auto k = key(a, b);
+  auto it = used_.find(k);
   assert(it != used_.end());
+  if (in_txn_) journal_.push_back({k, it->second, true});
   it->second -= amount;
   if (it->second < kCapacityEpsilon) {
     assert(it->second > -kCapacityEpsilon);
     used_.erase(it);
   }
+}
+
+void LinkLedger::clear() {
+  assert(!in_txn_);
+  used_.clear();
+}
+
+void LinkLedger::begin_txn() {
+  assert(!in_txn_);
+  in_txn_ = true;
+  journal_.clear();
+}
+
+void LinkLedger::commit_txn() {
+  assert(in_txn_);
+  in_txn_ = false;
+  journal_.clear();
+}
+
+void LinkLedger::rollback_txn() {
+  assert(in_txn_);
+  in_txn_ = false;
+  // Reverse replay: each entry restores its key to the state immediately
+  // before the journaled call, so the whole replay restores the
+  // pre-transaction map exactly (values bit for bit, absences included).
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    if (it->existed) {
+      used_[it->key] = it->old_value;
+    } else {
+      used_.erase(it->key);
+    }
+  }
+  journal_.clear();
+}
+
+bool LinkLedger::touched_within() const {
+  for (const auto& e : journal_) {
+    auto it = used_.find(e.key);
+    if (it != used_.end() && !fits_within(it->second, capacity_)) return false;
+  }
+  return true;
 }
 
 } // namespace insp

@@ -46,6 +46,12 @@ class CardLedger {
 /// (the paper's platforms have identical bandwidth on every link of a kind).
 /// Endpoints are opaque ints; processor<->processor links use processor ids
 /// on both sides, server->processor links use (server, processor).
+///
+/// Transactions (docs/DESIGN.md §5): between begin_txn() and commit_txn() /
+/// rollback_txn() every add/remove journals the link's prior value, so a
+/// rollback restores the pre-transaction state bit for bit, and
+/// touched_within() validates only the links the transaction touched — the
+/// delta API the incremental placement probes are built on.
 class LinkLedger {
  public:
   explicit LinkLedger(MBps uniform_capacity);
@@ -59,17 +65,41 @@ class LinkLedger {
   }
   void add(int a, int b, MBps amount);
   void remove(int a, int b, MBps amount);
-  void clear() { used_.clear(); }
+  void clear();
   std::size_t active_links() const { return used_.size(); }
   /// All links with non-zero usage (for whole-state validation).
   const std::map<std::pair<int, int>, MBps>& entries() const { return used_; }
   /// True when every active link is within capacity.
   bool all_within() const;
 
+  // --- transactions --------------------------------------------------------
+  /// Starts journaling add/remove deltas.  Transactions do not nest.
+  void begin_txn();
+  /// Keeps all changes made since begin_txn() and drops the journal.
+  void commit_txn();
+  /// Undoes every journaled change in reverse order, restoring each touched
+  /// link to its exact pre-transaction value (absent links stay absent).
+  void rollback_txn();
+  bool in_txn() const { return in_txn_; }
+  /// Links touched since begin_txn() (journal entries; a link touched twice
+  /// appears twice).
+  std::size_t touched_links() const { return journal_.size(); }
+  /// all_within() restricted to the links the open transaction touched.
+  bool touched_within() const;
+
  private:
+  struct JournalEntry {
+    std::pair<int, int> key;
+    MBps old_value;  ///< meaningful only when existed
+    bool existed;    ///< key had an entry before the journaled call
+  };
+
   static std::pair<int, int> key(int a, int b);
+
   MBps capacity_ = 0.0;
   std::map<std::pair<int, int>, MBps> used_;
+  bool in_txn_ = false;
+  std::vector<JournalEntry> journal_;
 };
 
 } // namespace insp

@@ -24,7 +24,7 @@ struct TreeGenConfig {
   /// otherwise it is unary, like n5 in the paper's Fig 1(a).  0.5 makes the
   /// expected leaf count ~N/2+1, which is the unique value consistent with
   /// the paper's three reported feasibility anchors (alpha thresholds 1.8 at
-  /// N=60 and 2.2 at N=20; the N~80 cliff at alpha=1.7) — see DESIGN.md §6.
+  /// N=60 and 2.2 at N=20; the N~80 cliff at alpha=1.7) — see docs/DESIGN.md §6.
   double binary_prob = 0.5;
 };
 

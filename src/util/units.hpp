@@ -1,7 +1,7 @@
 // Strong-ish unit conventions for the CINSP library.
 //
 // The paper mixes "GB", "Gbps" and "MB" loosely; this header is the single
-// point of truth for the calibrated reading (DESIGN.md §6):
+// point of truth for the calibrated reading (docs/DESIGN.md §6):
 //   - data sizes        : megabytes               (MB)
 //   - bandwidths, rates : megabytes per second    (MB/s)
 //   - operator work     : mega-operations         (Mops)

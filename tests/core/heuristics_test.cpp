@@ -102,25 +102,7 @@ TEST_P(EveryHeuristic, AssignsAllOperatorsOnEasyInstance) {
   const Fixture f = fig1a_fixture(1.0, 10.0);
   Rng rng(7);
   PlacementState state(f.problem());
-  PlacementOutcome out{false, ""};
-  switch (GetParam()) {
-    case HeuristicKind::Random: out = place_random(state, rng); break;
-    case HeuristicKind::CompGreedy:
-      out = place_comp_greedy(state, rng);
-      break;
-    case HeuristicKind::CommGreedy:
-      out = place_comm_greedy(state, rng);
-      break;
-    case HeuristicKind::SubtreeBottomUp:
-      out = place_subtree_bottom_up(state, rng);
-      break;
-    case HeuristicKind::ObjectGrouping:
-      out = place_object_grouping(state, rng);
-      break;
-    case HeuristicKind::ObjectAvailability:
-      out = place_object_availability(state, rng);
-      break;
-  }
+  const PlacementOutcome out = strategy_for(GetParam()).place(state, rng);
   ASSERT_TRUE(out.success) << out.failure_reason;
   expect_all_assigned(state, f);
 }
@@ -130,25 +112,7 @@ TEST_P(EveryHeuristic, FailsCleanlyOnImpossibleInstance) {
   const Fixture f = fig1a_fixture(2.5, 30.0);
   PlacementState state(f.problem());
   Rng rng(7);
-  PlacementOutcome out{true, ""};
-  switch (GetParam()) {
-    case HeuristicKind::Random: out = place_random(state, rng); break;
-    case HeuristicKind::CompGreedy:
-      out = place_comp_greedy(state, rng);
-      break;
-    case HeuristicKind::CommGreedy:
-      out = place_comm_greedy(state, rng);
-      break;
-    case HeuristicKind::SubtreeBottomUp:
-      out = place_subtree_bottom_up(state, rng);
-      break;
-    case HeuristicKind::ObjectGrouping:
-      out = place_object_grouping(state, rng);
-      break;
-    case HeuristicKind::ObjectAvailability:
-      out = place_object_availability(state, rng);
-      break;
-  }
+  const PlacementOutcome out = strategy_for(GetParam()).place(state, rng);
   EXPECT_FALSE(out.success);
   EXPECT_FALSE(out.failure_reason.empty());
 }

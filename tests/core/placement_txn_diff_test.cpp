@@ -1,0 +1,326 @@
+// Randomized differential test of the transactional placement engine
+// (docs/DESIGN.md §5): random sequences of buy / sell / try_place /
+// can_place run simultaneously against PlacementState and against a naive
+// copy-and-revalidate oracle that recomputes every load from first
+// principles.  Verdicts, loads, live sets, and costs must agree at every
+// step, and a failed (or probe-only) move must leave PlacementState
+// bit-identical to a deep copy taken before it.
+#include "core/placement_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "../test_helpers.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+
+/// Naive reference: full assignment vector, loads recomputed from scratch,
+/// full-state validation on every probe.  Shares no accounting code with
+/// PlacementState.
+class Oracle {
+ public:
+  explicit Oracle(const Problem& p)
+      : p_(&p),
+        op_to_proc_(static_cast<std::size_t>(p.tree->num_operators()),
+                    kNoNode) {}
+
+  int buy(ProcessorConfig cfg) {
+    procs_.push_back({cfg, true});
+    return static_cast<int>(procs_.size()) - 1;
+  }
+
+  void sell(int pid) { procs_[static_cast<std::size_t>(pid)].live = false; }
+
+  bool is_live(int pid) const {
+    return pid >= 0 && static_cast<std::size_t>(pid) < procs_.size() &&
+           procs_[static_cast<std::size_t>(pid)].live;
+  }
+
+  int proc_of(int op) const {
+    return op_to_proc_[static_cast<std::size_t>(op)];
+  }
+
+  bool try_place(const std::vector<int>& ops, int pid) {
+    std::vector<int> trial = op_to_proc_;
+    for (int op : ops) trial[static_cast<std::size_t>(op)] = pid;
+    if (!feasible(trial)) return false;
+    std::vector<int> sources;
+    for (int op : ops) {
+      const int src = proc_of(op);
+      if (src != kNoNode && src != pid) sources.push_back(src);
+    }
+    op_to_proc_ = std::move(trial);
+    for (int src : sources) {
+      if (is_live(src) && ops_assigned_to(src) == 0) sell(src);
+    }
+    return true;
+  }
+
+  bool can_place(const std::vector<int>& ops, int pid) const {
+    std::vector<int> trial = op_to_proc_;
+    for (int op : ops) trial[static_cast<std::size_t>(op)] = pid;
+    return feasible(trial);
+  }
+
+  struct Loads {
+    MegaOps work = 0.0;
+    MBps download = 0.0;
+    MBps comm = 0.0;
+  };
+
+  /// Recomputed from scratch for the current assignment.
+  Loads loads_of(int pid) const { return loads_of(pid, op_to_proc_); }
+
+  Dollars total_cost() const {
+    Dollars total = 0.0;
+    for (const auto& pr : procs_) {
+      if (pr.live) total += p_->catalog->cost(pr.cfg);
+    }
+    return total;
+  }
+
+  std::vector<int> live_processors() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      if (procs_[i].live) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+
+  std::vector<int> unassigned_ops() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < op_to_proc_.size(); ++i) {
+      if (op_to_proc_[i] == kNoNode) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+
+ private:
+  struct Proc {
+    ProcessorConfig cfg;
+    bool live = false;
+  };
+
+  int ops_assigned_to(int pid) const {
+    int n = 0;
+    for (int q : op_to_proc_) n += q == pid ? 1 : 0;
+    return n;
+  }
+
+  Loads loads_of(int pid, const std::vector<int>& assign) const {
+    const OperatorTree& tree = *p_->tree;
+    Loads out;
+    std::set<int> types;
+    for (int op = 0; op < tree.num_operators(); ++op) {
+      if (assign[static_cast<std::size_t>(op)] != pid) continue;
+      out.work += tree.op(op).work;
+      for (int t : tree.object_types_of(op)) types.insert(t);
+      // Crossing edges: parent edge plus child edges with the far endpoint
+      // assigned elsewhere (unassigned neighbors are free).
+      const auto& n = tree.op(op);
+      if (n.parent != kNoNode) {
+        const int q = assign[static_cast<std::size_t>(n.parent)];
+        if (q != kNoNode && q != pid) out.comm += p_->rho * n.output_mb;
+      }
+      for (int c : n.children) {
+        const int q = assign[static_cast<std::size_t>(c)];
+        if (q != kNoNode && q != pid) {
+          out.comm += p_->rho * tree.op(c).output_mb;
+        }
+      }
+    }
+    for (int t : types) out.download += tree.catalog().type(t).rate();
+    return out;
+  }
+
+  bool feasible(const std::vector<int>& assign) const {
+    const PriceCatalog& cat = *p_->catalog;
+    std::map<std::pair<int, int>, MBps> links;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      const int pid = static_cast<int>(i);
+      if (!procs_[i].live) continue;
+      const Loads l = loads_of(pid, assign);
+      if (!fits_within(p_->rho * l.work, cat.speed(procs_[i].cfg))) {
+        return false;
+      }
+      if (!fits_within(l.download + l.comm, cat.bandwidth(procs_[i].cfg))) {
+        return false;
+      }
+    }
+    const OperatorTree& tree = *p_->tree;
+    for (int op = 0; op < tree.num_operators(); ++op) {
+      const auto& n = tree.op(op);
+      if (n.parent == kNoNode) continue;
+      const int a = assign[static_cast<std::size_t>(op)];
+      const int b = assign[static_cast<std::size_t>(n.parent)];
+      if (a == kNoNode || b == kNoNode || a == b) continue;
+      links[{std::min(a, b), std::max(a, b)}] += p_->rho * n.output_mb;
+    }
+    for (const auto& [k, v] : links) {
+      (void)k;
+      if (!fits_within(v, p_->platform->link_proc_proc())) return false;
+    }
+    return true;
+  }
+
+  const Problem* p_;
+  std::vector<Proc> procs_;
+  std::vector<int> op_to_proc_;
+};
+
+/// Everything observable about a PlacementState, for bit-exact comparison
+/// around failed probes.
+struct Observation {
+  std::vector<int> live;
+  std::vector<int> assignment;
+  std::vector<int> unassigned;
+  std::vector<MegaOps> cpu;
+  std::vector<MBps> download, comm;
+  std::vector<std::vector<int>> download_types;
+  std::map<std::pair<int, int>, MBps> pair_traffic;
+  Dollars cost = 0.0;
+};
+
+Observation observe(const PlacementState& st) {
+  Observation o;
+  o.live = st.live_processors();
+  o.unassigned = st.unassigned_ops();
+  const int num_ops = st.problem().tree->num_operators();
+  for (int op = 0; op < num_ops; ++op) o.assignment.push_back(st.proc_of(op));
+  for (int pid : o.live) {
+    o.cpu.push_back(st.cpu_demand(pid));
+    o.download.push_back(st.download_load(pid));
+    o.comm.push_back(st.comm_load(pid));
+    o.download_types.push_back(st.download_types(pid));
+  }
+  for (std::size_t i = 0; i < o.live.size(); ++i) {
+    for (std::size_t j = i + 1; j < o.live.size(); ++j) {
+      const MBps t = st.pair_traffic(o.live[i], o.live[j]);
+      if (t != 0.0) o.pair_traffic[{o.live[i], o.live[j]}] = t;
+    }
+  }
+  o.cost = st.total_cost();
+  return o;
+}
+
+void expect_identical(const Observation& a, const Observation& b) {
+  EXPECT_EQ(a.live, b.live);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.unassigned, b.unassigned);
+  ASSERT_EQ(a.cpu.size(), b.cpu.size());
+  for (std::size_t i = 0; i < a.cpu.size(); ++i) {
+    // Bit-exact: a rolled-back probe must not perturb a single ULP.
+    EXPECT_DOUBLE_EQ(a.cpu[i], b.cpu[i]);
+    EXPECT_DOUBLE_EQ(a.download[i], b.download[i]);
+    EXPECT_DOUBLE_EQ(a.comm[i], b.comm[i]);
+  }
+  EXPECT_EQ(a.download_types, b.download_types);
+  ASSERT_EQ(a.pair_traffic.size(), b.pair_traffic.size());
+  for (auto ita = a.pair_traffic.begin(), itb = b.pair_traffic.begin();
+       ita != a.pair_traffic.end(); ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    EXPECT_DOUBLE_EQ(ita->second, itb->second);
+  }
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+void expect_matches_oracle(const PlacementState& st, const Oracle& oracle) {
+  ASSERT_EQ(st.live_processors(), oracle.live_processors());
+  ASSERT_EQ(st.unassigned_ops(), oracle.unassigned_ops());
+  for (int op = 0; op < st.problem().tree->num_operators(); ++op) {
+    EXPECT_EQ(st.proc_of(op), oracle.proc_of(op)) << "op " << op;
+  }
+  for (int pid : st.live_processors()) {
+    const Oracle::Loads l = oracle.loads_of(pid);
+    EXPECT_NEAR(st.cpu_demand(pid), st.problem().rho * l.work, 1e-6);
+    EXPECT_NEAR(st.download_load(pid), l.download, 1e-9);
+    EXPECT_NEAR(st.comm_load(pid), l.comm, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(st.total_cost(), oracle.total_cost());
+}
+
+TEST(PlacementTxnDifferential, RandomSequencesMatchCopyRevalidateOracle) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    // Alternate tree shapes and object weights across seeds so some probes
+    // fail on CPU, some on NICs, some on links.
+    const int n_ops = seed % 2 == 0 ? 24 : 40;
+    const double alpha = seed % 3 == 0 ? 1.6 : 1.1;
+    const MegaBytes size_hi = seed % 2 == 0 ? 120.0 : 30.0;
+    const Fixture f =
+        testhelpers::random_fixture(seed, n_ops, alpha, 5.0, size_hi);
+    const Problem p = f.problem();
+    PlacementState st(p);
+    Oracle oracle(p);
+    Rng rng(seed * 977 + 13);
+
+    int probes = 0, failures = 0;
+    for (int step = 0; step < 400; ++step) {
+      const int action = static_cast<int>(rng.index(10));
+      if (action == 0 || st.num_live_processors() == 0) {
+        // Buy a random configuration; ids must stay in lockstep.
+        const auto& configs = f.catalog.by_cost();
+        const ProcessorConfig cfg = configs[rng.index(configs.size())];
+        ASSERT_EQ(st.buy(cfg), oracle.buy(cfg));
+        continue;
+      }
+      if (action == 1) {
+        // Sell a random live empty processor, when one exists.
+        std::vector<int> empties;
+        for (int pid : st.live_processors()) {
+          if (st.ops_on(pid).empty()) empties.push_back(pid);
+        }
+        if (!empties.empty()) {
+          const int pid = empties[rng.index(empties.size())];
+          st.sell(pid);
+          oracle.sell(pid);
+        }
+        continue;
+      }
+      // Probe: 1-3 random operators (any assignment state, duplicates
+      // allowed) onto a random live target.
+      const std::vector<int>& live = st.live_processors();
+      const int pid = live[rng.index(live.size())];
+      std::vector<int> ops;
+      const std::size_t group = 1 + rng.index(3);
+      for (std::size_t i = 0; i < group; ++i) {
+        ops.push_back(static_cast<int>(
+            rng.index(static_cast<std::size_t>(p.tree->num_operators()))));
+      }
+      const bool probe_only = action >= 7;
+      const Observation before = observe(st);
+      bool verdict, expected;
+      if (probe_only) {
+        verdict = st.can_place(ops, pid);
+        expected = oracle.can_place(ops, pid);
+      } else {
+        verdict = st.try_place(ops, pid);
+        expected = oracle.try_place(ops, pid);
+      }
+      ASSERT_EQ(verdict, expected)
+          << "step " << step << ": engine and oracle verdicts diverged";
+      ++probes;
+      failures += verdict ? 0 : 1;
+      if (probe_only || !verdict) {
+        // Rolled-back probe: the state must be bit-identical to before.
+        expect_identical(before, observe(st));
+      }
+      expect_matches_oracle(st, oracle);
+      ASSERT_TRUE(st.feasible());
+    }
+    // The sequence must actually exercise both branches.
+    EXPECT_GT(probes, 100);
+    EXPECT_GT(failures, 10);
+    EXPECT_LT(failures, probes);
+  }
+}
+
+} // namespace
+} // namespace insp

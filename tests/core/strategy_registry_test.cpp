@@ -1,0 +1,93 @@
+#include "core/strategy_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::fig1a_fixture;
+
+TEST(StrategyRegistry, PaperSixFirstThenAblations) {
+  const auto& reg = placement_registry();
+  ASSERT_GE(reg.size(), 8u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(reg[i].paper_core) << reg[i].name;
+  }
+  for (std::size_t i = 6; i < reg.size(); ++i) {
+    EXPECT_FALSE(reg[i].paper_core) << reg[i].name;
+  }
+  EXPECT_EQ(all_heuristics().size(), 6u);
+  EXPECT_EQ(all_heuristics().front(), HeuristicKind::Random);
+}
+
+TEST(StrategyRegistry, EveryEntryIsComplete) {
+  std::set<std::string> names, cli_names;
+  std::set<char> markers;
+  for (const PlacementStrategy& s : placement_registry()) {
+    EXPECT_NE(s.name, nullptr);
+    EXPECT_NE(s.cli_name, nullptr);
+    EXPECT_TRUE(s.place != nullptr) << s.name;
+    EXPECT_NE(s.default_selection, ServerSelectionKind::PaperDefault)
+        << s.name;
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate name " << s.name;
+    EXPECT_TRUE(cli_names.insert(s.cli_name).second)
+        << "duplicate cli name " << s.cli_name;
+    EXPECT_TRUE(markers.insert(s.marker).second)
+        << "duplicate marker " << s.marker;
+    // strategy_for must resolve the entry's own kind back to it.
+    EXPECT_STREQ(strategy_for(s.kind).name, s.name);
+  }
+}
+
+TEST(StrategyRegistry, LookupByDisplayAndCliName) {
+  for (const PlacementStrategy& s : placement_registry()) {
+    const PlacementStrategy* by_display = strategy_by_name(s.name);
+    const PlacementStrategy* by_cli = strategy_by_name(s.cli_name);
+    ASSERT_NE(by_display, nullptr) << s.name;
+    ASSERT_NE(by_cli, nullptr) << s.cli_name;
+    EXPECT_EQ(by_display->kind, s.kind);
+    EXPECT_EQ(by_cli->kind, s.kind);
+  }
+  EXPECT_EQ(strategy_by_name("not-a-heuristic"), nullptr);
+  EXPECT_FALSE(heuristic_from_name("Nope").has_value());
+  // CLI spellings resolve through the optional-returning helper too.
+  EXPECT_EQ(heuristic_from_name("sbu"), HeuristicKind::SubtreeBottomUp);
+  EXPECT_EQ(heuristic_from_name("sbu-no-coalesce"),
+            HeuristicKind::SbuNoCoalesce);
+}
+
+TEST(StrategyRegistry, PaperSelectionPairing) {
+  EXPECT_EQ(strategy_for(HeuristicKind::Random).default_selection,
+            ServerSelectionKind::RandomChoice);
+  EXPECT_EQ(strategy_for(HeuristicKind::RandomPairGrouping).default_selection,
+            ServerSelectionKind::RandomChoice);
+  for (HeuristicKind k :
+       {HeuristicKind::CompGreedy, HeuristicKind::CommGreedy,
+        HeuristicKind::SubtreeBottomUp, HeuristicKind::ObjectGrouping,
+        HeuristicKind::ObjectAvailability, HeuristicKind::SbuNoCoalesce}) {
+    EXPECT_EQ(strategy_for(k).default_selection,
+              ServerSelectionKind::ThreeLoop)
+        << heuristic_name(k);
+  }
+}
+
+TEST(StrategyRegistry, AblationKindsRunTheFullAllocatorPipeline) {
+  const auto f = fig1a_fixture(1.0, 10.0);
+  for (HeuristicKind k :
+       {HeuristicKind::SbuNoCoalesce, HeuristicKind::RandomPairGrouping}) {
+    Rng rng(11);
+    const AllocationOutcome out = allocate(f.problem(), k, rng);
+    EXPECT_TRUE(out.success)
+        << heuristic_name(k) << ": " << out.failure_reason;
+    EXPECT_GT(out.cost, 0.0);
+  }
+}
+
+} // namespace
+} // namespace insp

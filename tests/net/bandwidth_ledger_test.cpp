@@ -109,5 +109,86 @@ TEST(LinkLedger, ZeroedEntriesErased) {
   EXPECT_EQ(links.active_links(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Transaction / touched-set delta API (docs/DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+TEST(LinkLedgerTxn, CommitKeepsChangesAndClosesTxn) {
+  LinkLedger links(100.0);
+  links.add(0, 1, 10.0);
+  links.begin_txn();
+  EXPECT_TRUE(links.in_txn());
+  links.add(0, 1, 5.0);
+  links.add(2, 3, 7.0);
+  EXPECT_EQ(links.touched_links(), 2u);
+  links.commit_txn();
+  EXPECT_FALSE(links.in_txn());
+  EXPECT_DOUBLE_EQ(links.used(0, 1), 15.0);
+  EXPECT_DOUBLE_EQ(links.used(2, 3), 7.0);
+}
+
+TEST(LinkLedgerTxn, RollbackRestoresValuesAndAbsences) {
+  LinkLedger links(100.0);
+  links.add(0, 1, 10.0);
+  links.begin_txn();
+  links.add(0, 1, 5.0);   // existing entry grows
+  links.add(2, 3, 7.0);   // entry created inside the txn
+  links.remove(0, 1, 15.0);  // existing entry erased inside the txn
+  EXPECT_EQ(links.active_links(), 1u);
+  links.rollback_txn();
+  EXPECT_FALSE(links.in_txn());
+  EXPECT_DOUBLE_EQ(links.used(0, 1), 10.0);  // exact pre-txn value
+  EXPECT_DOUBLE_EQ(links.used(2, 3), 0.0);
+  EXPECT_EQ(links.active_links(), 1u);  // (2,3) absent again, not zeroed
+}
+
+TEST(LinkLedgerTxn, RollbackOfRemoveReinsertsExactValue) {
+  LinkLedger links(100.0);
+  links.add(4, 5, 0.1);
+  links.add(4, 5, 0.2);
+  const MBps before = links.used(4, 5);
+  links.begin_txn();
+  links.remove(4, 5, before);  // erased (drops to ~0)
+  EXPECT_EQ(links.active_links(), 0u);
+  links.rollback_txn();
+  EXPECT_DOUBLE_EQ(links.used(4, 5), before);
+  EXPECT_EQ(links.active_links(), 1u);
+}
+
+TEST(LinkLedgerTxn, TouchedWithinChecksOnlyTouchedLinks) {
+  LinkLedger links(50.0);
+  links.add(0, 1, 80.0);  // overloaded, but outside any txn
+  links.begin_txn();
+  links.add(2, 3, 10.0);
+  EXPECT_TRUE(links.touched_within());  // (0,1) is not consulted
+  EXPECT_FALSE(links.all_within());     // the full scan still sees it
+  links.add(4, 5, 60.0);
+  EXPECT_FALSE(links.touched_within());  // the new violation is touched
+  links.rollback_txn();
+}
+
+TEST(LinkLedgerTxn, TouchedWithinSeesViolationOnExistingLink) {
+  LinkLedger links(50.0);
+  links.add(0, 1, 45.0);
+  links.begin_txn();
+  links.add(0, 1, 10.0);  // pushes the touched link over capacity
+  EXPECT_FALSE(links.touched_within());
+  links.rollback_txn();
+  EXPECT_DOUBLE_EQ(links.used(0, 1), 45.0);
+  EXPECT_TRUE(links.all_within());
+}
+
+TEST(LinkLedgerTxn, BackToBackTransactionsAreIndependent) {
+  LinkLedger links(100.0);
+  links.begin_txn();
+  links.add(0, 1, 30.0);
+  links.commit_txn();
+  links.begin_txn();
+  EXPECT_EQ(links.touched_links(), 0u);  // journal reset
+  links.add(0, 1, 20.0);
+  links.rollback_txn();
+  EXPECT_DOUBLE_EQ(links.used(0, 1), 30.0);  // only the second txn undone
+}
+
 } // namespace
 } // namespace insp

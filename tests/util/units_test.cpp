@@ -1,5 +1,5 @@
 // The unit conversions are load-bearing: the entire calibration argument
-// (DESIGN.md §6) rests on them.  Pin them.
+// (docs/DESIGN.md §6) rests on them.  Pin them.
 #include "util/units.hpp"
 
 #include <gtest/gtest.h>
@@ -47,7 +47,7 @@ TEST(Units, FitsWithinRejectsRealViolations) {
 }
 
 TEST(Units, CalibrationAnchorsFromThePaper) {
-  // The three feasibility anchors of DESIGN.md §6, stated as arithmetic:
+  // The three feasibility anchors of docs/DESIGN.md §6, stated as arithmetic:
   // root work (sum leaf MB)^alpha in Mops vs the fastest CPU in Mops/s.
   const double fastest = units::ghz(46.88);
   // N=60 trees: ~30 leaves x 17.5 MB ~ 525 MB. Feasible at alpha 1.7,
