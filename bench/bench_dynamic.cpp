@@ -1,0 +1,263 @@
+// Online re-allocation study (docs/DESIGN.md §8): replays seeded dynamic
+// workload traces (per-app rho drift, object-rate changes, server
+// failure/recovery, application arrival/departure) against a live
+// allocation twice —
+//   repair  : the incremental repair engine (targeted reconfigure/evict/buy
+//             moves over the undo-journal API, scratch fallback only when
+//             targeted repair fails);
+//   scratch : every event handled by a full from-scratch re-allocation (the
+//             static paper pipeline's only option);
+// and reports per-event repair latency, disruption (operators moved,
+// processors bought/retired/re-priced) and final platform cost for both,
+// emitting machine-readable BENCH_dynamic.json.  Every repaired allocation
+// is cross-checked with the discrete-event simulator (sustained == true).
+//
+// --smoke shrinks the sweep to one small row for CI; --dump-trace /
+// --trace round-trip the bundled trace through the text format.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dynamic/scenario_engine.hpp"
+#include "platform/server_distribution.hpp"
+
+using namespace insp;
+using namespace insp::benchx;
+
+namespace {
+
+struct Scale {
+  int n = 0;       ///< total operators across all applications
+  int apps = 0;    ///< concurrent applications at trace start
+  int events = 0;  ///< trace length
+};
+
+struct ScaleResult {
+  Scale scale;
+  int trace_arrivals = 0;
+  // repair run
+  double median_repair_ms = 0.0;
+  int repair_fallbacks = 0;
+  int repair_failures = 0;
+  int ops_moved = 0;
+  int procs_bought = 0;
+  int procs_retired = 0;
+  int reconfigures = 0;
+  int simulated = 0;
+  int sustained = 0;
+  Dollars repair_final_cost = 0.0;
+  std::uint64_t repair_signature = 0;
+  // scratch baseline
+  double median_scratch_ms = 0.0;
+  int scratch_failures = 0;
+  Dollars scratch_final_cost = 0.0;
+  // comparisons
+  double latency_speedup = 0.0;
+  double cost_ratio = 0.0;  ///< repair final cost / scratch final cost
+};
+
+struct World {
+  std::vector<ApplicationSpec> apps;
+  Platform platform;
+  PriceCatalog catalog;
+  EventTrace trace;
+};
+
+/// Deterministic world + trace for one scale row.  Paper-shaped trees and
+/// platform; initial rho 0.5 per application leaves headroom for upward
+/// rho drift (the trace clamps rho to [0.05, 1.5]).
+World make_world(std::uint64_t seed, const Scale& scale) {
+  Rng gen(seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(
+                                              scale.n + 131 * scale.apps)));
+  ObjectCatalog objects = ObjectCatalog::random(gen, 15, 5.0, 30.0, 0.5);
+  TreeGenConfig tcfg;
+  tcfg.num_operators = scale.n / scale.apps;
+  tcfg.alpha = 1.0;
+  tcfg.num_object_types = 15;
+  std::vector<ApplicationSpec> apps;
+  for (int a = 0; a < scale.apps; ++a) {
+    apps.push_back({generate_random_tree(gen, tcfg, objects), /*rho=*/0.5});
+  }
+  // Replicated distribution, patched so every type lives on >= 2 servers:
+  // the trace takes one server down at a time, and a single-replica type on
+  // the failed server would make the whole world infeasible (for scratch
+  // re-allocation just as much as for repair).
+  ServerDistConfig dist;
+  dist.replication_prob = 0.4;
+  std::vector<std::vector<int>> hosted = distribute_objects(gen, dist);
+  for (int t = 0; t < dist.num_object_types; ++t) {
+    std::vector<int> holders;
+    for (int s = 0; s < dist.num_servers; ++s) {
+      for (int ht : hosted[static_cast<std::size_t>(s)]) {
+        if (ht == t) holders.push_back(s);
+      }
+    }
+    if (holders.size() >= 2) continue;
+    const int second = (holders.front() + 1 +
+                        static_cast<int>(gen.index(static_cast<std::size_t>(
+                            dist.num_servers - 1)))) %
+                       dist.num_servers;
+    auto& list = hosted[static_cast<std::size_t>(second)];
+    list.insert(std::lower_bound(list.begin(), list.end(), t), t);
+  }
+  Platform platform =
+      Platform::paper_default(std::move(hosted), dist.num_object_types);
+
+  TraceGenConfig tg;
+  tg.num_events = scale.events;
+  tg.max_live_apps = scale.apps + 2;
+  tg.rho_min = 0.05;
+  tg.rho_max = 1.5;
+  tg.arrival_tree = tcfg;
+  EventTrace trace =
+      generate_trace(gen, tg, scale.apps, /*initial_rho=*/0.5, platform,
+                     objects);
+  return World{std::move(apps), std::move(platform),
+               PriceCatalog::paper_default(), std::move(trace)};
+}
+
+void write_json(const std::string& path, std::uint64_t seed,
+                const std::vector<ScaleResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"dynamic\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScaleResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"num_operators\": %d,\n", r.scale.n);
+    std::fprintf(f, "      \"initial_apps\": %d,\n", r.scale.apps);
+    std::fprintf(f, "      \"events\": %d,\n", r.scale.events);
+    std::fprintf(f, "      \"trace_arrivals\": %d,\n", r.trace_arrivals);
+    std::fprintf(f, "      \"median_repair_ms\": %.4f,\n",
+                 r.median_repair_ms);
+    std::fprintf(f, "      \"median_scratch_ms\": %.4f,\n",
+                 r.median_scratch_ms);
+    std::fprintf(f, "      \"latency_speedup\": %.2f,\n", r.latency_speedup);
+    std::fprintf(f, "      \"repair_final_cost\": %.2f,\n",
+                 r.repair_final_cost);
+    std::fprintf(f, "      \"scratch_final_cost\": %.2f,\n",
+                 r.scratch_final_cost);
+    std::fprintf(f, "      \"cost_ratio\": %.4f,\n", r.cost_ratio);
+    std::fprintf(f, "      \"repair_fallbacks\": %d,\n", r.repair_fallbacks);
+    std::fprintf(f, "      \"repair_failures\": %d,\n", r.repair_failures);
+    std::fprintf(f, "      \"scratch_failures\": %d,\n", r.scratch_failures);
+    std::fprintf(f, "      \"ops_moved\": %d,\n", r.ops_moved);
+    std::fprintf(f, "      \"procs_bought\": %d,\n", r.procs_bought);
+    std::fprintf(f, "      \"procs_retired\": %d,\n", r.procs_retired);
+    std::fprintf(f, "      \"reconfigures\": %d,\n", r.reconfigures);
+    std::fprintf(f, "      \"events_simulated\": %d,\n", r.simulated);
+    std::fprintf(f, "      \"events_sustained\": %d,\n", r.sustained);
+    std::fprintf(f, "      \"repair_signature\": \"%016llx\"\n",
+                 static_cast<unsigned long long>(r.repair_signature));
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const BenchFlags flags =
+      parse_flags(argc, argv, /*default_reps=*/1, /*accepts_heuristics=*/false);
+  const std::string json_path = args.get("json", "BENCH_dynamic.json");
+  const bool smoke = args.get_bool("smoke", false);
+  const std::string dump_trace_path = args.get("dump-trace", "");
+  const std::string load_trace_path = args.get("trace", "");
+  const bool simulate = args.get_bool("simulate", true);
+
+  std::vector<Scale> scales;
+  if (smoke) {
+    scales.push_back({40, 2, 24});
+  } else {
+    scales.push_back({100, 2, 200});
+    scales.push_back({200, 4, 200});
+    scales.push_back({400, 6, 200});
+  }
+
+  std::printf("Online re-allocation: repair vs scratch\n"
+              "=======================================\n\n");
+
+  std::vector<ScaleResult> results;
+  for (const Scale& scale : scales) {
+    World world = make_world(flags.seed, scale);
+    // --trace replays one bundled trace file against every row, so pair it
+    // with --smoke (single row); --dump-trace writes one file per row.
+    if (!load_trace_path.empty()) world.trace = load_trace(load_trace_path);
+    if (!dump_trace_path.empty()) {
+      const std::string path =
+          scales.size() == 1
+              ? dump_trace_path
+              : dump_trace_path + ".n" + std::to_string(scale.n);
+      save_trace(world.trace, path);
+    }
+
+    ScenarioOptions repair_opts;
+    repair_opts.seed = flags.seed;
+    repair_opts.simulate = simulate;
+    repair_opts.num_threads = flags.threads;
+    const ScenarioResult repair = replay_trace(
+        world.apps, world.platform, world.catalog, world.trace, repair_opts);
+
+    ScenarioOptions scratch_opts = repair_opts;
+    scratch_opts.simulate = false;
+    scratch_opts.repair.always_fallback = true;
+    const ScenarioResult scratch = replay_trace(
+        world.apps, world.platform, world.catalog, world.trace, scratch_opts);
+
+    ScaleResult r;
+    r.scale = scale;
+    r.trace_arrivals = static_cast<int>(world.trace.arrival_trees.size());
+    r.median_repair_ms = repair.summary.median_repair_seconds * 1e3;
+    r.median_scratch_ms = scratch.summary.median_repair_seconds * 1e3;
+    r.latency_speedup = r.median_repair_ms > 0.0
+                            ? r.median_scratch_ms / r.median_repair_ms
+                            : 0.0;
+    r.repair_fallbacks = repair.summary.fallbacks;
+    r.repair_failures = repair.summary.failures;
+    r.scratch_failures = scratch.summary.failures;
+    r.ops_moved = repair.summary.ops_moved;
+    r.procs_bought = repair.summary.procs_bought;
+    r.procs_retired = repair.summary.procs_retired;
+    r.reconfigures = repair.summary.reconfigures;
+    r.simulated = repair.summary.simulated;
+    r.sustained = repair.summary.sustained;
+    r.repair_final_cost = repair.summary.final_cost;
+    r.scratch_final_cost = scratch.summary.final_cost;
+    r.cost_ratio = r.scratch_final_cost > 0.0
+                       ? r.repair_final_cost / r.scratch_final_cost
+                       : 0.0;
+    r.repair_signature = repair.signature;
+    results.push_back(r);
+
+    std::printf(
+        "N=%-4d apps=%d events=%-4d  repair %8.3f ms/event   scratch %8.3f "
+        "ms/event   speedup %6.1fx\n",
+        scale.n, scale.apps, scale.events, r.median_repair_ms,
+        r.median_scratch_ms, r.latency_speedup);
+    std::printf(
+        "      cost $%.0f vs scratch $%.0f (ratio %.3f)   fallbacks %d   "
+        "failures %d/%d\n",
+        r.repair_final_cost, r.scratch_final_cost, r.cost_ratio,
+        r.repair_fallbacks, r.repair_failures, r.scratch_failures);
+    std::printf(
+        "      disruption: %d ops moved, %d bought, %d retired, %d "
+        "re-priced   sim sustained %d/%d\n\n",
+        r.ops_moved, r.procs_bought, r.procs_retired, r.reconfigures,
+        r.sustained, r.simulated);
+  }
+
+  write_json(json_path, flags.seed, results);
+  std::printf("json written to %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the documentation suite.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+markdown links and inline code references to repo paths, and fails when a
+relative link points at a file that does not exist.  External links
+(http/https/mailto) are ignored; intra-file anchors (#...) are checked
+against the target file's headings.
+
+Usage: scripts/check_links.py [file.md ...]
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def heading_anchor(text: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, punctuation
+    (including the section sign used in DESIGN.md headings) dropped."""
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text)
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        content = f.read()
+    return {heading_anchor(h) for h in HEADING_RE.findall(content)}
+
+
+def check_file(md_path: str) -> list:
+    errors = []
+    base = os.path.dirname(md_path)
+    with open(md_path, encoding="utf-8") as f:
+        content = f.read()
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(os.path.join(base, path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{md_path}: broken link -> {target}")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = md_path
+        if anchor and os.path.isfile(anchor_file) and anchor_file.endswith(
+                ".md"):
+            if heading_anchor(anchor) not in anchors_of(anchor_file):
+                errors.append(f"{md_path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    files = argv[1:] or ["README.md"] + sorted(glob.glob("docs/*.md"))
+    all_errors = []
+    for md in files:
+        if not os.path.exists(md):
+            all_errors.append(f"{md}: file not found")
+            continue
+        all_errors.extend(check_file(md))
+    for err in all_errors:
+        print(err, file=sys.stderr)
+    checked = ", ".join(files)
+    if all_errors:
+        print(f"link check FAILED ({len(all_errors)} problem(s)) in "
+              f"{checked}", file=sys.stderr)
+        return 1
+    print(f"link check OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -21,12 +21,15 @@ struct PurchasedProcessor {
   ProcessorConfig config;
   std::vector<int> ops;                  ///< a-bar(u): operators mapped here
   std::vector<DownloadRoute> downloads;  ///< DL(u)
+  bool operator==(const PurchasedProcessor&) const = default;
 };
 
 struct Allocation {
   std::vector<PurchasedProcessor> processors;
   /// op id -> processor index; kNoNode when unassigned (invalid allocation).
   std::vector<int> op_to_proc;
+
+  bool operator==(const Allocation&) const = default;
 
   int num_processors() const { return static_cast<int>(processors.size()); }
   Dollars total_cost(const PriceCatalog& catalog) const;

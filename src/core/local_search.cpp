@@ -7,21 +7,15 @@
 
 namespace insp {
 
-namespace {
-
-/// Cheapest config cost meeting one processor's current loads; falls back
-/// to the processor's current (always sufficient) configuration.
-Dollars proc_projected_cost(const PlacementState& state, int pid) {
+Dollars projected_processor_cost(const PlacementState& state, int pid) {
   const PriceCatalog& cat = *state.problem().catalog;
   const auto cfg =
       cat.cheapest_meeting(state.cpu_demand(pid), state.nic_load(pid));
   return cfg ? cat.cost(*cfg) : cat.cost(state.config(pid));
 }
 
-/// Projected cost of the two processors merged onto one (analytic: no
-/// state mutation).  nullopt when no catalog model could host the merge.
-std::optional<Dollars> merged_cost(const PlacementState& state, int a,
-                                   int b) {
+std::optional<Dollars> projected_merged_cost(const PlacementState& state,
+                                             int a, int b) {
   const PriceCatalog& cat = *state.problem().catalog;
   const OperatorTree& tree = *state.problem().tree;
 
@@ -42,6 +36,8 @@ std::optional<Dollars> merged_cost(const PlacementState& state, int a,
   return cat.cost(*cfg);
 }
 
+namespace {
+
 bool merge_pass(PlacementState& state, LocalSearchStats& stats) {
   bool improved = false;
   const auto procs = state.live_processors();
@@ -49,10 +45,10 @@ bool merge_pass(PlacementState& state, LocalSearchStats& stats) {
     for (std::size_t j = i + 1; j < procs.size(); ++j) {
       const int a = procs[i], b = procs[j];
       if (!state.is_live(a) || !state.is_live(b)) continue;
-      const auto merged = merged_cost(state, a, b);
+      const auto merged = projected_merged_cost(state, a, b);
       if (!merged) continue;
-      const Dollars pair_cost =
-          proc_projected_cost(state, a) + proc_projected_cost(state, b);
+      const Dollars pair_cost = projected_processor_cost(state, a) +
+                                projected_processor_cost(state, b);
       if (*merged >= pair_cost - 1e-9) continue;
       // Prefer moving the lighter processor.
       const int from =
@@ -103,7 +99,7 @@ bool relocation_pass(PlacementState& state, LocalSearchStats& stats) {
 Dollars projected_downgraded_cost(const PlacementState& state) {
   Dollars total = 0.0;
   for (int pid : state.live_processors()) {
-    total += proc_projected_cost(state, pid);
+    total += projected_processor_cost(state, pid);
   }
   return total;
 }

@@ -14,6 +14,8 @@
 // preserved by construction.
 #pragma once
 
+#include <optional>
+
 #include "core/placement_state.hpp"
 
 namespace insp {
@@ -35,6 +37,18 @@ struct LocalSearchStats {
 /// Projected post-downgrade cost of the current state (sum of
 /// cheapest-meeting configs; the current configs are upper bounds).
 Dollars projected_downgraded_cost(const PlacementState& state);
+
+/// Projected post-downgrade cost of one live processor (cheapest catalog
+/// configuration meeting its current loads; its current — always
+/// sufficient — configuration is the fallback).
+Dollars projected_processor_cost(const PlacementState& state, int pid);
+
+/// Projected cost of processors `a` and `b` merged onto one (analytic: no
+/// state mutation; shared downloads counted once, mutual traffic freed).
+/// nullopt when no catalog model could host the merge.  Shared with the
+/// dynamic repair engine's consolidation pass (src/dynamic/).
+std::optional<Dollars> projected_merged_cost(const PlacementState& state,
+                                             int a, int b);
 
 LocalSearchStats refine_placement(PlacementState& state,
                                   const LocalSearchOptions& options = {});

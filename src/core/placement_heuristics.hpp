@@ -1,7 +1,7 @@
 // The six operator-placement heuristics of the paper (§4.1).  Each consumes
 // a fresh PlacementState, purchases processors and assigns every operator,
-// returning false (with a reason) when it cannot — which the paper counts as
-// a heuristic failure for that instance.
+// returning an unsuccessful PlacementOutcome (with a reason) when it cannot
+// — which the paper counts as a heuristic failure for that instance.
 //
 // All heuristics are deterministic given the Rng state; only Random actually
 // consumes randomness.

@@ -165,6 +165,31 @@ bool PlacementState::touched_feasible() const {
   return pp_links_.touched_within();
 }
 
+bool PlacementState::touched_no_worse() const {
+  assert(txn_mode_ == TxnMode::kFull);
+  const PriceCatalog& cat = *problem_.catalog;
+  // In kFull mode touch_proc snapshots every touched processor as it
+  // records it, so touched_procs_[i] and snaps_[i] describe the same
+  // processor: the snapshot is the pre-transaction baseline.
+  for (std::size_t i = 0; i < touched_procs_.size(); ++i) {
+    const ProcState& p = proc(touched_procs_[i]);
+    if (!p.live) continue;
+    const ProcSnapshot& s = snaps_[i];
+    assert(s.pid == touched_procs_[i]);
+    const MegaOps cpu_now = problem_.rho * p.work;
+    if (!fits_within(cpu_now, cat.speed(p.cfg)) &&
+        !fits_within(cpu_now, problem_.rho * s.work)) {
+      return false;
+    }
+    const MBps nic_now = p.download + p.comm;
+    if (!fits_within(nic_now, cat.bandwidth(p.cfg)) &&
+        !fits_within(nic_now, s.download + s.comm)) {
+      return false;
+    }
+  }
+  return pp_links_.touched_no_worse();
+}
+
 // --- assignment -------------------------------------------------------------
 
 void PlacementState::assign_op(int op, int pid) {
@@ -244,7 +269,8 @@ bool PlacementState::feasible() const {
   return pp_links_.all_within();
 }
 
-bool PlacementState::probe(const std::vector<int>& ops, int pid, bool commit) {
+bool PlacementState::probe(const std::vector<int>& ops, int pid, bool commit,
+                           bool relaxed) {
   // `ops` routinely aliases ops_on() of a processor the move empties, and
   // assign/unassign reshuffle those vectors — copy into reusable scratch.
   scratch_ops_.assign(ops.begin(), ops.end());
@@ -259,7 +285,7 @@ bool PlacementState::probe(const std::vector<int>& ops, int pid, bool commit) {
     }
     assign_op(op, pid);
   }
-  if (!touched_feasible()) {
+  if (!(relaxed ? touched_no_worse() : touched_feasible())) {
     rollback_txn();
     return false;
   }
@@ -281,11 +307,20 @@ bool PlacementState::probe(const std::vector<int>& ops, int pid, bool commit) {
 
 bool PlacementState::try_place(const std::vector<int>& ops, int pid) {
   assert(is_live(pid));
-  return probe(ops, pid, /*commit=*/true);
+  return probe(ops, pid, /*commit=*/true, /*relaxed=*/false);
 }
 
 bool PlacementState::can_place(const std::vector<int>& ops, int pid) {
-  return probe(ops, pid, /*commit=*/false);
+  return probe(ops, pid, /*commit=*/false, /*relaxed=*/false);
+}
+
+bool PlacementState::try_place_relaxed(const std::vector<int>& ops, int pid) {
+  assert(is_live(pid));
+  return probe(ops, pid, /*commit=*/true, /*relaxed=*/true);
+}
+
+bool PlacementState::can_place_relaxed(const std::vector<int>& ops, int pid) {
+  return probe(ops, pid, /*commit=*/false, /*relaxed=*/true);
 }
 
 bool PlacementState::search_place(int op, int pid) {
@@ -294,6 +329,78 @@ bool PlacementState::search_place(int op, int pid) {
   const bool ok = touched_feasible();
   commit_txn();
   return ok;
+}
+
+// --- repair API -------------------------------------------------------------
+
+bool PlacementState::try_reconfigure(int pid, ProcessorConfig config) {
+  assert(txn_mode_ == TxnMode::kNone);
+  assert(is_live(pid));
+  const PriceCatalog& cat = *problem_.catalog;
+  ProcState& p = proc(pid);
+  if (!fits_within(problem_.rho * p.work, cat.speed(config))) return false;
+  if (!fits_within(p.download + p.comm, cat.bandwidth(config))) return false;
+  p.cfg = config;
+  return true;
+}
+
+void PlacementState::refresh_op_demand(int op, MegaOps old_work,
+                                       MegaBytes old_output_mb) {
+  assert(txn_mode_ == TxnMode::kNone);
+  const int pid = proc_of(op);
+  const auto& node = problem_.tree->op(op);
+  if (pid != kNoNode) {
+    proc(pid).work += node.work - old_work;
+  }
+  // Only op's *output* edge depends on op's own delta; edges to children
+  // carry the children's deltas and are refreshed by their own calls.
+  const int parent = node.parent;
+  if (pid == kNoNode || parent == kNoNode) return;
+  const int q = proc_of(parent);
+  if (q == kNoNode || q == pid) return;
+  const MBps dv = problem_.rho * (node.output_mb - old_output_mb);
+  if (dv == 0.0) return;
+  proc(pid).comm += dv;
+  proc(q).comm += dv;
+  if (dv > 0.0) {
+    pp_links_.add(pid, q, dv);
+  } else {
+    pp_links_.remove(pid, q, -dv);
+  }
+}
+
+void PlacementState::refresh_object_rate(int type, MBps old_rate) {
+  assert(txn_mode_ == TxnMode::kNone);
+  const MBps dv = problem_.tree->catalog().type(type).rate() - old_rate;
+  if (dv == 0.0) return;
+  for (int pid : live_ids_) {
+    ProcState& p = proc(pid);
+    const auto it = std::lower_bound(
+        p.type_count.begin(), p.type_count.end(), type,
+        [](const std::pair<int, int>& e, int t) { return e.first < t; });
+    if (it != p.type_count.end() && it->first == type) p.download += dv;
+  }
+}
+
+std::vector<int> PlacementState::overloaded_processors() const {
+  const PriceCatalog& cat = *problem_.catalog;
+  std::vector<int> out;
+  for (int pid : live_ids_) {
+    const ProcState& p = proc(pid);
+    if (!fits_within(problem_.rho * p.work, cat.speed(p.cfg)) ||
+        !fits_within(p.download + p.comm, cat.bandwidth(p.cfg))) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> PlacementState::overloaded_links() const {
+  std::vector<std::pair<int, int>> out;
+  for (const auto& [link, used] : pp_links_.entries()) {
+    if (!fits_within(used, pp_links_.capacity())) out.push_back(link);
+  }
+  return out;
 }
 
 // --- loads ------------------------------------------------------------------

@@ -83,6 +83,47 @@ class PlacementState {
   /// several threads is a data race; give each thread its own copy.
   bool can_place(const std::vector<int>& ops, int pid);
 
+  // --- repair API (docs/DESIGN.md §8) --------------------------------------
+  // After a workload event mutates demands (refresh_op_demand /
+  // refresh_object_rate below), the state may be *infeasible*.  The strict
+  // probes above would then reject every move that touches a violated
+  // capacity — including the moves that drain it.  The relaxed probes use
+  // the same undo journal but judge each touched capacity against its
+  // pre-transaction snapshot: a capacity that fits passes as usual, and one
+  // that was already violated may stay violated as long as the move did not
+  // increase its excess.  A capacity that was fine before the move must
+  // still fit — a repair move may never create a new violation.
+
+  /// try_place under the relaxed verdict; commits exactly like try_place
+  /// (including auto-selling emptied sources).
+  bool try_place_relaxed(const std::vector<int>& ops, int pid);
+  /// can_place under the relaxed verdict (probe + bit-exact rollback).
+  bool can_place_relaxed(const std::vector<int>& ops, int pid);
+
+  /// Re-prices live processor `pid` to `config` (repair upgrade, or the
+  /// downgrade-equivalent consolidation step on a live state).  Fails — and
+  /// changes nothing — when the current loads do not fit the new
+  /// configuration.  Loads are unaffected; only capacity changes.
+  bool try_reconfigure(int pid, ProcessorConfig config);
+
+  /// Incremental demand update: the caller has already changed operator
+  /// `op`'s demands in the tree (OperatorTree::set_demand) and passes the
+  /// *previous* values; the per-processor work and the comm/link charges of
+  /// op's parent edge are adjusted by the delta.  O(degree of op).  May
+  /// leave the state infeasible — query overloaded_processors()/links().
+  void refresh_op_demand(int op, MegaOps old_work, MegaBytes old_output_mb);
+
+  /// Incremental download-rate update: the caller has already changed the
+  /// type's frequency in the object catalog and passes the previous
+  /// per-result rate; every live processor downloading the type is
+  /// adjusted.  O(live processors).
+  void refresh_object_rate(int type, MBps old_rate);
+
+  /// Live processors violating CPU or NIC capacity, ascending.
+  std::vector<int> overloaded_processors() const;
+  /// Processor pairs whose realized traffic exceeds the link capacity.
+  std::vector<std::pair<int, int>> overloaded_links() const;
+
   /// Expert hooks for exhaustive search (ilp::ExactSolver): raw assignment
   /// updates with incremental accounting and *no* auto-selling.  `op` must
   /// be unassigned (resp. assigned).  search_place keeps the assignment
@@ -153,8 +194,12 @@ class PlacementState {
   void touch_proc(int pid);
   /// Capacity check over the touched processors and links only.
   bool touched_feasible() const;
-  /// Shared body of try_place/can_place.
-  bool probe(const std::vector<int>& ops, int pid, bool commit);
+  /// Relaxed variant (kFull transactions only — it compares against the
+  /// snapshots): touched capacities may stay violated if already violated
+  /// at snapshot time and the excess did not grow.
+  bool touched_no_worse() const;
+  /// Shared body of try_place/can_place and their relaxed variants.
+  bool probe(const std::vector<int>& ops, int pid, bool commit, bool relaxed);
 
   void assign_op(int op, int pid);
   void unassign_op(int op);

@@ -1,0 +1,588 @@
+#include "dynamic/repair_allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/constraints.hpp"
+#include "core/local_search.hpp"
+#include "core/server_selection.hpp"
+#include "util/log.hpp"
+
+namespace insp {
+
+DynamicAllocator::DynamicAllocator(std::vector<ApplicationSpec> initial_apps,
+                                   Platform platform, PriceCatalog catalog,
+                                   RepairOptions options)
+    : opt_(options),
+      catalog_(std::move(catalog)),
+      base_platform_(platform),
+      platform_(std::move(platform)),
+      rng_(0) {
+  server_up_.assign(static_cast<std::size_t>(base_platform_.num_servers()),
+                    true);
+  for (std::size_t a = 0; a < initial_apps.size(); ++a) {
+    app_ids_.push_back(static_cast<int>(a));
+    apps_.push_back(std::move(initial_apps[a]));
+  }
+  next_arrival_id_ = static_cast<int>(apps_.size());
+}
+
+Problem DynamicAllocator::problem() const {
+  Problem p;
+  p.tree = &forest_;
+  p.platform = &platform_;
+  p.catalog = &catalog_;
+  p.rho = 1.0;  // per-app rhos are folded into the forest demands
+  return p;
+}
+
+bool DynamicAllocator::has_app(int app_id) const {
+  return app_slot(app_id) >= 0;
+}
+
+Throughput DynamicAllocator::rho_of(int app_id) const {
+  const int slot = app_slot(app_id);
+  assert(slot >= 0);
+  return apps_[static_cast<std::size_t>(slot)].rho;
+}
+
+int DynamicAllocator::num_servers_down() const {
+  int n = 0;
+  for (bool up : server_up_) n += up ? 0 : 1;
+  return n;
+}
+
+int DynamicAllocator::app_slot(int app_id) const {
+  for (std::size_t s = 0; s < app_ids_.size(); ++s) {
+    if (app_ids_[s] == app_id) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+void DynamicAllocator::rebuild_platform() {
+  // A down server keeps its slot (ids are stable) but hosts nothing, so
+  // servers_with() excludes it and the selection heuristics route around it.
+  std::vector<DataServer> servers = base_platform_.servers();
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    if (!server_up_[s]) servers[s].object_types.clear();
+  }
+  platform_ = Platform(std::move(servers), base_platform_.link_server_proc(),
+                       base_platform_.link_proc_proc(),
+                       base_platform_.num_object_types());
+}
+
+RepairReport DynamicAllocator::initialize(std::uint64_t seed) {
+  assert(!initialized_);
+  assert(!apps_.empty());
+  rng_ = Rng(seed);
+  rebuild_platform();
+  RepairReport rep;
+  rep.cost_before = 0.0;
+  refold_and_replay({}, {}, {});
+  if (fallback_scratch(rep)) {
+    rep.success = true;
+    initialized_ = true;
+  }
+  // The initial allocation is provisioning, not disruption.
+  rep.ops_moved = 0;
+  rep.used_fallback = false;
+  rep.procs_retired = 0;
+  rep.procs_bought = alloc_.num_processors();
+  rep.cost_after = cost();
+  return rep;
+}
+
+void DynamicAllocator::refold_and_replay(
+    const std::vector<std::vector<int>>& prev_home,
+    const std::vector<ProcessorConfig>& prev_configs,
+    const std::vector<int>& prev_live) {
+  if (apps_.empty()) {
+    forest_ = OperatorTree();
+    op_app_slot_.clear();
+    state_.reset();
+    alloc_ = Allocation{};
+    return;
+  }
+  CombinedApplication combined = combine_applications(apps_);
+  forest_ = std::move(combined.forest);
+  op_app_slot_ = std::move(combined.app_of_op);
+  state_.emplace(problem());
+
+  // Re-buy the surviving processors (old pid -> new pid, purchase order
+  // preserved) and replay the surviving assignment verbatim: existing
+  // applications are not disrupted by a structural event.
+  std::vector<int> new_pid(prev_configs.size(), -1);
+  for (int old_pid : prev_live) {
+    new_pid[static_cast<std::size_t>(old_pid)] =
+        state_->buy(prev_configs[static_cast<std::size_t>(old_pid)]);
+  }
+  for (std::size_t s = 0; s < prev_home.size(); ++s) {
+    const int offset = combined.op_offset_of_app[s];
+    for (std::size_t i = 0; i < prev_home[s].size(); ++i) {
+      const int old_pid = prev_home[s][i];
+      // kNoNode: the operator was unassigned in a degraded state (a failed
+      // earlier event); it stays unassigned and place_unassigned or the
+      // fallback picks it up.
+      if (old_pid < 0) continue;
+      state_->search_place(offset + static_cast<int>(i),
+                           new_pid[static_cast<std::size_t>(old_pid)]);
+    }
+  }
+}
+
+bool DynamicAllocator::place_unassigned(RepairReport& report) {
+  // Arriving operators, bottom-up so children are seated before parents
+  // (first-fit then naturally gravitates toward realized neighbors'
+  // processors via the link budget).  The relaxed probe is used so an
+  // earlier failed event (degraded state) cannot veto unrelated placements.
+  std::vector<int> order;
+  for (int op : forest_.bottom_up_order()) {
+    if (state_->proc_of(op) == kNoNode) order.push_back(op);
+  }
+  for (int op : order) {
+    bool placed = false;
+    const std::vector<int> live = state_->live_processors();
+    for (int pid : live) {
+      if (state_->try_place_relaxed({op}, pid)) {
+        placed = true;
+        break;
+      }
+    }
+    if (!placed && opt_.allow_purchase) {
+      const int pid = state_->buy(catalog_.most_expensive());
+      if (state_->try_place_relaxed({op}, pid)) {
+        ++report.procs_bought;
+        placed = true;
+      } else {
+        state_->sell(pid);
+      }
+    }
+    if (!placed) {
+      report.failure_reason = "arrival: operator " + std::to_string(op) +
+                              " fits no processor";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DynamicAllocator::repair_violations(RepairReport& report) {
+  const int max_rounds = opt_.max_repair_rounds > 0
+                             ? opt_.max_repair_rounds
+                             : 4 * state_->num_live_processors() + 16;
+  for (int round = 0; round < max_rounds; ++round) {
+    const std::vector<int> over_procs = state_->overloaded_processors();
+    const auto over_links = state_->overloaded_links();
+    if (over_procs.empty() && over_links.empty()) return true;
+
+    // Target the lowest overloaded processor; when only links are violated,
+    // drain the endpoint carrying more traffic.
+    int target;
+    bool proc_violation = !over_procs.empty();
+    if (proc_violation) {
+      target = over_procs.front();
+    } else {
+      const auto [a, b] = over_links.front();
+      target = state_->comm_load(a) >= state_->comm_load(b) ? a : b;
+    }
+
+    // Move 1 — re-purchase in place: the cheapest catalog configuration
+    // that meets the processor's new loads (no operator moves at all).
+    if (proc_violation) {
+      const auto cfg = catalog_.cheapest_meeting(state_->cpu_demand(target),
+                                                 state_->nic_load(target));
+      if (cfg && state_->try_reconfigure(target, *cfg)) {
+        ++report.reconfigures;
+        continue;
+      }
+    }
+
+    // Move 2 — targeted eviction: relocate one operator off the violated
+    // resource via the relaxed probe (the source may stay violated, but no
+    // touched capacity may get worse and no new violation may appear).
+    // Order candidates by their contribution to the violated dimension.
+    std::vector<int> candidates = state_->ops_on(target);
+    const MegaOps cpu_excess =
+        state_->cpu_demand(target) -
+        catalog_.speed(state_->config(target));
+    std::vector<std::pair<double, int>> keyed;
+    keyed.reserve(candidates.size());
+    for (int op : candidates) {
+      double key;
+      if (proc_violation && cpu_excess > 0.0) {
+        key = forest_.op(op).work;
+      } else {
+        // Bandwidth violation: crossing-edge volume the operator carries.
+        key = 0.0;
+        for (const auto& [nb, volume] : state_->neighbors(op)) {
+          const int q = state_->proc_of(nb);
+          if (q != kNoNode && q != target) key += volume;
+        }
+      }
+      keyed.emplace_back(key, op);
+    }
+    std::sort(keyed.begin(), keyed.end(), [](const auto& x, const auto& y) {
+      return x.first != y.first ? x.first > y.first : x.second < y.second;
+    });
+
+    bool moved = false;
+    for (const auto& [key, op] : keyed) {
+      (void)key;
+      const std::vector<int> live = state_->live_processors();
+      for (int q : live) {
+        if (q == target) continue;
+        if (state_->try_place_relaxed({op}, q)) {
+          ++report.ops_moved;
+          if (!state_->is_live(target)) ++report.procs_retired;
+          moved = true;
+          break;
+        }
+      }
+      if (moved) break;
+    }
+    if (moved) continue;
+
+    // Move 3 — bounded re-purchase: a fresh processor for the heaviest
+    // evictable operator.
+    if (opt_.allow_purchase) {
+      const int pid = state_->buy(catalog_.most_expensive());
+      for (const auto& [key, op] : keyed) {
+        (void)key;
+        if (state_->try_place_relaxed({op}, pid)) {
+          ++report.ops_moved;
+          ++report.procs_bought;
+          if (!state_->is_live(target)) ++report.procs_retired;
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      state_->sell(pid);
+    }
+
+    report.failure_reason =
+        "repair: processor " + std::to_string(target) + " cannot be drained";
+    return false;
+  }
+  report.failure_reason = "repair: round limit exhausted";
+  return false;
+}
+
+void DynamicAllocator::consolidate(RepairReport& report) {
+  // Merge pass (one sweep): fold processor pairs whose merged
+  // cheapest-meeting configuration beats the pair — this is how capacity
+  // released by a rho decrease or a departure turns back into dollars.
+  const std::vector<int> procs = state_->live_processors();
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    for (std::size_t j = i + 1; j < procs.size(); ++j) {
+      const int a = procs[i], b = procs[j];
+      if (!state_->is_live(a) || !state_->is_live(b)) continue;
+      const auto merged = projected_merged_cost(*state_, a, b);
+      if (!merged) continue;
+      const Dollars pair_cost = projected_processor_cost(*state_, a) +
+                                projected_processor_cost(*state_, b);
+      if (*merged >= pair_cost - 1e-9) continue;
+      const int from =
+          state_->ops_on(a).size() <= state_->ops_on(b).size() ? a : b;
+      const int to = from == a ? b : a;
+      const int moved_fwd = static_cast<int>(state_->ops_on(from).size());
+      const int moved_rev = static_cast<int>(state_->ops_on(to).size());
+      if (state_->try_place(state_->ops_on(from), to)) {
+        report.ops_moved += moved_fwd;
+        ++report.procs_retired;
+      } else if (state_->try_place(state_->ops_on(to), from)) {
+        report.ops_moved += moved_rev;
+        ++report.procs_retired;
+      }
+    }
+  }
+  // Re-pricing pass: the downgrade step, applied in place to the live
+  // state (strictly cheaper configurations only).
+  for (int pid : state_->live_processors()) {
+    const auto cfg = catalog_.cheapest_meeting(state_->cpu_demand(pid),
+                                               state_->nic_load(pid));
+    if (!cfg) continue;
+    if (catalog_.cost(*cfg) >= catalog_.cost(state_->config(pid)) - 1e-9) {
+      continue;
+    }
+    if (state_->try_reconfigure(pid, *cfg)) ++report.reconfigures;
+  }
+}
+
+bool DynamicAllocator::finish_allocation(RepairReport& report) {
+  if (state_->num_unassigned() != 0) {
+    report.failure_reason = "finish: unassigned operators remain";
+    return false;
+  }
+  if (!state_->feasible()) {
+    report.failure_reason = "finish: placement infeasible";
+    return false;
+  }
+  Allocation candidate = state_->to_allocation();
+  const Problem prob = problem();
+  const ServerSelectionResult sel =
+      select_servers_three_loop(prob, candidate);
+  if (!sel.success) {
+    report.failure_reason = "server-selection: " + sel.failure_reason;
+    return false;
+  }
+  const CheckReport chk = check_allocation(prob, candidate);
+  if (!chk.ok()) {
+    report.failure_reason = "validation: " + chk.summary();
+    return false;
+  }
+  alloc_ = std::move(candidate);
+  return true;
+}
+
+void DynamicAllocator::adopt_allocation(const Allocation& alloc) {
+  state_.emplace(problem());
+  std::vector<int> pid_of(alloc.processors.size());
+  for (std::size_t u = 0; u < alloc.processors.size(); ++u) {
+    pid_of[u] = state_->buy(alloc.processors[u].config);
+  }
+  for (std::size_t op = 0; op < alloc.op_to_proc.size(); ++op) {
+    state_->search_place(
+        static_cast<int>(op),
+        pid_of[static_cast<std::size_t>(alloc.op_to_proc[op])]);
+  }
+}
+
+bool DynamicAllocator::fallback_scratch(RepairReport& report) {
+  const Problem prob = problem();
+  const int previously_assigned =
+      forest_.num_operators() - (state_ ? state_->num_unassigned() : 0);
+  // Try the configured heuristic first, then every other paper heuristic:
+  // a scratch failure must mean no registered pipeline can host the world.
+  std::vector<HeuristicKind> kinds{opt_.fallback_heuristic};
+  for (HeuristicKind k : all_heuristics()) {
+    if (k != opt_.fallback_heuristic) kinds.push_back(k);
+  }
+  for (HeuristicKind kind : kinds) {
+    Rng r = rng_.split();
+    const AllocationOutcome out = allocate(prob, kind, r);
+    if (!out.success) {
+      report.failure_reason = "scratch: " + out.failure_reason;
+      continue;
+    }
+    // Scratch re-allocation disrupts every running operator: the plan is
+    // rebuilt with no continuity guarantee.
+    report.ops_moved += previously_assigned;
+    report.procs_retired +=
+        state_ ? state_->num_live_processors() : 0;
+    report.procs_bought += out.num_processors;
+    alloc_ = out.allocation;
+    adopt_allocation(alloc_);
+    report.failure_reason.clear();
+    return true;
+  }
+  return false;
+}
+
+RepairReport DynamicAllocator::apply(const WorkloadEvent& event,
+                                     const EventTrace& trace) {
+  RepairReport rep;
+  assert(initialized_);
+  rep.cost_before = cost();
+
+  // World-dependent range checks (traces are external artifacts; the text
+  // loader can only check what the trace itself knows).
+  switch (event.kind) {
+    case EventKind::ObjectRateChange:
+      if (event.object_type < 0 ||
+          event.object_type >= platform_.num_object_types() ||
+          event.freq_hz <= 0.0) {
+        rep.failure_reason = "event: object type out of range";
+        return rep;
+      }
+      break;
+    case EventKind::ServerFailure:
+    case EventKind::ServerRecovery:
+      if (event.server < 0 || event.server >= platform_.num_servers()) {
+        rep.failure_reason = "event: server out of range";
+        return rep;
+      }
+      break;
+    case EventKind::AppArrival:
+      if (event.arrival_tree < 0 ||
+          static_cast<std::size_t>(event.arrival_tree) >=
+              trace.arrival_trees.size() ||
+          event.rho <= 0.0 || has_app(event.app_id)) {
+        rep.failure_reason = "event: invalid arrival";
+        return rep;
+      }
+      break;
+    case EventKind::RhoChange:
+      if (event.rho <= 0.0) {
+        rep.failure_reason = "event: non-positive rho";
+        return rep;
+      }
+      break;
+    case EventKind::AppDeparture:
+      break;
+  }
+  // With every application departed there is no forest and no catalog to
+  // update: a rate change is dropped (the object catalog lives in the
+  // application trees).  Server events still flip platform state below,
+  // and rho changes / departures no-op through the app_slot lookup.
+  if (apps_.empty() && event.kind == EventKind::ObjectRateChange) {
+    rep.success = true;
+    return rep;
+  }
+
+  bool arrival = false;
+  switch (event.kind) {
+    case EventKind::RhoChange: {
+      const int slot = app_slot(event.app_id);
+      if (slot < 0) break;  // app already departed: benign no-op
+      ApplicationSpec& app = apps_[static_cast<std::size_t>(slot)];
+      const double factor = event.rho / app.rho;
+      int offset = 0;
+      for (int s = 0; s < slot; ++s) {
+        offset += apps_[static_cast<std::size_t>(s)].tree.num_operators();
+      }
+      const int count = app.tree.num_operators();
+      for (int i = offset; i < offset + count; ++i) {
+        const MegaOps old_w = forest_.op(i).work;
+        const MegaBytes old_d = forest_.op(i).output_mb;
+        forest_.set_demand(i, old_w * factor, old_d * factor);
+        state_->refresh_op_demand(i, old_w, old_d);
+      }
+      app.rho = event.rho;
+      break;
+    }
+    case EventKind::ObjectRateChange: {
+      const MBps old_rate =
+          forest_.catalog().type(event.object_type).rate();
+      forest_.mutable_catalog().set_type_frequency(event.object_type,
+                                                   event.freq_hz);
+      for (ApplicationSpec& app : apps_) {
+        app.tree.mutable_catalog().set_type_frequency(event.object_type,
+                                                      event.freq_hz);
+      }
+      state_->refresh_object_rate(event.object_type, old_rate);
+      break;
+    }
+    case EventKind::ServerFailure:
+    case EventKind::ServerRecovery: {
+      server_up_[static_cast<std::size_t>(event.server)] =
+          event.kind == EventKind::ServerRecovery;
+      rebuild_platform();
+      break;
+    }
+    case EventKind::AppArrival: {
+      ApplicationSpec spec;
+      spec.tree =
+          trace.arrival_trees[static_cast<std::size_t>(event.arrival_tree)];
+      spec.rho = event.rho;
+      // The arrival tree was generated against the trace-time catalog;
+      // sync its frequencies to the world's current values so the folded
+      // catalogs agree.
+      for (const ObjectType& t : forest_.catalog().all()) {
+        spec.tree.mutable_catalog().set_type_frequency(t.id, t.freq_hz);
+      }
+      std::vector<std::vector<int>> prev_home(apps_.size());
+      int offset = 0;
+      for (std::size_t s = 0; s < apps_.size(); ++s) {
+        const int count = apps_[s].tree.num_operators();
+        prev_home[s].reserve(static_cast<std::size_t>(count));
+        for (int i = 0; i < count; ++i) {
+          prev_home[s].push_back(state_->proc_of(offset + i));
+        }
+        offset += count;
+      }
+      std::vector<ProcessorConfig> prev_configs;
+      std::vector<int> prev_live;
+      if (state_) {  // absent only when arriving into an emptied world
+        prev_live = state_->live_processors();
+      }
+      if (!prev_live.empty()) {
+        prev_configs.resize(static_cast<std::size_t>(prev_live.back()) + 1);
+        for (int pid : prev_live) {
+          prev_configs[static_cast<std::size_t>(pid)] = state_->config(pid);
+        }
+      }
+      app_ids_.push_back(event.app_id);
+      apps_.push_back(std::move(spec));
+      next_arrival_id_ = std::max(next_arrival_id_, event.app_id + 1);
+      refold_and_replay(prev_home, prev_configs, prev_live);
+      arrival = true;
+      break;
+    }
+    case EventKind::AppDeparture: {
+      const int slot = app_slot(event.app_id);
+      if (slot < 0) break;
+      std::vector<std::vector<int>> prev_home;
+      int offset = 0;
+      for (std::size_t s = 0; s < apps_.size(); ++s) {
+        const int count = apps_[s].tree.num_operators();
+        if (static_cast<int>(s) != slot) {
+          std::vector<int> homes;
+          homes.reserve(static_cast<std::size_t>(count));
+          for (int i = 0; i < count; ++i) {
+            homes.push_back(state_->proc_of(offset + i));
+          }
+          prev_home.push_back(std::move(homes));
+        }
+        offset += count;
+      }
+      std::vector<ProcessorConfig> prev_configs;
+      const std::vector<int> prev_live = state_->live_processors();
+      if (!prev_live.empty()) {
+        prev_configs.resize(static_cast<std::size_t>(prev_live.back()) + 1);
+        for (int pid : prev_live) {
+          prev_configs[static_cast<std::size_t>(pid)] = state_->config(pid);
+        }
+      }
+      const int before_procs = static_cast<int>(prev_live.size());
+      app_ids_.erase(app_ids_.begin() + slot);
+      apps_.erase(apps_.begin() + slot);
+      refold_and_replay(prev_home, prev_configs, prev_live);
+      if (state_) {
+        // Sell the processors the departure emptied.
+        for (int pid : std::vector<int>(state_->live_processors())) {
+          if (state_->ops_on(pid).empty()) state_->sell(pid);
+        }
+        rep.procs_retired +=
+            before_procs - state_->num_live_processors();
+      }
+      break;
+    }
+  }
+
+  if (apps_.empty()) {
+    // Nothing left to run: the empty allocation is trivially valid.
+    rep.success = true;
+    rep.cost_after = 0.0;
+    return rep;
+  }
+
+  bool ok = true;
+  if (opt_.always_fallback) {
+    ok = fallback_scratch(rep);
+    rep.used_fallback = true;
+  } else {
+    // Arrivals, and operators left unassigned by an earlier failed event.
+    if (arrival || state_->num_unassigned() > 0) {
+      ok = place_unassigned(rep);
+    }
+    rep.violations_before =
+        static_cast<int>(state_->overloaded_processors().size() +
+                         state_->overloaded_links().size());
+    if (ok && rep.violations_before > 0) ok = repair_violations(rep);
+    if (ok && opt_.consolidate) consolidate(rep);
+    if (ok) ok = finish_allocation(rep);
+    if (!ok) {
+      INSP_DEBUG << "event " << to_string(event.kind)
+                 << ": targeted repair failed (" << rep.failure_reason
+                 << "); falling back to scratch re-allocation";
+      rep.used_fallback = true;
+      ok = fallback_scratch(rep);
+    }
+  }
+  rep.success = ok;
+  rep.cost_after = cost();
+  return rep;
+}
+
+} // namespace insp

@@ -1,0 +1,152 @@
+// Online re-allocation engine (docs/DESIGN.md §8).  DynamicAllocator keeps
+// a *live* multi-application allocation — the folded forest of multi/, a
+// PlacementState over it, and the finished Allocation with download routes —
+// and repairs it event by event instead of re-running a full heuristic:
+//
+//   - demand events (per-app rho, object update rates) are applied to the
+//     live PlacementState through the incremental refresh hooks, then only
+//     the violated processors/links are repaired with targeted moves:
+//     catalog re-purchase (upgrade in place), single-operator evictions via
+//     the relaxed transactional probes, and a bounded buy for load that fits
+//     nowhere;
+//   - structural events (application arrival/departure) rebuild the folded
+//     forest but *replay* the surviving assignment verbatim, so existing
+//     applications are not disrupted; arriving operators are placed by an
+//     incremental first-fit;
+//   - server failure/recovery re-routes downloads (server selection) without
+//     touching the placement;
+//   - after every event a consolidation pass (local-search merges + the
+//     downgrade-equivalent cheapest-meeting re-pricing) recovers cost headroom
+//     the event released.
+//
+// When targeted repair cannot restore feasibility the engine falls back to a
+// full from-scratch re-allocation.  Every event returns a RepairReport with
+// the disruption actually incurred (operators moved, processors bought /
+// retired / re-priced, dollars delta) — the currency the paper's one-shot
+// setting never has to account for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/placement_state.hpp"
+#include "dynamic/workload_events.hpp"
+#include "multi/multi_app.hpp"
+
+namespace insp {
+
+struct RepairOptions {
+  /// Heuristic used for the initial allocation and the scratch fallback.
+  HeuristicKind fallback_heuristic = HeuristicKind::SubtreeBottomUp;
+  /// Repair rounds before giving up and falling back; 0 = auto
+  /// (4 * live processors + 16).
+  int max_repair_rounds = 0;
+  /// Allow buying processors during repair (otherwise eviction-only).
+  bool allow_purchase = true;
+  /// Post-repair consolidation: one local-search merge pass plus
+  /// cheapest-meeting re-pricing of every live processor.
+  bool consolidate = true;
+  /// Diagnostics/baseline mode: handle every event with the scratch
+  /// re-allocation path, skipping incremental repair entirely.  This is the
+  /// "what the static paper pipeline would do" yardstick bench_dynamic
+  /// measures repair latency and disruption against.
+  bool always_fallback = false;
+};
+
+struct RepairReport {
+  bool success = false;
+  std::string failure_reason;   ///< set when the event left no valid plan
+  bool used_fallback = false;   ///< targeted repair failed or was bypassed
+  int violations_before = 0;    ///< overloaded processors+links post-event
+  int ops_moved = 0;            ///< operators whose co-residency group changed
+  int procs_bought = 0;
+  int procs_retired = 0;
+  int reconfigures = 0;         ///< in-place catalog re-purchases
+  Dollars cost_before = 0.0;
+  Dollars cost_after = 0.0;
+};
+
+class DynamicAllocator {
+ public:
+  /// Takes ownership of the initial world.  Call initialize() once before
+  /// apply(); the object is immovable because the internal PlacementState
+  /// points at the owned forest/platform/catalog.
+  DynamicAllocator(std::vector<ApplicationSpec> initial_apps,
+                   Platform platform, PriceCatalog catalog,
+                   RepairOptions options = {});
+  DynamicAllocator(const DynamicAllocator&) = delete;
+  DynamicAllocator& operator=(const DynamicAllocator&) = delete;
+
+  /// From-scratch initial allocation (fallback heuristic, then every other
+  /// registered paper heuristic if it fails).  `seed` also seeds the RNG
+  /// used by any later fallback run, so the whole trajectory is
+  /// deterministic given (world, trace, seed).
+  RepairReport initialize(std::uint64_t seed);
+
+  /// Applies one event and repairs the allocation.  `trace` supplies
+  /// arrival trees.  On failure (no valid plan exists or repair+fallback
+  /// both failed) the previous allocation is kept and success=false.
+  RepairReport apply(const WorkloadEvent& event, const EventTrace& trace);
+
+  // --- current world --------------------------------------------------------
+  const OperatorTree& forest() const { return forest_; }
+  const Platform& platform() const { return platform_; }
+  const PriceCatalog& catalog() const { return catalog_; }
+  /// Folded problem (rho = 1) pointing at the internal forest/platform.
+  Problem problem() const;
+  /// Finished allocation (download routes included) after the last event.
+  const Allocation& allocation() const { return alloc_; }
+  Dollars cost() const { return alloc_.total_cost(catalog_); }
+  int num_live_apps() const { return static_cast<int>(apps_.size()); }
+  bool has_app(int app_id) const;
+  /// Current throughput target of a live application.
+  Throughput rho_of(int app_id) const;
+  int num_servers_down() const;
+
+ private:
+  int app_slot(int app_id) const;  ///< index into apps_, -1 when gone
+  void rebuild_platform();
+  /// Rebuilds the folded forest from apps_ and re-creates the
+  /// PlacementState, replaying the surviving assignment; `prev_home`
+  /// optionally maps forest op -> previous processor id per app slot.
+  void refold_and_replay(const std::vector<std::vector<int>>& prev_home,
+                         const std::vector<ProcessorConfig>& prev_configs,
+                         const std::vector<int>& prev_live);
+  /// Places every unassigned operator (arrivals) first-fit; buys when
+  /// nothing fits.  Returns false when some operator fits nowhere.
+  bool place_unassigned(RepairReport& report);
+  /// Drains overloaded processors/links with reconfigure+evict moves.
+  bool repair_violations(RepairReport& report);
+  /// Merge pass + cheapest-meeting re-pricing on the feasible state.
+  void consolidate(RepairReport& report);
+  /// Full from-scratch re-allocation of the current problem.
+  bool fallback_scratch(RepairReport& report);
+  /// Re-runs server selection + full validation into alloc_.
+  bool finish_allocation(RepairReport& report);
+  /// Rebuilds state_ from an allocation (configs + assignment replayed).
+  void adopt_allocation(const Allocation& alloc);
+  /// Counts ops whose co-residency group changed vs `before` (the
+  /// processor-id-agnostic disruption metric of docs/DESIGN.md §8).
+  static int count_moved_ops(const Allocation& before,
+                             const Allocation& after);
+
+  RepairOptions opt_;
+  PriceCatalog catalog_;
+  Platform base_platform_;
+  Platform platform_;
+  std::vector<bool> server_up_;
+  std::vector<int> app_ids_;              // stable external ids
+  std::vector<ApplicationSpec> apps_;     // parallel to app_ids_
+  int next_arrival_id_ = 0;
+  OperatorTree forest_;                   // folded (rho baked into demands)
+  std::vector<int> op_app_slot_;          // forest op -> index into apps_
+  std::optional<PlacementState> state_;
+  Allocation alloc_;
+  Rng rng_;
+  bool initialized_ = false;
+};
+
+} // namespace insp

@@ -1,0 +1,151 @@
+#include "dynamic/scenario_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "util/thread_pool.hpp"
+
+namespace insp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// World snapshot a simulation needs: the folded forest and the platform as
+/// they stood when the event's allocation was produced.
+struct SimSnapshot {
+  std::size_t outcome_index;
+  OperatorTree forest;
+  Platform platform;
+  Allocation allocation;
+};
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix_bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void mix(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<long long>(v))); }
+  void mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  }
+};
+
+void mix_allocation(Fnv& f, const Allocation& alloc) {
+  f.mix(alloc.num_processors());
+  for (const PurchasedProcessor& p : alloc.processors) {
+    f.mix(p.config.cpu);
+    f.mix(p.config.nic);
+    for (int op : p.ops) f.mix(op);
+    for (const DownloadRoute& d : p.downloads) {
+      f.mix(d.object_type);
+      f.mix(d.server);
+    }
+  }
+  for (int pid : alloc.op_to_proc) f.mix(pid);
+}
+
+} // namespace
+
+ScenarioResult replay_trace(const std::vector<ApplicationSpec>& initial_apps,
+                            const Platform& platform,
+                            const PriceCatalog& catalog,
+                            const EventTrace& trace,
+                            const ScenarioOptions& options) {
+  ScenarioResult result;
+  DynamicAllocator engine(initial_apps, platform, catalog, options.repair);
+  engine.initialize(options.seed);
+
+  std::vector<SimSnapshot> snapshots;
+  result.outcomes.reserve(trace.events.size());
+  for (const WorkloadEvent& event : trace.events) {
+    EventOutcome out;
+    out.event = event;
+    const auto t0 = Clock::now();
+    out.repair = engine.apply(event, trace);
+    out.repair_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    out.cost = out.repair.cost_after;
+    out.processors = engine.allocation().num_processors();
+    if (options.simulate && out.repair.success &&
+        engine.num_live_apps() > 0) {
+      snapshots.push_back(SimSnapshot{result.outcomes.size(),
+                                      engine.forest(), engine.platform(),
+                                      engine.allocation()});
+    }
+    result.outcomes.push_back(std::move(out));
+  }
+  result.final_allocation = engine.allocation();
+
+  // Validation pass: each snapshot simulates independently into its own
+  // slot, so the outcome is identical for every thread count.
+  std::vector<char> sustained(snapshots.size(), 0);
+  ThreadPool::parallel_for(
+      snapshots.size(),
+      static_cast<unsigned>(options.num_threads < 0 ? 0
+                                                    : options.num_threads),
+      [&](std::size_t i) {
+        const SimSnapshot& s = snapshots[i];
+        Problem prob;
+        prob.tree = &s.forest;
+        prob.platform = &s.platform;
+        prob.catalog = &catalog;
+        prob.rho = 1.0;
+        const EventSimResult sim =
+            simulate_allocation(prob, s.allocation, options.sim);
+        sustained[i] = sim.sustained ? 1 : 0;
+      });
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    EventOutcome& out = result.outcomes[snapshots[i].outcome_index];
+    out.simulated = true;
+    out.sustained = sustained[i] != 0;
+  }
+
+  // Summary + signature.
+  Fnv f;
+  std::vector<double> repair_times;
+  for (const EventOutcome& out : result.outcomes) {
+    ++result.summary.events;
+    if (!out.repair.success) ++result.summary.failures;
+    if (out.repair.used_fallback) ++result.summary.fallbacks;
+    result.summary.ops_moved += out.repair.ops_moved;
+    result.summary.procs_bought += out.repair.procs_bought;
+    result.summary.procs_retired += out.repair.procs_retired;
+    result.summary.reconfigures += out.repair.reconfigures;
+    if (out.simulated) ++result.summary.simulated;
+    if (out.sustained) ++result.summary.sustained;
+    repair_times.push_back(out.repair_seconds);
+
+    f.mix(static_cast<int>(out.event.kind));
+    f.mix(out.repair.success ? 1 : 0);
+    f.mix(out.repair.used_fallback ? 1 : 0);
+    f.mix(out.repair.violations_before);
+    f.mix(out.repair.ops_moved);
+    f.mix(out.repair.procs_bought);
+    f.mix(out.repair.procs_retired);
+    f.mix(out.repair.reconfigures);
+    f.mix(out.repair.cost_after);
+    f.mix(out.processors);
+  }
+  mix_allocation(f, result.final_allocation);
+  result.signature = f.h;
+
+  result.summary.final_cost =
+      result.final_allocation.total_cost(catalog);
+  if (!repair_times.empty()) {
+    std::sort(repair_times.begin(), repair_times.end());
+    result.summary.median_repair_seconds =
+        repair_times[repair_times.size() / 2];
+  }
+  return result;
+}
+
+} // namespace insp

@@ -1,0 +1,77 @@
+// Trace replay harness: drives a DynamicAllocator through an EventTrace,
+// timing each repair, and cross-checks every repaired allocation exactly as
+// the static pipeline is checked — the from-scratch constraint checker plus
+// the discrete-event simulator (sim/event_sim) confirming the plan sustains
+// its target throughput.
+//
+// Replay itself is strictly sequential and deterministic: the repair
+// trajectory depends only on (initial world, trace, seed).  The expensive
+// per-event validations run afterwards over snapshots, parallelized with
+// the util thread pool into pre-allocated slots — so the result (and its
+// signature) is bit-identical for every thread count, the same contract the
+// sweep engine upholds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/repair_allocator.hpp"
+#include "dynamic/workload_events.hpp"
+#include "sim/event_sim.hpp"
+
+namespace insp {
+
+struct ScenarioOptions {
+  RepairOptions repair;
+  std::uint64_t seed = 42;
+  /// Cross-check each event's allocation with the event simulator (the
+  /// acceptance gate: sustained == true for every successful event).
+  bool simulate = true;
+  EventSimConfig sim;
+  /// Worker threads for the post-replay validation pass (0 = hardware
+  /// concurrency, 1 = serial).  Replay itself is always sequential.
+  int num_threads = 1;
+};
+
+struct EventOutcome {
+  WorkloadEvent event;
+  RepairReport repair;
+  double repair_seconds = 0.0;  ///< wall time of apply() (excluded from the
+                                ///< determinism signature)
+  Dollars cost = 0.0;           ///< platform cost after the event
+  int processors = 0;
+  bool simulated = false;  ///< a simulation snapshot was taken and run
+  bool sustained = false;  ///< simulator confirmed the target throughput
+};
+
+struct ScenarioSummary {
+  int events = 0;
+  int failures = 0;      ///< events that left no valid plan
+  int fallbacks = 0;     ///< events resolved by scratch re-allocation
+  int ops_moved = 0;
+  int procs_bought = 0;
+  int procs_retired = 0;
+  int reconfigures = 0;
+  int simulated = 0;
+  int sustained = 0;
+  Dollars final_cost = 0.0;
+  double median_repair_seconds = 0.0;
+};
+
+struct ScenarioResult {
+  std::vector<EventOutcome> outcomes;
+  Allocation final_allocation;
+  ScenarioSummary summary;
+  /// FNV-1a over the repair trajectory and the final allocation; two
+  /// replays are bit-identical iff their signatures match (used by the
+  /// determinism tests and bench_dynamic).
+  std::uint64_t signature = 0;
+};
+
+ScenarioResult replay_trace(const std::vector<ApplicationSpec>& initial_apps,
+                            const Platform& platform,
+                            const PriceCatalog& catalog,
+                            const EventTrace& trace,
+                            const ScenarioOptions& options = {});
+
+} // namespace insp

@@ -110,4 +110,31 @@ bool LinkLedger::touched_within() const {
   return true;
 }
 
+bool LinkLedger::touched_no_worse() const {
+  // The journal may hold several entries per key; the *first* one records
+  // the pre-transaction value, which is the baseline the relaxed check
+  // compares against.  Later entries for the same key pass trivially
+  // because their stored old_value is at least as permissive a baseline as
+  // any intermediate state — checking every entry against its own recorded
+  // value would wrongly accept a link whose usage grew in two steps, so
+  // each key is judged once, against its first entry.
+  for (std::size_t i = 0; i < journal_.size(); ++i) {
+    const JournalEntry& e = journal_[i];
+    bool first = true;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (journal_[j].key == e.key) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    auto it = used_.find(e.key);
+    const MBps now = it == used_.end() ? 0.0 : it->second;
+    if (fits_within(now, capacity_)) continue;
+    const MBps before = e.existed ? e.old_value : 0.0;
+    if (!fits_within(now, before)) return false;
+  }
+  return true;
+}
+
 } // namespace insp

@@ -86,6 +86,11 @@ class LinkLedger {
   std::size_t touched_links() const { return journal_.size(); }
   /// all_within() restricted to the links the open transaction touched.
   bool touched_within() const;
+  /// Relaxed variant for the repair engine (docs/DESIGN.md §8): every
+  /// touched link must either fit its capacity or carry no more than it did
+  /// before the transaction began — a link that was already over capacity
+  /// may stay over, but no touched link's excess may grow.
+  bool touched_no_worse() const;
 
  private:
   struct JournalEntry {

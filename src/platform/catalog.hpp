@@ -29,6 +29,7 @@ struct ProcessorConfig {
   int cpu = -1;
   int nic = -1;
   bool valid() const { return cpu >= 0 && nic >= 0; }
+  bool operator==(const ProcessorConfig&) const = default;
 };
 
 class PriceCatalog {

@@ -50,6 +50,12 @@ class ObjectCatalog {
     for (auto& t : types_) t.freq_hz = freq;
   }
 
+  /// Change one type's update frequency (dynamic object-rate events).
+  void set_type_frequency(int id, Hertz freq) {
+    assert(id >= 0 && id < count());
+    types_[static_cast<std::size_t>(id)].freq_hz = freq;
+  }
+
  private:
   std::vector<ObjectType> types_;
 };

@@ -67,6 +67,15 @@ class OperatorTree {
   const ObjectCatalog& catalog() const { return catalog_; }
   ObjectCatalog& mutable_catalog() { return catalog_; }
 
+  /// Overwrites operator `i`'s demands in place (dynamic workloads: per-app
+  /// rho re-folding scales w and delta; see src/dynamic/).  The structure
+  /// stays immutable — only the two demand numbers change.
+  void set_demand(int i, MegaOps work, MegaBytes output_mb) {
+    auto& n = ops_[static_cast<std::size_t>(i)];
+    n.work = work;
+    n.output_mb = output_mb;
+  }
+
   /// Distinct object types operator i needs (deduplicated; an operator with
   /// two leaves of the same type needs that type once).
   std::vector<int> object_types_of(int i) const;

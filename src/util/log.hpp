@@ -1,7 +1,10 @@
 // Tiny leveled logger.  Heuristics log placement decisions at Debug level so
 // failures in large sweeps can be diagnosed without a debugger; benches run
-// at Warn.  Not thread-safe by design: the library is single-threaded per
-// allocation problem (experiments parallelize across processes, not within).
+// at Warn.  The experiment harness parallelizes sweeps in-process
+// (util/thread_pool): each message is emitted as one fprintf (stdio's stream
+// lock keeps lines whole, though lines from different workers may
+// interleave), and set_level must be called before workers are spawned —
+// the level itself is an unsynchronized static.
 #pragma once
 
 #include <sstream>

@@ -222,5 +222,156 @@ TEST(PlacementState, IncrementalLoadsMatchGroundTruthChecker) {
   }
 }
 
+// --- repair API (relaxed probes, reconfigure, demand refresh) --------------
+
+namespace repairfix {
+
+/// fig1a over a two-CPU catalog (speed 300 expensive / 100 cheap, one
+/// 1000 MB/s NIC) so CPU overload scenarios are easy to stage.
+testhelpers::Fixture small_catalog_fixture() {
+  testhelpers::Fixture f{
+      testhelpers::fig1a_tree(1.0, 10.0, 0.5),
+      testhelpers::simple_platform({{0, 1, 2}, {0, 1, 2}}, 3),
+      PriceCatalog(100.0, {{100.0, 0.0}, {300.0, 500.0}},
+                   {{1000.0, 0.0}}),
+      1.0,
+  };
+  return f;
+}
+
+/// Doubles every operator's demands and refreshes the state — the rho-fold
+/// shape of a dynamic throughput increase.
+void double_all_demands(OperatorTree& tree, PlacementState& st) {
+  for (int op = 0; op < tree.num_operators(); ++op) {
+    const MegaOps w = tree.op(op).work;
+    const MegaBytes d = tree.op(op).output_mb;
+    tree.set_demand(op, 2.0 * w, 2.0 * d);
+    st.refresh_op_demand(op, w, d);
+  }
+}
+
+} // namespace repairfix
+
+TEST(PlacementStateRepair, RefreshOpDemandTracksMutatedTree) {
+  testhelpers::Fixture f = repairfix::small_catalog_fixture();
+  PlacementState st(f.problem());
+  const int a = st.buy(f.catalog.most_expensive());
+  const int b = st.buy(f.catalog.most_expensive());
+  // Root (0) and n3 (2) on a; the chain n5,n2,n1 on b.
+  ASSERT_TRUE(st.try_place({0, 2}, a));
+  ASSERT_TRUE(st.try_place({1, 3, 4}, b));
+  repairfix::double_all_demands(f.tree, st);
+
+  // Oracle: a fresh state over the mutated tree with the same assignment.
+  PlacementState fresh(f.problem());
+  const int fa = fresh.buy(f.catalog.most_expensive());
+  const int fb = fresh.buy(f.catalog.most_expensive());
+  for (int op : {0, 2}) fresh.search_place(op, fa);
+  for (int op : {1, 3, 4}) fresh.search_place(op, fb);
+
+  EXPECT_NEAR(st.cpu_demand(a), fresh.cpu_demand(fa), 1e-9);
+  EXPECT_NEAR(st.cpu_demand(b), fresh.cpu_demand(fb), 1e-9);
+  EXPECT_NEAR(st.comm_load(a), fresh.comm_load(fa), 1e-9);
+  EXPECT_NEAR(st.comm_load(b), fresh.comm_load(fb), 1e-9);
+  EXPECT_NEAR(st.download_load(a), fresh.download_load(fa), 1e-9);
+  EXPECT_NEAR(st.pair_traffic(a, b), fresh.pair_traffic(fa, fb), 1e-9);
+}
+
+TEST(PlacementStateRepair, RefreshObjectRateTracksMutatedCatalog) {
+  testhelpers::Fixture f = repairfix::small_catalog_fixture();
+  PlacementState st(f.problem());
+  const int a = st.buy(f.catalog.most_expensive());
+  const int b = st.buy(f.catalog.most_expensive());
+  ASSERT_TRUE(st.try_place({0, 2}, a));   // n3 needs o1, o2
+  ASSERT_TRUE(st.try_place({1, 3, 4}, b));  // n2/n1 need o0, o1
+  // o1 (20 MB) from 0.5 Hz to 2 Hz: rate 10 -> 40 MB/s on both processors.
+  const MBps old_rate = f.tree.catalog().type(1).rate();
+  const MBps before_a = st.download_load(a);
+  const MBps before_b = st.download_load(b);
+  f.tree.mutable_catalog().set_type_frequency(1, 2.0);
+  st.refresh_object_rate(1, old_rate);
+  EXPECT_NEAR(st.download_load(a), before_a + 30.0, 1e-9);
+  EXPECT_NEAR(st.download_load(b), before_b + 30.0, 1e-9);
+}
+
+TEST(PlacementStateRepair, OverloadedProcessorsReportsViolations) {
+  testhelpers::Fixture f = repairfix::small_catalog_fixture();
+  PlacementState st(f.problem());
+  const int pid = st.buy(f.catalog.most_expensive());
+  ASSERT_TRUE(st.try_place({0, 1, 2, 3, 4}, pid));  // total w = 250 <= 300
+  EXPECT_TRUE(st.overloaded_processors().empty());
+  repairfix::double_all_demands(f.tree, st);  // w = 500 > 300
+  EXPECT_FALSE(st.feasible());
+  EXPECT_EQ(st.overloaded_processors(), std::vector<int>{pid});
+  EXPECT_TRUE(st.overloaded_links().empty());
+}
+
+TEST(PlacementStateRepair, RelaxedProbeDrainsOverloadedProcessor) {
+  testhelpers::Fixture f = repairfix::small_catalog_fixture();
+  PlacementState st(f.problem());
+  const int a = st.buy(f.catalog.most_expensive());
+  ASSERT_TRUE(st.try_place({0, 1, 2, 3, 4}, a));
+  repairfix::double_all_demands(f.tree, st);  // a at w=500, speed 300
+
+  const int b = st.buy(f.catalog.most_expensive());
+  // Strict probes refuse: the source stays overloaded after one eviction
+  // (500 - 180 = 320 > 300).
+  EXPECT_FALSE(st.can_place({0}, b));
+  EXPECT_FALSE(st.try_place({0}, b));
+  // The relaxed probe accepts: a's excess shrinks, b stays feasible.
+  EXPECT_TRUE(st.try_place_relaxed({0}, b));
+  EXPECT_FALSE(st.feasible());  // a still at 320
+  // A second eviction (n3, w=100) restores feasibility.
+  EXPECT_TRUE(st.try_place_relaxed({2}, b));
+  EXPECT_TRUE(st.feasible());
+  EXPECT_TRUE(st.overloaded_processors().empty());
+}
+
+TEST(PlacementStateRepair, RelaxedProbeRejectsNewViolation) {
+  testhelpers::Fixture f = repairfix::small_catalog_fixture();
+  PlacementState st(f.problem());
+  const int a = st.buy(f.catalog.most_expensive());
+  ASSERT_TRUE(st.try_place({0, 1, 2, 3, 4}, a));
+  repairfix::double_all_demands(f.tree, st);
+  // Root now has w=180 > 100: the cheap CPU cannot host it, and the relaxed
+  // verdict must not trade one violation for a new one.
+  const int weak = st.buy(f.catalog.cheapest());
+  EXPECT_FALSE(st.try_place_relaxed({0}, weak));
+  // The probe rolled back: the weak processor is still empty.
+  EXPECT_TRUE(st.ops_on(weak).empty());
+  EXPECT_EQ(st.proc_of(0), a);
+}
+
+TEST(PlacementStateRepair, RelaxedEqualsStrictOnFeasibleStates) {
+  const testhelpers::Fixture f = testhelpers::fig1a_fixture();
+  PlacementState st(f.problem());
+  const int a = st.buy(f.catalog.most_expensive());
+  const int b = st.buy(f.catalog.most_expensive());
+  ASSERT_TRUE(st.try_place({0, 1, 2}, a));
+  for (int op : {3, 4}) {
+    EXPECT_EQ(st.can_place({op}, b), st.can_place_relaxed({op}, b));
+  }
+}
+
+TEST(PlacementStateRepair, TryReconfigureSwapsConfigWhenLoadsFit) {
+  testhelpers::Fixture f = repairfix::small_catalog_fixture();
+  PlacementState st(f.problem());
+  const int pid = st.buy(f.catalog.cheapest());  // speed 100
+  ASSERT_TRUE(st.try_place({4}, pid));           // n1: w = 30
+  const Dollars before = st.total_cost();
+  EXPECT_TRUE(st.try_reconfigure(pid, f.catalog.most_expensive()));
+  EXPECT_EQ(st.config(pid).cpu, f.catalog.most_expensive().cpu);
+  EXPECT_GT(st.total_cost(), before);
+
+  // Upgrade a processor whose loads outgrew it (the repair path), and
+  // refuse a downgrade below the current load.
+  testhelpers::Fixture g = repairfix::small_catalog_fixture();
+  PlacementState st2(g.problem());
+  const int q = st2.buy(g.catalog.most_expensive());
+  ASSERT_TRUE(st2.try_place({0, 1, 2, 3, 4}, q));  // w = 250 > 100
+  EXPECT_FALSE(st2.try_reconfigure(q, g.catalog.cheapest()));
+  EXPECT_EQ(st2.config(q).cpu, g.catalog.most_expensive().cpu);
+}
+
 } // namespace
 } // namespace insp

@@ -1,0 +1,60 @@
+// Shared world builder for the dynamic-layer tests: a small multi-app
+// world on a generous platform, so single events exercise the repair paths
+// without the whole instance tipping into infeasibility.
+#pragma once
+
+#include <vector>
+
+#include "dynamic/workload_events.hpp"
+#include "multi/multi_app.hpp"
+#include "platform/server_distribution.hpp"
+#include "tree/tree_generator.hpp"
+
+namespace insp::dyntest {
+
+struct DynWorld {
+  std::vector<ApplicationSpec> apps;
+  Platform platform;
+  PriceCatalog catalog;
+  ObjectCatalog objects;
+};
+
+/// `apps` applications of `n_per_app` operators each over a shared 6-type
+/// catalog; every type on every one of 3 servers (no single point of
+/// failure), paper price catalog.
+inline DynWorld make_world(std::uint64_t seed, int apps = 2,
+                           int n_per_app = 12, Throughput rho = 0.5) {
+  Rng gen(seed);
+  ObjectCatalog objects = ObjectCatalog::random(gen, 6, 5.0, 30.0, 0.5);
+  TreeGenConfig tcfg;
+  tcfg.num_operators = n_per_app;
+  tcfg.alpha = 1.0;
+  tcfg.num_object_types = 6;
+  std::vector<ApplicationSpec> specs;
+  for (int a = 0; a < apps; ++a) {
+    specs.push_back({generate_random_tree(gen, tcfg, objects), rho});
+  }
+  std::vector<DataServer> servers;
+  for (int s = 0; s < 3; ++s) {
+    servers.push_back(DataServer{s, units::gigabytes_per_sec(10.0),
+                                 {0, 1, 2, 3, 4, 5}});
+  }
+  Platform platform(std::move(servers), units::gigabytes_per_sec(1.0),
+                    units::gigabytes_per_sec(1.0), 6);
+  return DynWorld{std::move(specs), std::move(platform),
+                  PriceCatalog::paper_default(), std::move(objects)};
+}
+
+inline TraceGenConfig small_trace_config(int events = 40) {
+  TraceGenConfig tg;
+  tg.num_events = events;
+  tg.max_live_apps = 4;
+  tg.rho_min = 0.05;
+  tg.rho_max = 1.2;
+  tg.arrival_tree.num_operators = 12;
+  tg.arrival_tree.alpha = 1.0;
+  tg.arrival_tree.num_object_types = 6;
+  return tg;
+}
+
+} // namespace insp::dyntest

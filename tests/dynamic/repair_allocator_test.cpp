@@ -1,0 +1,289 @@
+#include "dynamic/repair_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/constraints.hpp"
+#include "dynamic_test_helpers.hpp"
+#include "sim/event_sim.hpp"
+
+namespace insp {
+namespace {
+
+using dyntest::make_world;
+
+WorkloadEvent rho_event(int app_id, Throughput rho) {
+  WorkloadEvent e;
+  e.kind = EventKind::RhoChange;
+  e.app_id = app_id;
+  e.rho = rho;
+  return e;
+}
+
+TEST(DynamicAllocator, InitializeProducesValidAllocation) {
+  auto w = make_world(21);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  const RepairReport rep = engine.initialize(42);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  EXPECT_GT(engine.cost(), 0.0);
+  EXPECT_EQ(engine.num_live_apps(), 2);
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+TEST(DynamicAllocator, RhoIncreaseRepairsAndStaysValid) {
+  auto w = make_world(22);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  const EventTrace no_trace;
+  const RepairReport rep = engine.apply(rho_event(0, 1.0), no_trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  EXPECT_DOUBLE_EQ(engine.rho_of(0), 1.0);
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+  // The simulator confirms the repaired plan sustains the folded target.
+  const EventSimResult sim =
+      simulate_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(sim.sustained);
+}
+
+TEST(DynamicAllocator, RhoDecreaseConsolidatesCost) {
+  auto w = make_world(23, /*apps=*/2, /*n_per_app=*/16, /*rho=*/1.0);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  const Dollars before = engine.cost();
+  const EventTrace no_trace;
+  RepairReport rep = engine.apply(rho_event(0, 0.05), no_trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  rep = engine.apply(rho_event(1, 0.05), no_trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  // Released capacity turns back into dollars (merge + re-pricing passes).
+  EXPECT_LE(engine.cost(), before);
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+TEST(DynamicAllocator, ObjectRateChangeKeepsAllocationValid) {
+  auto w = make_world(24);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  WorkloadEvent e;
+  e.kind = EventKind::ObjectRateChange;
+  e.object_type = 2;
+  e.freq_hz = 2.0;  // 4x the initial 0.5 Hz
+  const EventTrace no_trace;
+  const RepairReport rep = engine.apply(e, no_trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  EXPECT_DOUBLE_EQ(engine.forest().catalog().type(2).freq_hz, 2.0);
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+TEST(DynamicAllocator, ServerFailureReroutesDownloadsAndRecoveryRestores) {
+  auto w = make_world(25);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  WorkloadEvent fail;
+  fail.kind = EventKind::ServerFailure;
+  fail.server = 0;
+  const EventTrace no_trace;
+  RepairReport rep = engine.apply(fail, no_trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  EXPECT_EQ(engine.num_servers_down(), 1);
+  for (const PurchasedProcessor& p : engine.allocation().processors) {
+    for (const DownloadRoute& d : p.downloads) {
+      EXPECT_NE(d.server, 0) << "download routed to the failed server";
+    }
+  }
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+
+  WorkloadEvent recover;
+  recover.kind = EventKind::ServerRecovery;
+  recover.server = 0;
+  rep = engine.apply(recover, no_trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  EXPECT_EQ(engine.num_servers_down(), 0);
+}
+
+TEST(DynamicAllocator, ArrivalPlacesNewApplication) {
+  auto w = make_world(26);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  const int ops_before = engine.forest().num_operators();
+
+  EventTrace trace;
+  Rng gen(5);
+  TreeGenConfig tcfg;
+  tcfg.num_operators = 10;
+  tcfg.alpha = 1.0;
+  trace.arrival_trees.push_back(
+      generate_random_tree(gen, tcfg, w.objects));
+  WorkloadEvent e;
+  e.kind = EventKind::AppArrival;
+  e.app_id = 2;
+  e.rho = 0.3;
+  e.arrival_tree = 0;
+  const RepairReport rep = engine.apply(e, trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  EXPECT_EQ(engine.num_live_apps(), 3);
+  EXPECT_TRUE(engine.has_app(2));
+  EXPECT_EQ(engine.forest().num_operators(), ops_before + 10);
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+TEST(DynamicAllocator, DepartureRemovesAppAndKeepsRestValid) {
+  auto w = make_world(27, /*apps=*/3);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  const Dollars before = engine.cost();
+  WorkloadEvent e;
+  e.kind = EventKind::AppDeparture;
+  e.app_id = 1;
+  const EventTrace no_trace;
+  const RepairReport rep = engine.apply(e, no_trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  EXPECT_EQ(engine.num_live_apps(), 2);
+  EXPECT_FALSE(engine.has_app(1));
+  EXPECT_TRUE(engine.has_app(0));
+  EXPECT_TRUE(engine.has_app(2));
+  EXPECT_LE(engine.cost(), before);
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+TEST(DynamicAllocator, EventOnDepartedAppIsBenignNoOp) {
+  auto w = make_world(28, /*apps=*/2);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  WorkloadEvent gone;
+  gone.kind = EventKind::AppDeparture;
+  gone.app_id = 1;
+  const EventTrace no_trace;
+  ASSERT_TRUE(engine.apply(gone, no_trace).success);
+  const Allocation before = engine.allocation();
+  const RepairReport rep = engine.apply(rho_event(1, 1.0), no_trace);
+  EXPECT_TRUE(rep.success);
+  EXPECT_EQ(rep.ops_moved, 0);
+  EXPECT_TRUE(engine.allocation() == before);
+}
+
+TEST(DynamicAllocator, ImpossibleDemandFailsButKeepsEngineAlive) {
+  auto w = make_world(29);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  // A rho far past any CPU in the catalog: no heuristic can host it.
+  const EventTrace no_trace;
+  const RepairReport rep = engine.apply(rho_event(0, 10000.0), no_trace);
+  EXPECT_FALSE(rep.success);
+  EXPECT_FALSE(rep.failure_reason.empty());
+  // The engine stays usable: lowering rho again repairs the world.
+  const RepairReport back = engine.apply(rho_event(0, 0.5), no_trace);
+  ASSERT_TRUE(back.success) << back.failure_reason;
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+TEST(DynamicAllocator, OutOfRangeEventsAreRejectedNotApplied) {
+  auto w = make_world(35);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  const Allocation before = engine.allocation();
+  const EventTrace no_trace;
+
+  WorkloadEvent bad_server;
+  bad_server.kind = EventKind::ServerFailure;
+  bad_server.server = 99;
+  EXPECT_FALSE(engine.apply(bad_server, no_trace).success);
+
+  WorkloadEvent bad_type;
+  bad_type.kind = EventKind::ObjectRateChange;
+  bad_type.object_type = 99;
+  bad_type.freq_hz = 1.0;
+  EXPECT_FALSE(engine.apply(bad_type, no_trace).success);
+
+  WorkloadEvent bad_arrival;
+  bad_arrival.kind = EventKind::AppArrival;
+  bad_arrival.app_id = 7;
+  bad_arrival.rho = 0.5;
+  bad_arrival.arrival_tree = 3;  // no such tree in the (empty) trace
+  EXPECT_FALSE(engine.apply(bad_arrival, no_trace).success);
+
+  EXPECT_TRUE(engine.allocation() == before);
+}
+
+TEST(DynamicAllocator, WorldSurvivesDrainingToZeroApps) {
+  auto w = make_world(36, /*apps=*/2);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+
+  EventTrace trace;
+  Rng gen(9);
+  TreeGenConfig tcfg;
+  tcfg.num_operators = 10;
+  tcfg.alpha = 1.0;
+  trace.arrival_trees.push_back(generate_random_tree(gen, tcfg, w.objects));
+
+  WorkloadEvent depart;
+  depart.kind = EventKind::AppDeparture;
+  for (int id : {0, 1}) {
+    depart.app_id = id;
+    ASSERT_TRUE(engine.apply(depart, trace).success);
+  }
+  EXPECT_EQ(engine.num_live_apps(), 0);
+  EXPECT_DOUBLE_EQ(engine.cost(), 0.0);
+
+  // App-facing events in the empty world are benign no-ops, but platform
+  // state (a server failure) must still stick...
+  ASSERT_TRUE(engine.apply(rho_event(0, 1.0), trace).success);
+  WorkloadEvent fail;
+  fail.kind = EventKind::ServerFailure;
+  fail.server = 0;
+  ASSERT_TRUE(engine.apply(fail, trace).success);
+  EXPECT_EQ(engine.num_servers_down(), 1);
+
+  // ...and an arrival repopulates the world from nothing, routing around
+  // the server that failed while it was empty.
+  WorkloadEvent arrive;
+  arrive.kind = EventKind::AppArrival;
+  arrive.app_id = 2;
+  arrive.rho = 0.4;
+  arrive.arrival_tree = 0;
+  const RepairReport rep = engine.apply(arrive, trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  EXPECT_EQ(engine.num_live_apps(), 1);
+  for (const PurchasedProcessor& p : engine.allocation().processors) {
+    for (const DownloadRoute& d : p.downloads) EXPECT_NE(d.server, 0);
+  }
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+TEST(DynamicAllocator, AlwaysFallbackModeMatchesScratchPipeline) {
+  auto w = make_world(30);
+  RepairOptions opts;
+  opts.always_fallback = true;
+  DynamicAllocator engine(w.apps, w.platform, w.catalog, opts);
+  ASSERT_TRUE(engine.initialize(42).success);
+  const EventTrace no_trace;
+  const RepairReport rep = engine.apply(rho_event(0, 0.8), no_trace);
+  ASSERT_TRUE(rep.success) << rep.failure_reason;
+  EXPECT_TRUE(rep.used_fallback);
+  // Scratch disrupts every operator by definition.
+  EXPECT_EQ(rep.ops_moved, engine.forest().num_operators());
+  const CheckReport chk =
+      check_allocation(engine.problem(), engine.allocation());
+  EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,94 @@
+// Trace-replay determinism (the contract the sweep engine already upholds,
+// extended to the online path): the same (world, trace, seed) must produce a
+// bit-identical repair sequence and final allocation on every run and for
+// every validation thread count.
+#include "dynamic/scenario_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dynamic_test_helpers.hpp"
+
+namespace insp {
+namespace {
+
+using dyntest::make_world;
+using dyntest::small_trace_config;
+
+struct ReplaySetup {
+  dyntest::DynWorld world;
+  EventTrace trace;
+};
+
+ReplaySetup make_setup(std::uint64_t seed, int events) {
+  ReplaySetup s{make_world(seed), {}};
+  Rng rng(seed ^ 0x5eedull);
+  s.trace = generate_trace(rng, small_trace_config(events), 2, 0.5,
+                           s.world.platform, s.world.objects);
+  return s;
+}
+
+ScenarioResult run(const ReplaySetup& s, int threads) {
+  ScenarioOptions opts;
+  opts.seed = 42;
+  opts.simulate = true;
+  opts.num_threads = threads;
+  return replay_trace(s.world.apps, s.world.platform, s.world.catalog,
+                      s.trace, opts);
+}
+
+void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_TRUE(a.final_allocation == b.final_allocation);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const RepairReport& x = a.outcomes[i].repair;
+    const RepairReport& y = b.outcomes[i].repair;
+    EXPECT_EQ(x.success, y.success) << "event " << i;
+    EXPECT_EQ(x.used_fallback, y.used_fallback) << "event " << i;
+    EXPECT_EQ(x.violations_before, y.violations_before) << "event " << i;
+    EXPECT_EQ(x.ops_moved, y.ops_moved) << "event " << i;
+    EXPECT_EQ(x.procs_bought, y.procs_bought) << "event " << i;
+    EXPECT_EQ(x.procs_retired, y.procs_retired) << "event " << i;
+    EXPECT_EQ(x.reconfigures, y.reconfigures) << "event " << i;
+    // Bit-exact costs, not approximately equal ones.
+    EXPECT_EQ(x.cost_before, y.cost_before) << "event " << i;
+    EXPECT_EQ(x.cost_after, y.cost_after) << "event " << i;
+    EXPECT_EQ(a.outcomes[i].sustained, b.outcomes[i].sustained)
+        << "event " << i;
+  }
+}
+
+TEST(TraceReplayDeterminism, RepeatedRunsAreBitIdentical) {
+  const ReplaySetup s = make_setup(31, 40);
+  expect_identical(run(s, 1), run(s, 1));
+}
+
+TEST(TraceReplayDeterminism, IndependentOfThreadCount) {
+  const ReplaySetup s = make_setup(32, 40);
+  const ScenarioResult serial = run(s, 1);
+  expect_identical(serial, run(s, 4));
+  expect_identical(serial, run(s, 0));  // hardware concurrency
+}
+
+TEST(TraceReplayDeterminism, ReplayedTraceSurvivesTextRoundTrip) {
+  const ReplaySetup s = make_setup(33, 40);
+  ReplaySetup loaded{make_world(33),
+                     trace_from_text(trace_to_text(s.trace))};
+  expect_identical(run(s, 1), run(loaded, 1));
+}
+
+TEST(TraceReplay, EveryRepairedEventValidatesAndSustains) {
+  const ReplaySetup s = make_setup(34, 60);
+  const ScenarioResult result = run(s, 0);
+  EXPECT_EQ(result.summary.events, 60);
+  EXPECT_EQ(result.summary.failures, 0);
+  for (const EventOutcome& out : result.outcomes) {
+    ASSERT_TRUE(out.repair.success) << out.repair.failure_reason;
+    EXPECT_TRUE(out.simulated);
+    EXPECT_TRUE(out.sustained)
+        << to_string(out.event.kind) << " left an unsustainable plan";
+  }
+}
+
+} // namespace
+} // namespace insp

@@ -190,5 +190,60 @@ TEST(LinkLedgerTxn, BackToBackTransactionsAreIndependent) {
   EXPECT_DOUBLE_EQ(links.used(0, 1), 30.0);  // only the second txn undone
 }
 
+TEST(LinkLedgerTxn, TouchedNoWorseAllowsShrinkingPreexistingViolation) {
+  LinkLedger links(50.0);
+  links.add(0, 1, 80.0);  // already violated before the transaction
+  links.begin_txn();
+  links.remove(0, 1, 10.0);  // still violated, but strictly better
+  EXPECT_FALSE(links.touched_within());
+  EXPECT_TRUE(links.touched_no_worse());
+  links.rollback_txn();
+}
+
+TEST(LinkLedgerTxn, TouchedNoWorseRejectsGrowingViolation) {
+  LinkLedger links(50.0);
+  links.add(0, 1, 80.0);
+  links.begin_txn();
+  links.add(0, 1, 5.0);  // the excess grows
+  EXPECT_FALSE(links.touched_no_worse());
+  links.rollback_txn();
+}
+
+TEST(LinkLedgerTxn, TouchedNoWorseRejectsNewViolation) {
+  LinkLedger links(50.0);
+  links.add(0, 1, 80.0);  // untouched violation elsewhere is irrelevant
+  links.begin_txn();
+  links.add(2, 3, 60.0);  // a *new* violation on a previously-fine link
+  EXPECT_FALSE(links.touched_no_worse());
+  links.rollback_txn();
+}
+
+TEST(LinkLedgerTxn, TouchedNoWorseJudgesAgainstFirstJournalEntry) {
+  LinkLedger links(50.0);
+  links.add(0, 1, 80.0);
+  links.begin_txn();
+  // Two steps: up then partially down, net increase.  Judging each entry
+  // against its own recorded prior value would wrongly accept this.
+  links.add(0, 1, 20.0);
+  links.remove(0, 1, 10.0);
+  EXPECT_FALSE(links.touched_no_worse());
+  links.rollback_txn();
+  // Net decrease over two steps is accepted.
+  links.begin_txn();
+  links.add(0, 1, 10.0);
+  links.remove(0, 1, 25.0);
+  EXPECT_TRUE(links.touched_no_worse());
+  links.rollback_txn();
+  EXPECT_DOUBLE_EQ(links.used(0, 1), 80.0);
+}
+
+TEST(LinkLedgerTxn, TouchedNoWorseAcceptsWithinCapacityChanges) {
+  LinkLedger links(50.0);
+  links.begin_txn();
+  links.add(0, 1, 40.0);
+  EXPECT_TRUE(links.touched_no_worse());
+  links.commit_txn();
+}
+
 } // namespace
 } // namespace insp
