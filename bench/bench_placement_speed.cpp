@@ -141,6 +141,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const BenchFlags flags = parse_flags(argc, argv, /*default_reps=*/5);
   const std::string json_path = args.get("json", "BENCH_placement.json");
+  const bool smoke = args.get_bool("smoke", false);
 
   const std::vector<HeuristicKind> kinds =
       flags.heuristics.empty() ? all_heuristics() : flags.heuristics;
@@ -148,8 +149,10 @@ int main(int argc, char** argv) {
   std::printf("Placement probe throughput vs tree size\n"
               "=======================================\n\n");
 
+  const std::vector<int> sizes = smoke ? std::vector<int>{25}
+                                       : std::vector<int>{25, 50, 100, 200, 400};
   std::vector<SizeResult> results;
-  for (int n : {25, 50, 100, 200, 400}) {
+  for (int n : sizes) {
     // Paper-shaped trees at a throughput low enough that even N=400 stays
     // feasible — probe cost, not instance difficulty, is what is measured.
     InstanceConfig cfg = paper_instance(n, 1.0);
@@ -193,11 +196,12 @@ int main(int argc, char** argv) {
     Rng probe_rng(flags.seed ^ 0xbe9cull);
     const ProbeSet set = make_probe_set(st, probe_rng, 1024);
     // Warm-up, then size the iteration counts so each side runs long
-    // enough to time stably but the whole sweep stays interactive.
+    // enough to time stably but the whole sweep stays interactive (and the
+    // CI smoke run stays near-instant).
     measure_incremental(st, set, 1000);
-    const std::size_t inc_iters = 200'000;
-    const std::size_t copy_iters =
-        std::max<std::size_t>(2'000, 200'000 / static_cast<std::size_t>(n));
+    const std::size_t inc_iters = smoke ? 20'000 : 200'000;
+    const std::size_t copy_iters = std::max<std::size_t>(
+        smoke ? 500 : 2'000, inc_iters / static_cast<std::size_t>(n));
     r.probes_per_sec_incremental = measure_incremental(st, set, inc_iters);
     r.probes_per_sec_copy = measure_copy_baseline(st, set, copy_iters);
     r.speedup = r.probes_per_sec_incremental / r.probes_per_sec_copy;

@@ -1,0 +1,266 @@
+// Simulator throughput study: the sparse pre-indexed event-simulator core
+// vs the seed-era dense reference (full n_procs x n_procs link matrix
+// rebuilt every period, full-vector snapshots, deque token churn), across
+// growing instance sizes.  The simulator sits on the scenario engine's hot
+// path — one run per trace event per thread slot — so this is the perf
+// trajectory that decides how many scenarios a replay sweep can afford.
+//
+// Instances are built for *simulator* stress, not allocation quality: one
+// operator per processor makes every tree edge a crossing edge (the worst
+// case for the dense link matrix), and a single-model catalog is sized from
+// the measured loads so the plan is valid (rho* >= 1) and the steady-state
+// pipeline path is what gets timed.
+// Each row cross-checks that both cores return bit-identical results —
+// the same contract tests/sim/sim_differential_test.cpp enforces.
+//
+// Emits machine-readable BENCH_sim.json (schema checked in CI by
+// scripts/check_bench_json.py).  --smoke shrinks the sweep for CI.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/flow_analyzer.hpp"
+#include "tree/tree_generator.hpp"
+
+using namespace insp;
+using namespace insp::benchx;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SimWorld {
+  OperatorTree tree;
+  Platform platform;
+  PriceCatalog catalog;
+  Allocation alloc;
+  int crossing_edges = 0;
+
+  Problem problem() const {
+    Problem p;
+    p.tree = &tree;
+    p.platform = &platform;
+    p.catalog = &catalog;
+    p.rho = 1.0;
+    return p;
+  }
+};
+
+/// Deterministic stress instance: random paper-shaped tree with one
+/// operator per processor (every tree edge crosses — the worst case for
+/// the dense link matrix), catalog and links sized to the measured loads
+/// with ~1% headroom so every budget is tight but sufficient.
+SimWorld make_world(std::uint64_t seed, int n_operators) {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ull *
+                  static_cast<std::uint64_t>(n_operators)));
+  TreeGenConfig tcfg;
+  tcfg.num_operators = n_operators;
+  tcfg.alpha = 1.0;
+  OperatorTree tree = generate_random_tree(rng, tcfg);
+
+  const int n_procs = std::max(2, n_operators);
+  Allocation alloc;
+  alloc.processors.resize(static_cast<std::size_t>(n_procs));
+  alloc.op_to_proc.resize(static_cast<std::size_t>(tree.num_operators()));
+  for (int op = 0; op < tree.num_operators(); ++op) {
+    const int u = op % n_procs;
+    alloc.processors[static_cast<std::size_t>(u)].ops.push_back(op);
+    alloc.op_to_proc[static_cast<std::size_t>(op)] = u;
+  }
+  for (auto& p : alloc.processors) {
+    p.config = ProcessorConfig{0, 0};
+  }
+
+  // One server hosts every type; route all downloads there.
+  std::vector<int> all_types;
+  for (int t = 0; t < tree.catalog().count(); ++t) all_types.push_back(t);
+  Platform sizing_platform({{0, 1e9, all_types}}, 1e9, 1e9,
+                           tree.catalog().count());
+  PriceCatalog sizing_catalog = PriceCatalog::paper_default();
+  Problem sizing;
+  sizing.tree = &tree;
+  sizing.platform = &sizing_platform;
+  sizing.catalog = &sizing_catalog;
+  sizing.rho = 1.0;
+  const auto needed = needed_types_per_processor(sizing, alloc);
+  for (std::size_t u = 0; u < alloc.processors.size(); ++u) {
+    for (int t : needed[u]) {
+      alloc.processors[u].downloads.push_back({t, 0});
+    }
+  }
+
+  // Size the single catalog model and the pair links off the real loads.
+  const auto loads = compute_processor_loads(sizing, alloc);
+  MopsPerSec max_cpu = 1.0;
+  MBps max_nic = 1.0;
+  for (const auto& l : loads) {
+    max_cpu = std::max(max_cpu, l.cpu_demand);
+    max_nic = std::max(max_nic, l.nic_total());
+  }
+  MegaBytes max_pair_volume = 1.0;
+  {
+    std::vector<std::pair<long long, double>> acc;  // (pair key, edge MB)
+    for (const auto& n : tree.operators()) {
+      if (n.parent == kNoNode) continue;
+      const int u = alloc.op_to_proc[static_cast<std::size_t>(n.id)];
+      const int v = alloc.op_to_proc[static_cast<std::size_t>(n.parent)];
+      if (u == v) continue;
+      acc.push_back({static_cast<long long>(std::min(u, v)) * n_procs +
+                         std::max(u, v),
+                     n.output_mb});
+    }
+    std::sort(acc.begin(), acc.end());
+    double run = 0.0;
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      run += acc[i].second;
+      if (i + 1 == acc.size() || acc[i + 1].first != acc[i].first) {
+        max_pair_volume = std::max(max_pair_volume, run);
+        run = 0.0;
+      }
+    }
+  }
+
+  SimWorld world{
+      std::move(tree),
+      Platform({{0, 1e9, all_types}}, 1e9, max_pair_volume * 1.01,
+               static_cast<int>(all_types.size())),
+      PriceCatalog(10.0, {{max_cpu * 1.01, 0.0}}, {{max_nic * 1.01, 0.0}}),
+      std::move(alloc)};
+  for (const auto& n : world.tree.operators()) {
+    if (n.parent == kNoNode) continue;
+    if (world.alloc.op_to_proc[static_cast<std::size_t>(n.id)] !=
+        world.alloc.op_to_proc[static_cast<std::size_t>(n.parent)]) {
+      ++world.crossing_edges;
+    }
+  }
+  return world;
+}
+
+struct Row {
+  int n = 0;
+  int procs = 0;
+  int crossing = 0;
+  int periods = 0;
+  int reps = 0;
+  double rho_star = 0.0;
+  double dense_ms = 0.0;
+  double sparse_ms = 0.0;
+  double speedup = 0.0;
+  bool sustained = false;
+  bool identical = false;
+};
+
+template <typename F>
+double time_ms_per_run(int reps, F&& run) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) run();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+             .count() /
+         static_cast<double>(reps);
+}
+
+void write_json(const std::string& path, std::uint64_t seed,
+                const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"num_operators\": %d,\n", r.n);
+    std::fprintf(f, "      \"num_processors\": %d,\n", r.procs);
+    std::fprintf(f, "      \"crossing_edges\": %d,\n", r.crossing);
+    std::fprintf(f, "      \"periods\": %d,\n", r.periods);
+    std::fprintf(f, "      \"reps\": %d,\n", r.reps);
+    std::fprintf(f, "      \"rho_star\": %.4f,\n", r.rho_star);
+    std::fprintf(f, "      \"dense_ms_per_run\": %.4f,\n", r.dense_ms);
+    std::fprintf(f, "      \"sparse_ms_per_run\": %.4f,\n", r.sparse_ms);
+    std::fprintf(f, "      \"speedup\": %.2f,\n", r.speedup);
+    std::fprintf(f, "      \"sustained\": %s,\n",
+                 r.sustained ? "true" : "false");
+    std::fprintf(f, "      \"identical_results\": %s\n",
+                 r.identical ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const BenchFlags flags =
+      parse_flags(argc, argv, /*default_reps=*/10,
+                  /*accepts_heuristics=*/false);
+  const std::string json_path = args.get("json", "BENCH_sim.json");
+  const bool smoke = args.get_bool("smoke", false);
+
+  std::vector<int> sizes = smoke ? std::vector<int>{60}
+                                 : std::vector<int>{100, 200, 400};
+  const int reps = smoke ? std::min(flags.repetitions, 3) : flags.repetitions;
+
+  std::printf("Event simulator: sparse core vs dense reference\n"
+              "===============================================\n\n");
+
+  const EventSimConfig config;  // derived warmup/bound, 400 periods
+  std::vector<Row> rows;
+  for (int n : sizes) {
+    const SimWorld world = make_world(flags.seed, n);
+    const Problem prob = world.problem();
+    const SimPlatformView view = SimPlatformView::uniform(world.platform);
+
+    Row row;
+    row.n = n;
+    row.procs = world.alloc.num_processors();
+    row.crossing = world.crossing_edges;
+    row.periods = config.periods;
+    row.reps = reps;
+    row.rho_star = analyze_flow(prob, world.alloc).max_throughput;
+
+    const EventSimResult sparse =
+        simulate_allocation(prob, world.alloc, view, config);
+    const EventSimResult dense = simulate_allocation_dense_reference(
+        prob, world.alloc, view, config);
+    row.sustained = sparse.sustained;
+    row.identical =
+        sparse.results_produced == dense.results_produced &&
+        sparse.first_output_period == dense.first_output_period &&
+        sparse.sustained == dense.sustained &&
+        sparse.achieved_throughput == dense.achieved_throughput &&
+        sparse.degenerate_config == dense.degenerate_config &&
+        sparse.warmup_periods_used == dense.warmup_periods_used &&
+        sparse.max_results_ahead_used == dense.max_results_ahead_used;
+
+    row.sparse_ms = time_ms_per_run(reps, [&] {
+      (void)simulate_allocation(prob, world.alloc, view, config);
+    });
+    row.dense_ms = time_ms_per_run(reps, [&] {
+      (void)simulate_allocation_dense_reference(prob, world.alloc, view,
+                                                config);
+    });
+    row.speedup = row.sparse_ms > 0.0 ? row.dense_ms / row.sparse_ms : 0.0;
+    rows.push_back(row);
+
+    std::printf(
+        "N=%-4d procs=%-4d crossing=%-4d rho*=%.2f  dense %8.3f ms   "
+        "sparse %8.3f ms   speedup %6.1fx   sustained=%d identical=%d\n",
+        row.n, row.procs, row.crossing, row.rho_star, row.dense_ms,
+        row.sparse_ms, row.speedup, row.sustained ? 1 : 0,
+        row.identical ? 1 : 0);
+  }
+
+  write_json(json_path, flags.seed, rows);
+  std::printf("\njson written to %s\n", json_path.c_str());
+  return 0;
+}

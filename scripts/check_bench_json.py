@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Shared schema check for the BENCH_*.json artifacts.
+
+Every bench binary that emits machine-readable JSON (bench_placement_speed,
+bench_dynamic, bench_sim_speed, ...) follows one envelope:
+
+    {
+      "bench": "<name>",          # non-empty string
+      "schema_version": 1,        # positive integer
+      "seed": 42,                 # integer (optional but conventional)
+      "results": [ { ... }, ... ] # non-empty list of flat objects
+    }
+
+Each result row must be an object of scalar values (numbers, strings,
+booleans); one level of nesting is allowed for per-row breakdown tables
+(a list of flat scalar objects, e.g. bench_placement's per-heuristic
+timings).  The artifacts are meant to be trivially diffable and trackable
+over time, so anything deeper is rejected.  CI runs this over every
+artifact the smoke runs produce; it is also handy locally:
+
+    python3 scripts/check_bench_json.py BENCH_*.json
+"""
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"not readable valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be an object")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return fail(path, "'bench' must be a non-empty string")
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        return fail(path, "'schema_version' must be a positive integer")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return fail(path, "'results' must be a non-empty list")
+    def is_scalar(value):
+        return isinstance(value, (int, float, str, bool))
+
+    for i, row in enumerate(results):
+        if not isinstance(row, dict) or not row:
+            return fail(path, f"results[{i}] must be a non-empty object")
+        for key, value in row.items():
+            if is_scalar(value):
+                continue
+            if isinstance(value, list) and all(
+                isinstance(sub, dict)
+                and sub
+                and all(is_scalar(v) for v in sub.values())
+                for sub in value
+            ):
+                continue  # one breakdown table per row is fine
+            return fail(
+                path,
+                f"results[{i}].{key} must be a scalar or a list of flat "
+                f"objects (got {type(value).__name__})",
+            )
+
+    print(f"{path}: ok (bench={bench}, schema_version={version}, "
+          f"{len(results)} result rows)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        status |= check_file(path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

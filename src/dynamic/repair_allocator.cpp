@@ -60,15 +60,7 @@ int DynamicAllocator::app_slot(int app_id) const {
 }
 
 void DynamicAllocator::rebuild_platform() {
-  // A down server keeps its slot (ids are stable) but hosts nothing, so
-  // servers_with() excludes it and the selection heuristics route around it.
-  std::vector<DataServer> servers = base_platform_.servers();
-  for (std::size_t s = 0; s < servers.size(); ++s) {
-    if (!server_up_[s]) servers[s].object_types.clear();
-  }
-  platform_ = Platform(std::move(servers), base_platform_.link_server_proc(),
-                       base_platform_.link_proc_proc(),
-                       base_platform_.num_object_types());
+  platform_ = base_platform_.degraded(server_up_);
 }
 
 RepairReport DynamicAllocator::initialize(std::uint64_t seed) {

@@ -105,6 +105,10 @@ class DynamicAllocator {
   /// Current throughput target of a live application.
   Throughput rho_of(int app_id) const;
   int num_servers_down() const;
+  /// Per-server health flags (indexed by server id) — the degradation the
+  /// scenario engine folds into the simulator's SimPlatformView so replay
+  /// validates failure events against the world as it actually is.
+  const std::vector<bool>& servers_up() const { return server_up_; }
 
  private:
   int app_slot(int app_id) const;  ///< index into apps_, -1 when gone

@@ -12,14 +12,28 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// World snapshot a simulation needs: the folded forest and the platform as
-/// they stood when the event's allocation was produced.
+/// World snapshot a simulation needs: the folded forest as it stood when
+/// the event's allocation was produced, plus the degraded platform view
+/// (down servers) the simulator must honor — a repaired allocation that
+/// silently kept a download route on a failed server must *fail* its
+/// simulation, not sail through on the healthy uniform platform.  The
+/// platform itself is not copied: everything the simulator reads about it
+/// (link bandwidths, server health) travels in the self-contained view.
 struct SimSnapshot {
   std::size_t outcome_index;
   OperatorTree forest;
-  Platform platform;
   Allocation allocation;
+  SimPlatformView view;
 };
+
+SimPlatformView degraded_view(const DynamicAllocator& engine) {
+  SimPlatformView view = SimPlatformView::uniform(engine.platform());
+  const std::vector<bool>& up = engine.servers_up();
+  for (std::size_t s = 0; s < up.size(); ++s) {
+    if (!up[s]) view.set_server_up(static_cast<int>(s), false);
+  }
+  return view;
+}
 
 struct Fnv {
   std::uint64_t h = 1469598103934665603ull;
@@ -78,8 +92,8 @@ ScenarioResult replay_trace(const std::vector<ApplicationSpec>& initial_apps,
     if (options.simulate && out.repair.success &&
         engine.num_live_apps() > 0) {
       snapshots.push_back(SimSnapshot{result.outcomes.size(),
-                                      engine.forest(), engine.platform(),
-                                      engine.allocation()});
+                                      engine.forest(), engine.allocation(),
+                                      degraded_view(engine)});
     }
     result.outcomes.push_back(std::move(out));
   }
@@ -96,11 +110,13 @@ ScenarioResult replay_trace(const std::vector<ApplicationSpec>& initial_apps,
         const SimSnapshot& s = snapshots[i];
         Problem prob;
         prob.tree = &s.forest;
-        prob.platform = &s.platform;
+        // The base platform satisfies Problem's invariant; the event-time
+        // degradations the simulator acts on are all in s.view.
+        prob.platform = &platform;
         prob.catalog = &catalog;
         prob.rho = 1.0;
         const EventSimResult sim =
-            simulate_allocation(prob, s.allocation, options.sim);
+            simulate_allocation(prob, s.allocation, s.view, options.sim);
         sustained[i] = sim.sustained ? 1 : 0;
       });
   for (std::size_t i = 0; i < snapshots.size(); ++i) {

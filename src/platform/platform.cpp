@@ -50,6 +50,15 @@ Platform Platform::paper_default(std::vector<std::vector<int>> hosted_types,
                   gigabytes_per_sec(1.0), num_object_types);
 }
 
+Platform Platform::degraded(const std::vector<bool>& server_up) const {
+  std::vector<DataServer> servers = servers_;
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    if (s < server_up.size() && !server_up[s]) servers[s].object_types.clear();
+  }
+  return Platform(std::move(servers), link_server_proc_, link_proc_proc_,
+                  num_object_types_);
+}
+
 bool Platform::all_types_hosted() const {
   for (const auto& hosts : servers_by_type_) {
     if (hosts.empty()) return false;

@@ -30,6 +30,13 @@ class Platform {
   static Platform paper_default(std::vector<std::vector<int>> hosted_types,
                                 int num_object_types);
 
+  /// The platform with the given servers failed: a down server keeps its
+  /// slot (ids stay stable) but hosts nothing, so servers_with() excludes
+  /// it and the selection heuristics route around it.  `server_up` is
+  /// indexed by server id; ids beyond its size are treated as up.  Used by
+  /// the dynamic layer on ServerFailure/ServerRecovery events.
+  Platform degraded(const std::vector<bool>& server_up) const;
+
   int num_servers() const { return static_cast<int>(servers_.size()); }
   const DataServer& server(int l) const {
     assert(l >= 0 && l < num_servers());

@@ -1,156 +1,390 @@
+// Sparse pre-indexed simulator core (and the shared setup both cores use).
+//
+// The seed implementation walked every operator through tree-node accessors
+// and rebuilt an n_procs x n_procs link-budget matrix every period — despite
+// a comment claiming it was "lazily sized on demand", it was eagerly
+// assigned each iteration, O(P^2 * periods) allocation churn at N=400.  The
+// sparse core indexes everything once:
+//
+//   - crossing edges (child and parent on different processors) are
+//     discovered up front; link budgets live in a flat vector keyed by the
+//     distinct (u, v) pairs actually crossed, not a dense matrix;
+//   - per-operator data (processor, parent, children, work, root position)
+//     sits in flat arrays walked in bottom-up order;
+//   - the per-period "start of period" snapshot is maintained by a dirty
+//     list (operators that computed this period) instead of a full vector
+//     copy;
+//   - tokens in transit live in two pooled vectors that swap roles each
+//     period, so the steady-state period loop performs no heap allocation.
 #include "sim/event_sim.hpp"
 
 #include <algorithm>
-#include <map>
 #include <cassert>
-#include <deque>
 #include <vector>
+
+#include "sim/event_sim_internal.hpp"
 
 namespace insp {
 
+namespace simdetail {
+
 namespace {
 
-/// One intermediate result in transit over a crossing tree edge.
-struct Token {
-  int child_op;           ///< edge identified by its child endpoint
-  long long result;       ///< result index being carried
-  MegaBytes remaining;    ///< MB still to transfer
-  int eligible_period;    ///< pipelining: send starts the period after compute
-};
+/// Smallest k with 2^k > d (0 for d == 0): the depth-scaled slack added to
+/// the auto-derived backpressure bound.
+int log2_slack(int d) {
+  int bits = 0;
+  for (; d > 0; d >>= 1) ++bits;
+  return bits;
+}
+
+ResolvedSimConfig resolve_config(const EventSimConfig& config, int fill_depth,
+                                 int crossing_depth) {
+  ResolvedSimConfig r;
+  r.sustained_fraction = config.sustained_fraction;
+  r.periods = config.periods;
+  if (r.periods <= 0) {
+    r.periods = 0;
+    r.degenerate = true;
+    return r;
+  }
+  // Out-of-range sentinels (warmup below -1, negative bound) still resolve
+  // to the derived defaults, but are flagged: the caller asked for
+  // something no one defined.
+  if (config.warmup_periods < -1 || config.max_results_ahead < 0) {
+    r.degenerate = true;
+  }
+  r.max_results_ahead = config.max_results_ahead > 0
+                            ? config.max_results_ahead
+                            : 4 + log2_slack(crossing_depth);
+  if (config.warmup_periods >= 0) {
+    // Explicit warmup: honor it when it leaves a measurement window,
+    // otherwise flag the config and measure the whole run.  A pipeline
+    // that cannot even fill within the run can never produce a result,
+    // so that is flagged too.
+    r.warmup = config.warmup_periods;
+    if (r.warmup >= r.periods) {
+      r.warmup = 0;
+      r.degenerate = true;
+    }
+    if (fill_depth >= r.periods) r.degenerate = true;
+  } else {
+    // Auto warmup: cover the pipeline fill (a crossing edge adds ~2 periods
+    // of latency, a co-located edge 1) plus slack, floor at a quarter of
+    // the run, cap at half so at least half the run is measured.
+    r.warmup = std::clamp(std::max(r.periods / 4, fill_depth + 16), 0,
+                          r.periods / 2);
+    if (fill_depth > r.periods / 2) r.degenerate = true;
+  }
+  return r;
+}
 
 } // namespace
 
-EventSimResult simulate_allocation(const Problem& problem,
-                                   const Allocation& alloc,
-                                   const EventSimConfig& config) {
+SimStaticPlan build_sim_plan(const Problem& problem, const Allocation& alloc,
+                             const SimPlatformView& view,
+                             const EventSimConfig& config) {
   const OperatorTree& tree = *problem.tree;
   const PriceCatalog& cat = *problem.catalog;
-  const double period_s = 1.0 / problem.rho;
-  const int n_ops = tree.num_operators();
-  const int n_procs = alloc.num_processors();
 
-  // Static per-processor figures.
-  std::vector<double> cpu_budget_mops(n_procs);     // per period
-  std::vector<MBps> card_comm_budget(n_procs);      // per period, MB
-  {
-    Problem at_unit = problem;
-    at_unit.rho = 1.0;
-    const auto loads = compute_processor_loads(at_unit, alloc);
-    for (int u = 0; u < n_procs; ++u) {
-      const auto& cfg = alloc.processors[static_cast<std::size_t>(u)].config;
-      cpu_budget_mops[static_cast<std::size_t>(u)] =
-          cat.speed(cfg) * period_s;
-      // Downloads stream continuously and occupy a fixed share of the card;
-      // the remainder is available for inter-processor traffic each period.
-      card_comm_budget[static_cast<std::size_t>(u)] = std::max(
-          0.0, (cat.bandwidth(cfg) - loads[u].download) * period_s);
+  SimStaticPlan plan;
+  plan.period_s = 1.0 / problem.rho;
+  plan.n_ops = tree.num_operators();
+  plan.n_procs = alloc.num_processors();
+  const auto n_ops = static_cast<std::size_t>(plan.n_ops);
+  const auto n_procs = static_cast<std::size_t>(plan.n_procs);
+
+  for (int op = 0; op < plan.n_ops; ++op) {
+    const int u = alloc.op_to_proc[static_cast<std::size_t>(op)];
+    if (u < 0 || u >= plan.n_procs) {
+      plan.unassigned_ops = true;
+      plan.cfg = resolve_config(config, 0, 0);
+      plan.cfg.degenerate = true;
+      return plan;
     }
   }
 
-  const auto bottom_up = tree.bottom_up_order();
-  std::vector<long long> computed(n_ops, 0);   // #results finished per op
-  std::vector<long long> delivered(n_ops, 0);  // #results of op delivered to
-                                               // its parent's processor
-  std::vector<double> progress(n_ops, 0.0);    // Mops spent on current result
-  std::deque<Token> in_transit;
+  plan.bottom_up = tree.bottom_up_order();
+  plan.proc.resize(n_ops);
+  plan.parent.resize(n_ops);
+  plan.work.resize(n_ops);
+  plan.output_mb.resize(n_ops);
+  plan.root_index.assign(n_ops, -1);
+  plan.starved.assign(n_ops, 0);
+  plan.crossing_of_op.assign(n_ops, -1);
+  plan.child_start.assign(n_ops + 1, 0);
 
-  EventSimResult out;
-  std::map<std::size_t, long long> root_produced_at_warmup;
-  std::vector<long long> root_produced(n_ops, 0);
+  for (int op = 0; op < plan.n_ops; ++op) {
+    const auto o = static_cast<std::size_t>(op);
+    plan.proc[o] = alloc.op_to_proc[o];
+    plan.parent[o] = tree.op(op).parent;
+    plan.work[o] = tree.op(op).work;
+    plan.output_mb[o] = tree.op(op).output_mb;
+  }
+  const auto& roots = tree.roots();
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    plan.root_index[static_cast<std::size_t>(roots[r])] = static_cast<int>(r);
+  }
 
-  for (int period = 0; period < config.periods; ++period) {
-    if (period == config.warmup_periods) {
-      for (int r : tree.roots()) {
-        root_produced_at_warmup[static_cast<std::size_t>(r)] =
-            root_produced[static_cast<std::size_t>(r)];
+  // Children in CSR form, tree order preserved.
+  for (int op = 0; op < plan.n_ops; ++op) {
+    plan.child_start[static_cast<std::size_t>(op) + 1] =
+        plan.child_start[static_cast<std::size_t>(op)] +
+        static_cast<int>(tree.op(op).children.size());
+  }
+  plan.child_list.resize(
+      static_cast<std::size_t>(plan.child_start[n_ops]));
+  for (int op = 0; op < plan.n_ops; ++op) {
+    int w = plan.child_start[static_cast<std::size_t>(op)];
+    for (int c : tree.op(op).children) {
+      plan.child_list[static_cast<std::size_t>(w++)] = c;
+    }
+  }
+
+  // Crossing edges and their distinct processor pairs.
+  std::vector<std::pair<int, int>> pairs;
+  for (int op = 0; op < plan.n_ops; ++op) {
+    const int parent = tree.op(op).parent;
+    if (parent == kNoNode) continue;
+    const int u = plan.proc[static_cast<std::size_t>(op)];
+    const int v = plan.proc[static_cast<std::size_t>(parent)];
+    if (u == v) continue;
+    pairs.push_back({std::min(u, v), std::max(u, v)});
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  plan.link_pair_budget.resize(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    plan.link_pair_budget[i] =
+        view.link_bandwidth(pairs[i].first, pairs[i].second) * plan.period_s;
+  }
+  for (int op = 0; op < plan.n_ops; ++op) {
+    const int parent = tree.op(op).parent;
+    if (parent == kNoNode) continue;
+    const int u = plan.proc[static_cast<std::size_t>(op)];
+    const int v = plan.proc[static_cast<std::size_t>(parent)];
+    if (u == v) continue;
+    CrossingEdge edge;
+    edge.child_op = op;
+    edge.proc_u = u;
+    edge.proc_v = v;
+    const std::pair<int, int> key{std::min(u, v), std::max(u, v)};
+    edge.pair_index = static_cast<int>(
+        std::lower_bound(pairs.begin(), pairs.end(), key) - pairs.begin());
+    edge.volume = tree.op(op).output_mb;
+    plan.crossing_of_op[static_cast<std::size_t>(op)] =
+        static_cast<int>(plan.crossing.size());
+    plan.crossing.push_back(edge);
+  }
+
+  // Budgets.  The download share follows the seed semantics — distinct
+  // *needed* types per processor — except that a type whose download route
+  // points at a down server streams nothing: its rate is released and every
+  // operator needing it on that processor starves.
+  plan.cpu_budget_mops.resize(n_procs);
+  plan.card_comm_budget.resize(n_procs);
+  const auto needed = needed_types_per_processor(problem, alloc);
+  std::vector<std::vector<int>> down_types(n_procs);
+  for (std::size_t u = 0; u < n_procs; ++u) {
+    const auto& p = alloc.processors[u];
+    MBps download = 0.0;
+    for (int t : needed[u]) {
+      int server = -1;
+      for (const DownloadRoute& route : p.downloads) {
+        if (route.object_type == t) {
+          server = route.server;
+          break;
+        }
+      }
+      if (server >= 0 && !view.server_is_up(server)) {
+        down_types[u].push_back(t);  // needed[u] is sorted, so this is too
+      } else {
+        download += tree.catalog().type(t).rate();
       }
     }
+    plan.cpu_budget_mops[u] = cat.speed(p.config) * plan.period_s;
+    // Downloads stream continuously and occupy a fixed share of the card;
+    // the remainder is available for inter-processor traffic each period.
+    plan.card_comm_budget[u] =
+        std::max(0.0, (cat.bandwidth(p.config) - download) * plan.period_s);
+  }
+  for (int op = 0; op < plan.n_ops; ++op) {
+    const auto& down =
+        down_types[static_cast<std::size_t>(
+            plan.proc[static_cast<std::size_t>(op)])];
+    if (down.empty()) continue;
+    for (int t : tree.object_types_of(op)) {
+      if (std::binary_search(down.begin(), down.end(), t)) {
+        plan.starved[static_cast<std::size_t>(op)] = 1;
+        break;
+      }
+    }
+  }
+
+  // Pipeline depths, walked parents-before-children.
+  std::vector<int> fill(n_ops, 0);
+  std::vector<int> cross(n_ops, 0);
+  for (int op : tree.top_down_order()) {
+    const int parent = tree.op(op).parent;
+    if (parent == kNoNode) continue;
+    const bool crossing =
+        plan.crossing_of_op[static_cast<std::size_t>(op)] >= 0;
+    fill[static_cast<std::size_t>(op)] =
+        fill[static_cast<std::size_t>(parent)] + (crossing ? 2 : 1);
+    cross[static_cast<std::size_t>(op)] =
+        cross[static_cast<std::size_t>(parent)] + (crossing ? 1 : 0);
+    plan.fill_depth =
+        std::max(plan.fill_depth, fill[static_cast<std::size_t>(op)]);
+    plan.crossing_depth =
+        std::max(plan.crossing_depth, cross[static_cast<std::size_t>(op)]);
+  }
+
+  plan.cfg = resolve_config(config, plan.fill_depth, plan.crossing_depth);
+  return plan;
+}
+
+} // namespace simdetail
+
+namespace {
+
+using simdetail::SimStaticPlan;
+
+/// One intermediate result in transit over a crossing tree edge.
+struct Token {
+  int edge;             ///< index into plan.crossing
+  MegaBytes remaining;  ///< MB still to transfer
+  int eligible_period;  ///< pipelining: send starts the period after compute
+};
+
+EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
+  const OperatorTree& tree = *problem.tree;
+  const auto n_ops = static_cast<std::size_t>(plan.n_ops);
+  const std::size_t n_roots = tree.roots().size();
+
+  std::vector<long long> root_produced(n_roots, 0);
+  std::vector<long long> root_at_warmup(n_roots, 0);
+  int first_output_period = -1;
+
+  if (plan.cfg.periods <= 0 || plan.unassigned_ops) {
+    return simdetail::finalize_result(problem, plan, {}, {}, -1);
+  }
+
+  std::vector<long long> computed(n_ops, 0);  ///< #results finished per op
+  std::vector<long long> computed_at_start(n_ops, 0);
+  std::vector<long long> delivered(n_ops, 0);  ///< #results handed to the
+                                               ///< parent's processor
+  std::vector<double> progress(n_ops, 0.0);    ///< Mops spent on current result
+  std::vector<int> dirty;  ///< ops whose computed changed this period
+  dirty.reserve(n_ops);
+
+  std::vector<double> cpu_left;
+  cpu_left.reserve(plan.cpu_budget_mops.size());
+  std::vector<MegaBytes> card_left(plan.card_comm_budget.size(), 0.0);
+  std::vector<MegaBytes> pair_left(plan.link_pair_budget.size(), 0.0);
+
+  // Processors touched by crossing traffic: the only card budgets the
+  // transfer phase reads, hence the only ones worth resetting per period.
+  std::vector<int> active_procs;
+  {
+    std::vector<char> seen(plan.card_comm_budget.size(), 0);
+    for (const auto& edge : plan.crossing) {
+      for (int p : {edge.proc_u, edge.proc_v}) {
+        if (!seen[static_cast<std::size_t>(p)]) {
+          seen[static_cast<std::size_t>(p)] = 1;
+          active_procs.push_back(p);
+        }
+      }
+    }
+  }
+
+  // Pooled token storage: in_transit/next swap roles each period, so the
+  // steady-state loop allocates nothing once their capacity settles.
+  std::vector<Token> in_transit, next_transit;
+  const std::size_t token_capacity =
+      plan.crossing.size() *
+      (static_cast<std::size_t>(plan.cfg.max_results_ahead) + 2);
+  in_transit.reserve(token_capacity);
+  next_transit.reserve(token_capacity);
+
+  const int bound = plan.cfg.max_results_ahead;
+  for (int period = 0; period < plan.cfg.periods; ++period) {
+    if (period == plan.cfg.warmup) root_at_warmup = root_produced;
+
     // ---- Compute phase (start-of-period snapshot: one-period stage
     //      latency, matching the paper's pipelined execution model). -------
-    const std::vector<long long> computed_at_start = computed;
-    std::vector<double> cpu_left = cpu_budget_mops;
-    for (int op : bottom_up) {
-      const int u = alloc.op_to_proc[static_cast<std::size_t>(op)];
-      auto& budget = cpu_left[static_cast<std::size_t>(u)];
-      const MegaOps w = tree.op(op).work;
+    cpu_left = plan.cpu_budget_mops;
+    for (int op : plan.bottom_up) {
+      const auto o = static_cast<std::size_t>(op);
+      if (plan.starved[o]) continue;  // its basic object never arrives
+      const auto u = static_cast<std::size_t>(plan.proc[o]);
+      double& budget = cpu_left[u];
+      const MegaOps w = plan.work[o];
+      const int parent = plan.parent[o];
       // Catch-up is allowed: an operator may complete several pending
       // results in one period if its CPU share and inputs permit.
-      const int parent = tree.op(op).parent;
       for (;;) {
-        const long long r = computed[static_cast<std::size_t>(op)];
+        const long long r = computed[o];
         if (r > period) break;  // basic objects update once per period
         // Backpressure: bounded buffer toward the parent.
         if (parent != kNoNode &&
             r >= computed_at_start[static_cast<std::size_t>(parent)] +
-                     config.max_results_ahead) {
+                     bound) {
           break;
         }
         bool inputs_ready = true;
-        for (int c : tree.op(op).children) {
-          const int cu = alloc.op_to_proc[static_cast<std::size_t>(c)];
-          const long long have =
-              cu == u ? computed_at_start[static_cast<std::size_t>(c)]
-                      : delivered[static_cast<std::size_t>(c)];
+        for (int k = plan.child_start[o]; k < plan.child_start[o + 1]; ++k) {
+          const auto c =
+              static_cast<std::size_t>(plan.child_list[static_cast<std::size_t>(k)]);
+          const long long have = plan.proc[c] == plan.proc[o]
+                                     ? computed_at_start[c]
+                                     : delivered[c];
           if (have < r + 1) {
             inputs_ready = false;
             break;
           }
         }
         if (!inputs_ready || budget <= 0.0) break;
-        const bool is_root = parent == kNoNode;
         // Partial progress carries across periods: a heavyweight operator
         // accumulates CPU over several periods instead of losing budget
         // remainders to fragmentation.
-        auto& done = progress[static_cast<std::size_t>(op)];
+        double& done = progress[o];
         const double spend = std::min(w - done, budget);
         budget -= spend;
         done += spend;
         if (done < w - 1e-9) break;  // result not finished this period
         done = 0.0;
-        ++computed[static_cast<std::size_t>(op)];
-        if (is_root) {
-          // Forests (multi-application): final results are counted at
-          // every root; the reported throughput is the slowest root's
-          // (each application must meet the common folded target).
-          ++root_produced[static_cast<std::size_t>(op)];
-          if (out.first_output_period < 0) out.first_output_period = period;
-        } else {
-          const int pu =
-              alloc.op_to_proc[static_cast<std::size_t>(tree.op(op).parent)];
-          if (pu == u) {
-            // Co-located: visible to the parent next period via computed[].
-          } else {
-            in_transit.push_back(
-                Token{op, r, tree.op(op).output_mb, period + 1});
-          }
+        if (computed[o] == computed_at_start[o]) dirty.push_back(op);
+        ++computed[o];
+        if (plan.root_index[o] >= 0) {
+          ++root_produced[static_cast<std::size_t>(plan.root_index[o])];
+          if (first_output_period < 0) first_output_period = period;
+        } else if (plan.crossing_of_op[o] >= 0) {
+          in_transit.push_back(
+              Token{plan.crossing_of_op[o], plan.output_mb[o], period + 1});
         }
+        // Co-located parents see the result next period via
+        // computed_at_start[]; nothing to enqueue.
       }
     }
 
     // ---- Transfer phase: FIFO over tokens, budgets on sender card,
     //      receiver card, and the pairwise link (bounded multi-port). ------
-    std::vector<MBps> card_left = card_comm_budget;
-    std::vector<std::vector<MBps>> link_left;  // lazily sized on demand
-    link_left.assign(static_cast<std::size_t>(n_procs),
-                     std::vector<MBps>(static_cast<std::size_t>(n_procs),
-                                       problem.platform->link_proc_proc() *
-                                           period_s));
-    std::deque<Token> still;
-    for (auto& token : in_transit) {
+    for (int p : active_procs) {
+      card_left[static_cast<std::size_t>(p)] =
+          plan.card_comm_budget[static_cast<std::size_t>(p)];
+    }
+    pair_left = plan.link_pair_budget;
+    next_transit.clear();
+    for (Token& token : in_transit) {
       if (token.eligible_period > period) {
-        still.push_back(token);
+        next_transit.push_back(token);
         continue;
       }
-      const int u =
-          alloc.op_to_proc[static_cast<std::size_t>(token.child_op)];
-      const int v = alloc.op_to_proc[static_cast<std::size_t>(
-          tree.op(token.child_op).parent)];
-      MBps& su = card_left[static_cast<std::size_t>(u)];
-      MBps& sv = card_left[static_cast<std::size_t>(v)];
-      MBps& sl = link_left[static_cast<std::size_t>(std::min(u, v))]
-                          [static_cast<std::size_t>(std::max(u, v))];
-      const MegaBytes amount =
-          std::min({token.remaining, su, sv, sl});
+      const auto& edge = plan.crossing[static_cast<std::size_t>(token.edge)];
+      MegaBytes& su = card_left[static_cast<std::size_t>(edge.proc_u)];
+      MegaBytes& sv = card_left[static_cast<std::size_t>(edge.proc_v)];
+      MegaBytes& sl = pair_left[static_cast<std::size_t>(edge.pair_index)];
+      const MegaBytes amount = std::min({token.remaining, su, sv, sl});
       if (amount > 0.0) {
         token.remaining -= amount;
         su -= amount;
@@ -160,31 +394,43 @@ EventSimResult simulate_allocation(const Problem& problem,
       if (token.remaining <= 1e-9) {
         // Delivered: usable by the parent from the next period on (the
         // delivered[] counter is only read in the next compute phase).
-        ++delivered[static_cast<std::size_t>(token.child_op)];
+        ++delivered[static_cast<std::size_t>(edge.child_op)];
       } else {
-        still.push_back(token);
+        next_transit.push_back(token);
       }
     }
-    in_transit = std::move(still);
+    std::swap(in_transit, next_transit);
+
+    // ---- End of period: fold this period's completions into the
+    //      start-of-next-period snapshot (dirty list, not a full copy). ----
+    for (int op : dirty) {
+      computed_at_start[static_cast<std::size_t>(op)] =
+          computed[static_cast<std::size_t>(op)];
+    }
+    dirty.clear();
   }
 
-  const int measured = std::max(1, config.periods - config.warmup_periods);
-  long long min_after_warmup = -1;
-  long long total = 0;
-  for (int r : tree.roots()) {
-    const long long after = root_produced[static_cast<std::size_t>(r)] -
-                            root_produced_at_warmup[static_cast<std::size_t>(r)];
-    total += root_produced[static_cast<std::size_t>(r)];
-    if (min_after_warmup < 0 || after < min_after_warmup) {
-      min_after_warmup = after;
-    }
-  }
-  out.results_produced = total;
-  out.achieved_throughput = static_cast<double>(std::max<long long>(
-                                0, min_after_warmup)) /
-                            (static_cast<double>(measured) * period_s);
-  out.sustained = out.achieved_throughput >= problem.rho * 0.99;
-  return out;
+  return simdetail::finalize_result(problem, plan, root_produced,
+                                    root_at_warmup, first_output_period);
+}
+
+} // namespace
+
+EventSimResult simulate_allocation(const Problem& problem,
+                                   const Allocation& alloc,
+                                   const EventSimConfig& config) {
+  return simulate_allocation(problem, alloc,
+                             SimPlatformView::uniform(*problem.platform),
+                             config);
+}
+
+EventSimResult simulate_allocation(const Problem& problem,
+                                   const Allocation& alloc,
+                                   const SimPlatformView& view,
+                                   const EventSimConfig& config) {
+  const SimStaticPlan plan =
+      simdetail::build_sim_plan(problem, alloc, view, config);
+  return run_sparse(problem, plan);
 }
 
 } // namespace insp

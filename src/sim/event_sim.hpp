@@ -9,23 +9,54 @@
 // the processor-level pipeline depth; if some resource is over-subscribed,
 // tokens back up and the measured output rate drops below rho — giving an
 // executable cross-check of the closed-form flow analysis.
+//
+// Two interchangeable cores implement these semantics:
+//
+//   simulate_allocation        — the sparse pre-indexed core (DESIGN.md §8):
+//                                crossing edges, link budgets and processor
+//                                schedules are indexed once up front and the
+//                                steady-state period loop does no heap
+//                                allocation;
+//   simulate_allocation_dense_reference
+//                              — the seed-era dense implementation (full
+//                                n_procs x n_procs link matrix rebuilt every
+//                                period, full-vector snapshots, node-by-node
+//                                tree walks), kept compiled-in as the oracle
+//                                for the differential test suite and the
+//                                baseline for bench_sim_speed.
+//
+// Both cores must produce bit-identical results for every input
+// (tests/sim/sim_differential_test.cpp enforces this).
 #pragma once
 
 #include "core/allocation.hpp"
 #include "core/problem.hpp"
+#include "sim/sim_platform_view.hpp"
 
 namespace insp {
 
 struct EventSimConfig {
-  int periods = 400;        ///< simulated periods (period = 1/rho seconds)
-  int warmup_periods = 100; ///< excluded from the throughput measurement
+  int periods = 400;  ///< simulated periods (period = 1/rho seconds)
+  /// Periods excluded from the throughput measurement.  -1 (default) derives
+  /// the warmup from the allocation's pipeline fill time — a crossing edge
+  /// adds ~2 periods of latency, a co-located edge 1 — so deep pipelines are
+  /// measured only after their first result can possibly appear.  A fixed
+  /// value is honored as given; warmup >= periods is flagged degenerate and
+  /// measured as warmup 0, and anything below -1 is flagged degenerate and
+  /// auto-derived.
+  int warmup_periods = -1;
   /// Bounded buffers: an operator may compute at most this many results
-  /// beyond what its parent has consumed.  Prevents upstream operators from
-  /// starving downstream ones of shared CPU when a resource is
-  /// over-subscribed.  Must exceed the per-hop pipeline latency (a crossing
-  /// edge takes ~3 periods: compute, transfer, consume) or valid plans are
-  /// throttled; 4 keeps the pipeline full with bounded queues.
-  int max_results_ahead = 4;
+  /// beyond what its parent has consumed, so upstream operators cannot
+  /// starve downstream ones of shared CPU when a resource is
+  /// over-subscribed.  0 (default) derives the bound from the allocation's
+  /// crossing-edge pipeline depth: a crossing hop has ~3 periods of
+  /// compute/transfer/consume latency, plus slack that grows with the
+  /// depth of the crossing pipeline to absorb FIFO transfer jitter.
+  /// Negative values are flagged degenerate and auto-derived.
+  int max_results_ahead = 0;
+  /// The sustained verdict's tolerance: sustained iff the measured
+  /// throughput reaches this fraction of the target rho.
+  double sustained_fraction = 0.99;
 };
 
 struct EventSimResult {
@@ -34,12 +65,35 @@ struct EventSimResult {
   long long results_produced = 0;
   /// Period index at which the first final result appeared (-1: none).
   int first_output_period = -1;
-  /// True when the achieved throughput reached the target (within 1%).
+  /// True when the achieved throughput reached the target (within the
+  /// configured sustained_fraction).
   bool sustained = false;
+  /// The config could not be honored as given: non-positive periods, an
+  /// explicit warmup outside [0, periods), an allocation with unassigned
+  /// operators, or a pipeline too deep to fill and measure within the
+  /// configured periods.  The result is still computed over the clamped
+  /// window but should not be trusted as a steady-state verdict.
+  bool degenerate_config = false;
+  /// The values actually used after auto-derivation/clamping.
+  int warmup_periods_used = 0;
+  int max_results_ahead_used = 0;
 };
 
+/// Sparse core, healthy platform (every server up, uniform links).
 EventSimResult simulate_allocation(const Problem& problem,
                                    const Allocation& alloc,
                                    const EventSimConfig& config = {});
+
+/// Sparse core against a degraded platform view (failed servers,
+/// per-pair link bandwidths) — what scenario replay uses.
+EventSimResult simulate_allocation(const Problem& problem,
+                                   const Allocation& alloc,
+                                   const SimPlatformView& view,
+                                   const EventSimConfig& config = {});
+
+/// Dense reference implementation (differential oracle + bench baseline).
+EventSimResult simulate_allocation_dense_reference(
+    const Problem& problem, const Allocation& alloc,
+    const SimPlatformView& view, const EventSimConfig& config = {});
 
 } // namespace insp

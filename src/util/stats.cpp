@@ -39,7 +39,7 @@ double RunningStats::max() const {
 
 void SampleSet::add(double x) {
   xs_.push_back(x);
-  dirty_ = true;
+  sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), x), x);
 }
 
 double SampleSet::mean() const {
@@ -57,29 +57,18 @@ double SampleSet::stddev() const {
   return std::sqrt(s / static_cast<double>(xs_.size() - 1));
 }
 
-void SampleSet::ensure_sorted() const {
-  if (dirty_) {
-    sorted_ = xs_;
-    std::sort(sorted_.begin(), sorted_.end());
-    dirty_ = false;
-  }
-}
-
 double SampleSet::min() const {
   assert(!xs_.empty());
-  ensure_sorted();
   return sorted_.front();
 }
 
 double SampleSet::max() const {
   assert(!xs_.empty());
-  ensure_sorted();
   return sorted_.back();
 }
 
 double SampleSet::percentile(double p) const {
   assert(!xs_.empty());
-  ensure_sorted();
   if (sorted_.size() == 1) return sorted_[0];
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);

@@ -29,6 +29,12 @@ class RunningStats {
 
 /// Stores samples; supports exact percentiles. Suitable for the small sample
 /// counts (tens per configuration) the experiments use.
+///
+/// The sorted view is maintained eagerly on add() — an ordered insertion,
+/// O(n) worst case, trivial at experiment sample counts — so every const
+/// accessor is genuinely read-only.  (A lazily sorted `mutable` cache would
+/// race when one SampleSet is read from two sweep threads; the sweep engine
+/// aggregates into per-cell sets read concurrently by reporting code.)
 class SampleSet {
  public:
   void add(double x);
@@ -36,18 +42,17 @@ class SampleSet {
   bool empty() const { return xs_.empty(); }
   double mean() const;
   double stddev() const;
-  double min() const;
-  double max() const;
+  double min() const;   ///< requires non-empty
+  double max() const;   ///< requires non-empty
   /// Linear-interpolated percentile, p in [0,100]. Requires non-empty.
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
+  /// Samples in insertion order (the determinism tests compare these).
   const std::vector<double>& samples() const { return xs_; }
 
  private:
-  void ensure_sorted() const;
-  std::vector<double> xs_;
-  mutable std::vector<double> sorted_;
-  mutable bool dirty_ = false;
+  std::vector<double> xs_;      ///< insertion order
+  std::vector<double> sorted_;  ///< ascending, updated by add()
 };
 
 } // namespace insp

@@ -93,6 +93,7 @@ TEST(DynamicAllocator, ServerFailureReroutesDownloadsAndRecoveryRestores) {
   RepairReport rep = engine.apply(fail, no_trace);
   ASSERT_TRUE(rep.success) << rep.failure_reason;
   EXPECT_EQ(engine.num_servers_down(), 1);
+  ASSERT_FALSE(engine.servers_up()[0]);
   for (const PurchasedProcessor& p : engine.allocation().processors) {
     for (const DownloadRoute& d : p.downloads) {
       EXPECT_NE(d.server, 0) << "download routed to the failed server";
@@ -101,6 +102,13 @@ TEST(DynamicAllocator, ServerFailureReroutesDownloadsAndRecoveryRestores) {
   const CheckReport chk =
       check_allocation(engine.problem(), engine.allocation());
   EXPECT_TRUE(chk.ok()) << chk.summary();
+  // The simulator, handed the *degraded* view, confirms the re-routed plan
+  // still sustains the target — every route now points at healthy servers.
+  SimPlatformView degraded = SimPlatformView::uniform(engine.platform());
+  degraded.set_server_up(0, false);
+  const EventSimResult sim = simulate_allocation(
+      engine.problem(), engine.allocation(), degraded);
+  EXPECT_TRUE(sim.sustained);
 
   WorkloadEvent recover;
   recover.kind = EventKind::ServerRecovery;

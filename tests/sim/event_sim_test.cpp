@@ -164,5 +164,211 @@ TEST(EventSim, RespectsConfiguredPeriods) {
   EXPECT_GT(r.results_produced, 30);
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate configs: the seed implementation read the warmup snapshot
+// through std::map::operator[], silently default-inserting 0 whenever
+// warmup_periods >= periods, and measured the whole run (warmup included)
+// without telling anyone.  The config is now validated and the result
+// clearly flagged.
+// ---------------------------------------------------------------------------
+
+TEST(EventSim, WarmupBeyondPeriodsIsFlaggedDegenerate) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const Allocation a = one_proc(f, f.catalog.most_expensive());
+  EventSimConfig cfg;
+  cfg.periods = 50;
+  cfg.warmup_periods = 100;  // >= periods: no measurement window left
+  const EventSimResult r = simulate_allocation(f.problem(), a, cfg);
+  EXPECT_TRUE(r.degenerate_config);
+  EXPECT_EQ(r.warmup_periods_used, 0);  // clamped: whole run measured
+  EXPECT_GT(r.results_produced, 0);
+  // The whole-run rate includes the pipeline-fill transient, so it is
+  // meaningful but below the steady-state figure.
+  EXPECT_GT(r.achieved_throughput, 0.5);
+  EXPECT_LE(r.achieved_throughput, 1.0 + 0.02);
+}
+
+TEST(EventSim, NonPositivePeriodsIsFlaggedDegenerate) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const Allocation a = one_proc(f, f.catalog.most_expensive());
+  EventSimConfig cfg;
+  cfg.periods = 0;
+  const EventSimResult r = simulate_allocation(f.problem(), a, cfg);
+  EXPECT_TRUE(r.degenerate_config);
+  EXPECT_EQ(r.results_produced, 0);
+  EXPECT_FALSE(r.sustained);
+  EXPECT_EQ(r.first_output_period, -1);
+}
+
+TEST(EventSim, UnassignedOperatorsAreFlaggedDegenerate) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  Allocation a = one_proc(f, f.catalog.most_expensive());
+  a.op_to_proc[2] = kNoNode;
+  const EventSimResult r = simulate_allocation(f.problem(), a);
+  EXPECT_TRUE(r.degenerate_config);
+  EXPECT_EQ(r.results_produced, 0);
+  EXPECT_FALSE(r.sustained);
+}
+
+TEST(EventSim, SustainedToleranceIsConfigurable) {
+  // An over-subscribed processor achieving ~0.4 results/s: unsustained at
+  // the default 0.99 fraction, sustained when the caller only requires 35%.
+  Fixture f = fig1a_fixture(1.0, 10.0);
+  f.catalog = PriceCatalog(10.0, {{100.0, 0.0}}, {{2500.0, 0.0}});
+  const Allocation a = one_proc(f, f.catalog.cheapest());
+  EventSimConfig lax;
+  lax.sustained_fraction = 0.35;
+  EXPECT_FALSE(simulate_allocation(f.problem(), a).sustained);
+  EXPECT_TRUE(simulate_allocation(f.problem(), a, lax).sustained);
+
+  // And a strict fraction above 1 rejects even a perfectly valid plan.
+  const Fixture ok = fig1a_fixture(1.0, 10.0);
+  const Allocation good = one_proc(ok, ok.catalog.most_expensive());
+  EventSimConfig strict;
+  strict.sustained_fraction = 1.05;
+  EXPECT_FALSE(simulate_allocation(ok.problem(), good, strict).sustained);
+}
+
+// ---------------------------------------------------------------------------
+// Deep pipelines: a chain of D crossing edges needs ~2D periods to fill.
+// The seed defaults measured from period 100 regardless, so a valid
+// allocation whose pipeline fills later was reported unsustained.  The
+// derived defaults size the warmup (and the backpressure bound's slack)
+// from the allocation's crossing-edge pipeline depth.
+// ---------------------------------------------------------------------------
+
+/// Chain of `depth` operators, exactly-sized one-op-per-processor
+/// allocation: every edge crosses, every budget is tight but sufficient.
+struct ChainWorld {
+  OperatorTree tree;
+  Platform platform;
+  PriceCatalog catalog;
+  Allocation alloc;
+
+  explicit ChainWorld(int depth)
+      : tree(make_tree(depth)),
+        platform({{0, 100000.0, {0}}}, 100000.0, 10.5, 1),
+        catalog(10.0, {{10.0, 0.0}}, {{30.0, 0.0}}) {
+    alloc.op_to_proc.resize(static_cast<std::size_t>(depth));
+    for (int i = 0; i < depth; ++i) {
+      PurchasedProcessor p;
+      p.config = ProcessorConfig{0, 0};
+      p.ops = {i};
+      if (!tree.object_types_of(i).empty()) p.downloads = {{0, 0}};
+      alloc.processors.push_back(p);
+      alloc.op_to_proc[static_cast<std::size_t>(i)] = i;
+    }
+  }
+
+  static OperatorTree make_tree(int depth) {
+    ObjectCatalog objects({{0, 10.0, 0.5}});
+    TreeBuilder b(objects);
+    int prev = b.add_operator(kNoNode);
+    for (int i = 1; i < depth; ++i) prev = b.add_operator(prev);
+    b.add_leaf(prev, 0);
+    return b.build(1.0);  // w = 10 Mops, delta = 10 MB everywhere
+  }
+
+  Problem problem() const {
+    Problem p;
+    p.tree = &tree;
+    p.platform = &platform;
+    p.catalog = &catalog;
+    p.rho = 1.0;
+    return p;
+  }
+};
+
+TEST(EventSim, DeepChainThrottledByLegacyDefaultsSustainsWithDerived) {
+  const ChainWorld w(60);  // 59 crossing edges -> fill depth 118 periods
+  const FlowAnalysis flow = analyze_flow(w.problem(), w.alloc);
+  ASSERT_GE(flow.max_throughput, 1.0 - 1e-9);  // the plan is valid
+
+  // Seed-era fixed defaults: warmup 100 < fill 118, bound 4.
+  EventSimConfig legacy;
+  legacy.periods = 400;
+  legacy.warmup_periods = 100;
+  legacy.max_results_ahead = 4;
+  const EventSimResult old = simulate_allocation(w.problem(), w.alloc, legacy);
+  EXPECT_FALSE(old.sustained) << "achieved " << old.achieved_throughput;
+  EXPECT_GT(old.first_output_period, legacy.warmup_periods);
+
+  // Derived defaults: warmup covers the fill, bound gains depth slack.
+  const EventSimResult now = simulate_allocation(w.problem(), w.alloc);
+  EXPECT_TRUE(now.sustained) << "achieved " << now.achieved_throughput;
+  EXPECT_FALSE(now.degenerate_config);
+  EXPECT_GE(now.warmup_periods_used, now.first_output_period);
+  EXPECT_GT(now.max_results_ahead_used, 4);  // depth-scaled slack
+}
+
+TEST(EventSim, PipelineTooDeepForExplicitConfigIsFlagged) {
+  const ChainWorld w(30);  // fill depth 58: no output within 40 periods
+  EventSimConfig cfg;
+  cfg.periods = 40;
+  cfg.warmup_periods = 10;
+  const EventSimResult r = simulate_allocation(w.problem(), w.alloc, cfg);
+  EXPECT_TRUE(r.degenerate_config);
+  EXPECT_EQ(r.results_produced, 0);
+  EXPECT_FALSE(r.sustained);
+}
+
+TEST(EventSim, AutoWarmupMatchesFixedDefaultsOnShallowPipelines) {
+  // For the paper-sized instances the derived warmup resolves to the same
+  // 100-of-400 window the seed hardcoded.
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const Allocation a = one_proc(f, f.catalog.most_expensive());
+  const EventSimResult r = simulate_allocation(f.problem(), a);
+  EXPECT_EQ(r.warmup_periods_used, 100);
+  EXPECT_FALSE(r.degenerate_config);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded platform views (SimPlatformView).
+// ---------------------------------------------------------------------------
+
+TEST(EventSim, DownloadRouteOnDownServerStarvesTheAllocation) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  const Allocation a = one_proc(f, f.catalog.most_expensive());
+  SimPlatformView view = SimPlatformView::uniform(f.platform);
+  view.set_server_up(0, false);  // every route of this alloc points at S0
+  const EventSimResult r = simulate_allocation(f.problem(), a, view);
+  EXPECT_FALSE(r.sustained);
+  EXPECT_EQ(r.results_produced, 0);
+  EXPECT_EQ(r.first_output_period, -1);
+}
+
+TEST(EventSim, RoutesOnHealthyReplicaUnaffectedByOtherFailure) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  Allocation a = one_proc(f, f.catalog.most_expensive());
+  for (auto& route : a.processors[0].downloads) route.server = 1;
+  SimPlatformView view = SimPlatformView::uniform(f.platform);
+  view.set_server_up(0, false);  // the failed server serves nothing here
+  const EventSimResult r = simulate_allocation(f.problem(), a, view);
+  EXPECT_TRUE(r.sustained);
+}
+
+TEST(EventSim, PerPairLinkOverrideThrottlesCrossingEdge) {
+  const Fixture f = fig1a_fixture(1.0, 10.0);
+  Allocation split;
+  PurchasedProcessor p0, p1;
+  p0.config = f.catalog.most_expensive();
+  p0.ops = {4, 3};
+  p0.downloads = {{0, 0}, {1, 0}};
+  p1.config = f.catalog.most_expensive();
+  p1.ops = {0, 1, 2};
+  p1.downloads = {{1, 0}, {2, 0}};
+  split.processors = {p0, p1};
+  split.op_to_proc = {1, 1, 1, 0, 0};
+
+  SimPlatformView healthy = SimPlatformView::uniform(f.platform);
+  EXPECT_TRUE(simulate_allocation(f.problem(), split, healthy).sustained);
+
+  SimPlatformView slow = healthy;
+  slow.set_link_bandwidth(0, 1, 5.0);  // the n2->n5 edge moves 40 MB/period
+  const EventSimResult r = simulate_allocation(f.problem(), split, slow);
+  EXPECT_FALSE(r.sustained);
+  EXPECT_LT(r.achieved_throughput, 0.5);
+}
+
 } // namespace
 } // namespace insp

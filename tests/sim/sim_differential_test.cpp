@@ -1,0 +1,191 @@
+// Differential oracle suite: the sparse pre-indexed simulator core and the
+// compiled-in dense reference must agree *bit-exactly* — same results
+// produced, same first output period, same achieved throughput, same
+// sustained verdict — across randomized trees, forests, degraded platforms
+// and degenerate configs.  Any divergence means the sparse core changed
+// semantics, not just data layout.
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+#include "dynamic/scenario_engine.hpp"
+#include "multi/multi_app.hpp"
+#include "sim/event_sim.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::random_fixture;
+
+void expect_cores_agree(const Problem& problem, const Allocation& alloc,
+                        const SimPlatformView& view,
+                        const EventSimConfig& config,
+                        const std::string& label) {
+  const EventSimResult sparse =
+      simulate_allocation(problem, alloc, view, config);
+  const EventSimResult dense =
+      simulate_allocation_dense_reference(problem, alloc, view, config);
+  EXPECT_EQ(sparse.results_produced, dense.results_produced) << label;
+  EXPECT_EQ(sparse.first_output_period, dense.first_output_period) << label;
+  EXPECT_EQ(sparse.sustained, dense.sustained) << label;
+  EXPECT_EQ(sparse.degenerate_config, dense.degenerate_config) << label;
+  EXPECT_EQ(sparse.warmup_periods_used, dense.warmup_periods_used) << label;
+  EXPECT_EQ(sparse.max_results_ahead_used, dense.max_results_ahead_used)
+      << label;
+  // Bit-exact, not approximately equal: both cores must execute the same
+  // arithmetic in the same order.
+  EXPECT_EQ(sparse.achieved_throughput, dense.achieved_throughput) << label;
+}
+
+TEST(SimDifferential, RandomizedHeuristicPlans) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Fixture f = random_fixture(seed, 24, 1.2);
+    for (const HeuristicKind kind :
+         {HeuristicKind::CommGreedy, HeuristicKind::SubtreeBottomUp}) {
+      Rng rng(seed);
+      const AllocationOutcome out = allocate(f.problem(), kind, rng);
+      if (!out.success) continue;
+      expect_cores_agree(f.problem(), out.allocation,
+                         SimPlatformView::uniform(f.platform), {},
+                         "seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(SimDifferential, OversubscribedPlansAgreeOnTheFailure) {
+  // Backpressure, token queues and partial progress all engage when a
+  // resource is over-subscribed; the cores must tell the same story.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Fixture f = random_fixture(seed, 20, 1.4);
+    f.catalog = PriceCatalog(10.0, {{400.0, 0.0}}, {{120.0, 0.0}});
+    Rng rng(seed);
+    const AllocationOutcome out =
+        allocate(f.problem(), HeuristicKind::CompGreedy, rng);
+    if (!out.success) continue;
+    expect_cores_agree(f.problem(), out.allocation,
+                       SimPlatformView::uniform(f.platform), {},
+                       "seed " + std::to_string(seed));
+  }
+}
+
+TEST(SimDifferential, MultiApplicationForests) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Fixture base = random_fixture(seed, 12, 1.1);
+    std::vector<ApplicationSpec> apps;
+    apps.push_back({base.tree, 1.0});
+    apps.push_back({base.tree, 0.5});
+    apps.push_back({base.tree, 1.5});
+    const CombinedApplication combined = combine_applications(apps);
+
+    Problem prob;
+    prob.tree = &combined.forest;
+    prob.platform = &base.platform;
+    prob.catalog = &base.catalog;
+    prob.rho = 1.0;
+
+    Rng rng(seed);
+    const AllocationOutcome out =
+        allocate(prob, HeuristicKind::SubtreeBottomUp, rng);
+    if (!out.success) continue;
+    expect_cores_agree(prob, out.allocation,
+                       SimPlatformView::uniform(base.platform), {},
+                       "forest seed " + std::to_string(seed));
+  }
+}
+
+TEST(SimDifferential, DegradedPlatformInstances) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Fixture f = random_fixture(seed, 24, 1.2);
+    Rng rng(seed);
+    const AllocationOutcome out =
+        allocate(f.problem(), HeuristicKind::SubtreeBottomUp, rng);
+    if (!out.success) continue;
+
+    // Fail a random server and slow a random processor pair: the verdict
+    // may flip to unsustained, but both cores must flip identically.
+    SimPlatformView view = SimPlatformView::uniform(f.platform);
+    Rng damage(seed ^ 0xD16EA5EDull);
+    view.set_server_up(
+        static_cast<int>(damage.index(
+            static_cast<std::size_t>(f.platform.num_servers()))),
+        false);
+    const int n_procs = out.allocation.num_processors();
+    if (n_procs >= 2) {
+      const int u = static_cast<int>(
+          damage.index(static_cast<std::size_t>(n_procs)));
+      const int v = (u + 1) % n_procs;
+      view.set_link_bandwidth(u, v, 2.0);
+    }
+    expect_cores_agree(f.problem(), out.allocation, view, {},
+                       "degraded seed " + std::to_string(seed));
+  }
+}
+
+TEST(SimDifferential, TightBackpressureBounds) {
+  const Fixture f = random_fixture(3, 24, 1.2);
+  Rng rng(3);
+  const AllocationOutcome out =
+      allocate(f.problem(), HeuristicKind::CommGreedy, rng);
+  ASSERT_TRUE(out.success);
+  for (int bound : {1, 2, 3}) {
+    EventSimConfig cfg;
+    cfg.max_results_ahead = bound;
+    expect_cores_agree(f.problem(), out.allocation,
+                       SimPlatformView::uniform(f.platform), cfg,
+                       "bound " + std::to_string(bound));
+  }
+}
+
+TEST(SimDifferential, DegenerateConfigs) {
+  const Fixture f = random_fixture(1, 16, 1.2);
+  Rng rng(1);
+  const AllocationOutcome out =
+      allocate(f.problem(), HeuristicKind::SubtreeBottomUp, rng);
+  ASSERT_TRUE(out.success);
+  const SimPlatformView view = SimPlatformView::uniform(f.platform);
+  EventSimConfig no_window;
+  no_window.periods = 40;
+  no_window.warmup_periods = 40;
+  expect_cores_agree(f.problem(), out.allocation, view, no_window,
+                     "warmup == periods");
+  EventSimConfig empty;
+  empty.periods = 0;
+  expect_cores_agree(f.problem(), out.allocation, view, empty, "0 periods");
+}
+
+TEST(SimDifferential, ScenarioReplayIdenticalAcrossThreadCounts) {
+  // The scenario engine runs the simulator in worker threads over fixed
+  // slots; every outcome — including the simulator verdicts — must be
+  // identical for any thread count.
+  const Fixture base = random_fixture(7, 10, 1.0);
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({base.tree, 0.5});
+  apps.push_back({base.tree, 0.5});
+
+  Rng gen(99);
+  TraceGenConfig tg;
+  tg.num_events = 30;
+  EventTrace trace = generate_trace(gen, tg, static_cast<int>(apps.size()),
+                                    0.5, base.platform, base.tree.catalog());
+
+  ScenarioOptions serial;
+  serial.num_threads = 1;
+  ScenarioOptions parallel = serial;
+  parallel.num_threads = 4;
+  const ScenarioResult a = replay_trace(apps, base.platform, base.catalog,
+                                        trace, serial);
+  const ScenarioResult b = replay_trace(apps, base.platform, base.catalog,
+                                        trace, parallel);
+  EXPECT_EQ(a.signature, b.signature);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].simulated, b.outcomes[i].simulated) << i;
+    EXPECT_EQ(a.outcomes[i].sustained, b.outcomes[i].sustained) << i;
+  }
+  EXPECT_EQ(a.summary.sustained, b.summary.sustained);
+  EXPECT_EQ(a.summary.simulated, b.summary.simulated);
+}
+
+} // namespace
+} // namespace insp
