@@ -20,19 +20,15 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_support/dynamic_world.hpp"
 #include "dynamic/scenario_engine.hpp"
-#include "platform/server_distribution.hpp"
 
 using namespace insp;
 using namespace insp::benchx;
 
 namespace {
 
-struct Scale {
-  int n = 0;       ///< total operators across all applications
-  int apps = 0;    ///< concurrent applications at trace start
-  int events = 0;  ///< trace length
-};
+using Scale = DynamicWorldScale;
 
 struct ScaleResult {
   Scale scale;
@@ -57,66 +53,6 @@ struct ScaleResult {
   double latency_speedup = 0.0;
   double cost_ratio = 0.0;  ///< repair final cost / scratch final cost
 };
-
-struct World {
-  std::vector<ApplicationSpec> apps;
-  Platform platform;
-  PriceCatalog catalog;
-  EventTrace trace;
-};
-
-/// Deterministic world + trace for one scale row.  Paper-shaped trees and
-/// platform; initial rho 0.5 per application leaves headroom for upward
-/// rho drift (the trace clamps rho to [0.05, 1.5]).
-World make_world(std::uint64_t seed, const Scale& scale) {
-  Rng gen(seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(
-                                              scale.n + 131 * scale.apps)));
-  ObjectCatalog objects = ObjectCatalog::random(gen, 15, 5.0, 30.0, 0.5);
-  TreeGenConfig tcfg;
-  tcfg.num_operators = scale.n / scale.apps;
-  tcfg.alpha = 1.0;
-  tcfg.num_object_types = 15;
-  std::vector<ApplicationSpec> apps;
-  for (int a = 0; a < scale.apps; ++a) {
-    apps.push_back({generate_random_tree(gen, tcfg, objects), /*rho=*/0.5});
-  }
-  // Replicated distribution, patched so every type lives on >= 2 servers:
-  // the trace takes one server down at a time, and a single-replica type on
-  // the failed server would make the whole world infeasible (for scratch
-  // re-allocation just as much as for repair).
-  ServerDistConfig dist;
-  dist.replication_prob = 0.4;
-  std::vector<std::vector<int>> hosted = distribute_objects(gen, dist);
-  for (int t = 0; t < dist.num_object_types; ++t) {
-    std::vector<int> holders;
-    for (int s = 0; s < dist.num_servers; ++s) {
-      for (int ht : hosted[static_cast<std::size_t>(s)]) {
-        if (ht == t) holders.push_back(s);
-      }
-    }
-    if (holders.size() >= 2) continue;
-    const int second = (holders.front() + 1 +
-                        static_cast<int>(gen.index(static_cast<std::size_t>(
-                            dist.num_servers - 1)))) %
-                       dist.num_servers;
-    auto& list = hosted[static_cast<std::size_t>(second)];
-    list.insert(std::lower_bound(list.begin(), list.end(), t), t);
-  }
-  Platform platform =
-      Platform::paper_default(std::move(hosted), dist.num_object_types);
-
-  TraceGenConfig tg;
-  tg.num_events = scale.events;
-  tg.max_live_apps = scale.apps + 2;
-  tg.rho_min = 0.05;
-  tg.rho_max = 1.5;
-  tg.arrival_tree = tcfg;
-  EventTrace trace =
-      generate_trace(gen, tg, scale.apps, /*initial_rho=*/0.5, platform,
-                     objects);
-  return World{std::move(apps), std::move(platform),
-               PriceCatalog::paper_default(), std::move(trace)};
-}
 
 void write_json(const std::string& path, std::uint64_t seed,
                 const std::vector<ScaleResult>& results) {
@@ -190,7 +126,7 @@ int main(int argc, char** argv) {
 
   std::vector<ScaleResult> results;
   for (const Scale& scale : scales) {
-    World world = make_world(flags.seed, scale);
+    DynamicWorld world = make_dynamic_world(flags.seed, scale);
     // --trace replays one bundled trace file against every row, so pair it
     // with --smoke (single row); --dump-trace writes one file per row.
     if (!load_trace_path.empty()) world.trace = load_trace(load_trace_path);

@@ -1,0 +1,258 @@
+// Concurrent multi-tenant allocation service study (docs/DESIGN.md §9):
+// drives the sharded AllocationService with one producer thread per shard
+// blasting a seeded dynamic trace through the bounded MPMC queue, across a
+// {worker threads} x {shards} x {total operators} grid, and reports event
+// throughput and request latency (p50/p99: submit -> batch applied).
+// Every configuration's per-shard trajectory is checked bit for bit against
+// the sequential per-shard reference (service_replay.hpp): a row with
+// signatures_match=false is a correctness failure and the bench exits
+// non-zero.
+//
+// Scaling is CPU-bound repair work, so the 1 -> 8 worker speedup gate
+// (>= 3x at N=400, 8 shards) is only meaningful with >= 4 hardware
+// threads; the JSON records hardware_concurrency so readers can tell a
+// serialized box from a scaling failure.  --smoke shrinks the grid to one
+// tiny row for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_support/dynamic_world.hpp"
+#include "service/allocation_service.hpp"
+#include "service/service_replay.hpp"
+
+using namespace insp;
+using namespace insp::benchx;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct GridRow {
+  int n_total = 0;   ///< operators across the whole deployment
+  int shards = 0;
+  int workers = 0;
+  int events_per_shard = 0;
+};
+
+struct RowResult {
+  GridRow row;
+  std::uint64_t requests = 0;
+  int events_applied = 0;
+  int events_coalesced = 0;
+  int failures = 0;
+  double events_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double speedup_vs_1worker = 0.0;
+  bool signatures_match = false;
+};
+
+double percentile_ms(std::vector<double>& latencies, double p) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const double idx = p / 100.0 * static_cast<double>(latencies.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, latencies.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return (latencies[lo] * (1.0 - frac) + latencies[hi] * frac) * 1e3;
+}
+
+/// Per-shard worlds for one (N, shards) deployment: shard i gets its own
+/// platform partition, tenants, and trace, derived from a per-shard seed.
+std::vector<ShardSpec> make_deployment(std::uint64_t seed, int n_total,
+                                       int shards, int events_per_shard) {
+  std::vector<ShardSpec> specs;
+  for (int i = 0; i < shards; ++i) {
+    DynamicWorld world = make_dynamic_world(
+        seed + 7919ull * static_cast<std::uint64_t>(i),
+        {std::max(n_total / shards, 8), 2, events_per_shard});
+    specs.push_back(ShardSpec{std::move(world.apps), std::move(world.platform),
+                              std::move(world.catalog),
+                              std::move(world.trace)});
+  }
+  return specs;
+}
+
+RowResult run_row(const std::vector<ShardSpec>& specs,
+                  const std::vector<ShardReplayResult>& reference,
+                  const GridRow& row, std::uint64_t seed) {
+  ServiceOptions opt;
+  opt.num_workers = row.workers;
+  opt.queue_capacity = 1024;
+  opt.seed = seed;
+  AllocationService service(specs, opt);
+  service.start();
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    producers.emplace_back([&service, &specs, s] {
+      for (const WorkloadEvent& event : specs[s].trace.events) {
+        service.submit(static_cast<int>(s), event);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  ServiceStats stats = service.finish();
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RowResult r;
+  r.row = row;
+  r.requests = stats.requests_submitted;
+  r.events_applied = stats.events_applied;
+  r.events_coalesced = stats.events_coalesced;
+  r.failures = stats.failures;
+  r.events_per_sec =
+      wall > 0.0 ? static_cast<double>(stats.requests_submitted) / wall : 0.0;
+  r.p50_ms = percentile_ms(stats.latency_seconds, 50.0);
+  r.p99_ms = percentile_ms(stats.latency_seconds, 99.0);
+  r.signatures_match = true;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const ShardSnapshot* snap = service.snapshot(static_cast<int>(s));
+    if (snap->signature != reference[s].signature ||
+        !(snap->allocation == reference[s].final_allocation)) {
+      r.signatures_match = false;
+    }
+  }
+  return r;
+}
+
+void write_json(const std::string& path, std::uint64_t seed,
+                unsigned hardware, const std::vector<RowResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"service\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hardware);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RowResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"num_operators\": %d,\n", r.row.n_total);
+    std::fprintf(f, "      \"shards\": %d,\n", r.row.shards);
+    std::fprintf(f, "      \"worker_threads\": %d,\n", r.row.workers);
+    std::fprintf(f, "      \"events\": %llu,\n",
+                 static_cast<unsigned long long>(r.requests));
+    std::fprintf(f, "      \"events_applied\": %d,\n", r.events_applied);
+    std::fprintf(f, "      \"events_coalesced\": %d,\n", r.events_coalesced);
+    std::fprintf(f, "      \"failures\": %d,\n", r.failures);
+    std::fprintf(f, "      \"events_per_sec\": %.1f,\n", r.events_per_sec);
+    std::fprintf(f, "      \"p50_ms\": %.4f,\n", r.p50_ms);
+    std::fprintf(f, "      \"p99_ms\": %.4f,\n", r.p99_ms);
+    std::fprintf(f, "      \"speedup_vs_1worker\": %.2f,\n",
+                 r.speedup_vs_1worker);
+    std::fprintf(f, "      \"hardware_concurrency\": %u,\n", hardware);
+    std::fprintf(f, "      \"signatures_match\": %s\n",
+                 r.signatures_match ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const BenchFlags flags =
+      parse_flags(argc, argv, /*default_reps=*/1, /*accepts_heuristics=*/false);
+  const std::string json_path = args.get("json", "BENCH_service.json");
+  const bool smoke = args.get_bool("smoke", false);
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  std::vector<int> n_totals, shard_counts, worker_counts;
+  int events_per_shard;
+  if (smoke) {
+    n_totals = {40};
+    shard_counts = {2};
+    worker_counts = {1, 2};
+    events_per_shard = 24;
+  } else {
+    n_totals = {200, 400};
+    shard_counts = {2, 4, 8};
+    worker_counts = {1, 2, 4, 8};
+    events_per_shard = 200;
+  }
+
+  std::printf("Concurrent allocation service: throughput and latency\n"
+              "=====================================================\n"
+              "hardware threads: %u\n\n",
+              hardware);
+
+  bool all_match = true;
+  std::vector<RowResult> results;
+  for (int n_total : n_totals) {
+    for (int shards : shard_counts) {
+      const std::vector<ShardSpec> specs =
+          make_deployment(flags.seed, n_total, shards, events_per_shard);
+      ServiceOptions ref_opt;
+      ref_opt.seed = flags.seed;
+      std::vector<ShardReplayResult> reference;
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        reference.push_back(
+            replay_shard_sequential(specs[s], static_cast<int>(s), ref_opt));
+      }
+      double baseline_eps = 0.0;
+      for (int workers : worker_counts) {
+        GridRow row{n_total, shards, workers, events_per_shard};
+        RowResult r = run_row(specs, reference, row, flags.seed);
+        if (workers == worker_counts.front()) baseline_eps = r.events_per_sec;
+        r.speedup_vs_1worker =
+            baseline_eps > 0.0 ? r.events_per_sec / baseline_eps : 0.0;
+        all_match = all_match && r.signatures_match;
+        results.push_back(r);
+        std::printf(
+            "N=%-4d shards=%d workers=%d  %9.0f events/s  p50 %7.3f ms  "
+            "p99 %7.3f ms  speedup %5.2fx  %s\n",
+            n_total, shards, workers, r.events_per_sec, r.p50_ms, r.p99_ms,
+            r.speedup_vs_1worker,
+            r.signatures_match ? "replay OK" : "REPLAY MISMATCH");
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Scaling gate: >= 3x from 1 -> max workers at the largest deployment.
+  // Only meaningful on hardware that can actually run the workers in
+  // parallel; a 1-2 core box serializes everything by construction.
+  if (!smoke) {
+    double best = 0.0;
+    for (const RowResult& r : results) {
+      if (r.row.n_total == n_totals.back() &&
+          r.row.shards == shard_counts.back() &&
+          r.row.workers == worker_counts.back()) {
+        best = r.speedup_vs_1worker;
+      }
+    }
+    if (hardware >= 4) {
+      std::printf("scaling gate (>= 3x, 1 -> %d workers, N=%d, %d shards): "
+                  "%.2fx  %s\n",
+                  worker_counts.back(), n_totals.back(), shard_counts.back(),
+                  best, best >= 3.0 ? "PASS" : "FAIL");
+    } else {
+      std::printf("scaling gate skipped: %u hardware thread(s) cannot "
+                  "demonstrate worker scaling (measured %.2fx)\n",
+                  hardware, best);
+    }
+  }
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FATAL: some configuration diverged from the sequential "
+                 "per-shard reference\n");
+  }
+
+  write_json(json_path, flags.seed, hardware, results);
+  std::printf("json written to %s\n", json_path.c_str());
+  return all_match ? 0 : 1;
+}

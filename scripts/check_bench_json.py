@@ -23,6 +23,23 @@ artifact the smoke runs produce; it is also handy locally:
 import json
 import sys
 
+# Per-bench row schemas: when a known bench name is seen, every result row
+# must carry at least these keys.  The envelope check alone would accept an
+# artifact whose rows silently lost their payload (a formatting bug in the
+# emitter); the key lists keep the benches' downstream consumers honest.
+# Benches not listed here are envelope-checked only.
+REQUIRED_ROW_KEYS = {
+    "dynamic": {
+        "num_operators", "events", "median_repair_ms", "median_scratch_ms",
+        "latency_speedup", "repair_signature",
+    },
+    "service": {
+        "num_operators", "shards", "worker_threads", "events",
+        "events_per_sec", "p50_ms", "p99_ms", "speedup_vs_1worker",
+        "hardware_concurrency", "signatures_match",
+    },
+}
+
 
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
@@ -50,9 +67,17 @@ def check_file(path):
     def is_scalar(value):
         return isinstance(value, (int, float, str, bool))
 
+    required = REQUIRED_ROW_KEYS.get(bench, set())
     for i, row in enumerate(results):
         if not isinstance(row, dict) or not row:
             return fail(path, f"results[{i}] must be a non-empty object")
+        missing = required - row.keys()
+        if missing:
+            return fail(
+                path,
+                f"results[{i}] is missing required '{bench}' keys: "
+                f"{', '.join(sorted(missing))}",
+            )
         for key, value in row.items():
             if is_scalar(value):
                 continue

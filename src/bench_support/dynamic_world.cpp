@@ -1,0 +1,57 @@
+#include "bench_support/dynamic_world.hpp"
+
+#include <algorithm>
+
+#include "platform/server_distribution.hpp"
+#include "tree/tree_generator.hpp"
+
+namespace insp::benchx {
+
+DynamicWorld make_dynamic_world(std::uint64_t seed,
+                                const DynamicWorldScale& scale) {
+  Rng gen(seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(
+                                              scale.n + 131 * scale.apps)));
+  ObjectCatalog objects = ObjectCatalog::random(gen, 15, 5.0, 30.0, 0.5);
+  TreeGenConfig tcfg;
+  tcfg.num_operators = scale.n / scale.apps;
+  tcfg.alpha = 1.0;
+  tcfg.num_object_types = 15;
+  std::vector<ApplicationSpec> apps;
+  for (int a = 0; a < scale.apps; ++a) {
+    apps.push_back({generate_random_tree(gen, tcfg, objects), /*rho=*/0.5});
+  }
+  ServerDistConfig dist;
+  dist.replication_prob = 0.4;
+  std::vector<std::vector<int>> hosted = distribute_objects(gen, dist);
+  for (int t = 0; t < dist.num_object_types; ++t) {
+    std::vector<int> holders;
+    for (int s = 0; s < dist.num_servers; ++s) {
+      for (int ht : hosted[static_cast<std::size_t>(s)]) {
+        if (ht == t) holders.push_back(s);
+      }
+    }
+    if (holders.size() >= 2) continue;
+    const int second = (holders.front() + 1 +
+                        static_cast<int>(gen.index(static_cast<std::size_t>(
+                            dist.num_servers - 1)))) %
+                       dist.num_servers;
+    auto& list = hosted[static_cast<std::size_t>(second)];
+    list.insert(std::lower_bound(list.begin(), list.end(), t), t);
+  }
+  Platform platform =
+      Platform::paper_default(std::move(hosted), dist.num_object_types);
+
+  TraceGenConfig tg;
+  tg.num_events = scale.events;
+  tg.max_live_apps = scale.apps + 2;
+  tg.rho_min = 0.05;
+  tg.rho_max = 1.5;
+  tg.arrival_tree = tcfg;
+  EventTrace trace =
+      generate_trace(gen, tg, scale.apps, /*initial_rho=*/0.5, platform,
+                     objects);
+  return DynamicWorld{std::move(apps), std::move(platform),
+                      PriceCatalog::paper_default(), std::move(trace)};
+}
+
+} // namespace insp::benchx

@@ -1,0 +1,38 @@
+// Deterministic multi-application worlds + event traces for the dynamic and
+// service benches.  Extracted from bench_dynamic so bench_service, the
+// golden-signature regression test, and the service stress test replay the
+// *same* seeded worlds: the construction here is part of the determinism
+// contract (docs/EXPERIMENTS.md) — changing it invalidates the pinned
+// signatures in tests/golden/replay_signatures.txt.
+#pragma once
+
+#include <cstdint>
+
+#include "dynamic/workload_events.hpp"
+#include "multi/multi_app.hpp"
+
+namespace insp::benchx {
+
+struct DynamicWorldScale {
+  int n = 0;       ///< total operators across all applications
+  int apps = 0;    ///< concurrent applications at trace start
+  int events = 0;  ///< trace length
+};
+
+struct DynamicWorld {
+  std::vector<ApplicationSpec> apps;
+  Platform platform;
+  PriceCatalog catalog;
+  EventTrace trace;
+};
+
+/// Deterministic world + trace for one scale row.  Paper-shaped trees and
+/// platform; initial rho 0.5 per application leaves headroom for upward
+/// rho drift (the trace clamps rho to [0.05, 1.5]).  Replicated object
+/// distribution patched so every type lives on >= 2 servers: the trace
+/// takes one server down at a time, and a single-replica type on the
+/// failed server would make the whole world infeasible.
+DynamicWorld make_dynamic_world(std::uint64_t seed,
+                                const DynamicWorldScale& scale);
+
+} // namespace insp::benchx

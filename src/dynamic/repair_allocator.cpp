@@ -10,6 +10,22 @@
 
 namespace insp {
 
+const char* to_string(EventError error) {
+  switch (error) {
+    case EventError::kNone: return "none";
+    case EventError::kUnknownApp: return "unknown-app";
+    case EventError::kDuplicateArrival: return "duplicate-arrival";
+    case EventError::kServerAlreadyDown: return "server-already-down";
+    case EventError::kServerAlreadyUp: return "server-already-up";
+    case EventError::kServerOutOfRange: return "server-out-of-range";
+    case EventError::kObjectOutOfRange: return "object-out-of-range";
+    case EventError::kBadRate: return "bad-rate";
+    case EventError::kBadRho: return "bad-rho";
+    case EventError::kBadArrivalTree: return "bad-arrival-tree";
+  }
+  return "unknown";
+}
+
 DynamicAllocator::DynamicAllocator(std::vector<ApplicationSpec> initial_apps,
                                    Platform platform, PriceCatalog catalog,
                                    RepairOptions options)
@@ -377,40 +393,84 @@ RepairReport DynamicAllocator::apply(const WorkloadEvent& event,
   assert(initialized_);
   rep.cost_before = cost();
 
-  // World-dependent range checks (traces are external artifacts; the text
-  // loader can only check what the trace itself knows).
+  // Precondition checks (traces are external artifacts; the text loader can
+  // only check what the trace itself knows, and the allocation service
+  // forwards arbitrary tenant requests here).  A rejected event changes
+  // nothing and reports a structured EventError.  One deliberate exception:
+  // RhoChange for an app that already departed stays a benign no-op — a
+  // tenant's in-flight rate update racing its own departure is normal
+  // stream behavior, while departing a tenant that was never admitted or
+  // double-failing a server signals a corrupted request stream.
+  const auto reject = [&rep](EventError error, std::string reason) {
+    rep.error = error;
+    rep.failure_reason = std::move(reason);
+  };
   switch (event.kind) {
     case EventKind::ObjectRateChange:
       if (event.object_type < 0 ||
-          event.object_type >= platform_.num_object_types() ||
-          event.freq_hz <= 0.0) {
-        rep.failure_reason = "event: object type out of range";
+          event.object_type >= platform_.num_object_types()) {
+        reject(EventError::kObjectOutOfRange,
+               "event: object type out of range");
+        return rep;
+      }
+      if (event.freq_hz <= 0.0) {
+        reject(EventError::kBadRate, "event: non-positive object rate");
         return rep;
       }
       break;
     case EventKind::ServerFailure:
     case EventKind::ServerRecovery:
       if (event.server < 0 || event.server >= platform_.num_servers()) {
-        rep.failure_reason = "event: server out of range";
+        reject(EventError::kServerOutOfRange, "event: server out of range");
+        return rep;
+      }
+      if (event.kind == EventKind::ServerFailure &&
+          !server_up_[static_cast<std::size_t>(event.server)]) {
+        reject(EventError::kServerAlreadyDown,
+               "event: duplicate failure of server " +
+                   std::to_string(event.server));
+        return rep;
+      }
+      if (event.kind == EventKind::ServerRecovery &&
+          server_up_[static_cast<std::size_t>(event.server)]) {
+        reject(EventError::kServerAlreadyUp,
+               "event: recovery of healthy server " +
+                   std::to_string(event.server));
         return rep;
       }
       break;
     case EventKind::AppArrival:
       if (event.arrival_tree < 0 ||
           static_cast<std::size_t>(event.arrival_tree) >=
-              trace.arrival_trees.size() ||
-          event.rho <= 0.0 || has_app(event.app_id)) {
-        rep.failure_reason = "event: invalid arrival";
+              trace.arrival_trees.size()) {
+        reject(EventError::kBadArrivalTree,
+               "event: arrival tree index outside the trace");
+        return rep;
+      }
+      if (event.rho <= 0.0) {
+        reject(EventError::kBadRho, "event: non-positive rho");
+        return rep;
+      }
+      if (has_app(event.app_id)) {
+        reject(EventError::kDuplicateArrival,
+               "event: app " + std::to_string(event.app_id) +
+                   " is already live");
         return rep;
       }
       break;
     case EventKind::RhoChange:
       if (event.rho <= 0.0) {
-        rep.failure_reason = "event: non-positive rho";
+        reject(EventError::kBadRho, "event: non-positive rho");
         return rep;
       }
       break;
     case EventKind::AppDeparture:
+      if (!has_app(event.app_id)) {
+        reject(EventError::kUnknownApp,
+               "event: departure of unknown app " +
+                   std::to_string(event.app_id));
+        return rep;
+      }
       break;
   }
   // With every application departed there is no forest and no catalog to

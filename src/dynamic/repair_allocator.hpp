@@ -56,8 +56,31 @@ struct RepairOptions {
   bool always_fallback = false;
 };
 
+/// Machine-readable verdict of the event-precondition checks apply() runs
+/// before touching any state.  Traces produced by generate_trace always
+/// satisfy the preconditions; hand-written or external event streams (the
+/// allocation service's tenant requests) are validated here instead of
+/// relying on trace-generator goodwill.  kNone covers both success and
+/// repair-stage failures (no-valid-plan), which keep their textual
+/// failure_reason.
+enum class EventError {
+  kNone = 0,
+  kUnknownApp,        ///< AppDeparture for an app never admitted / already gone
+  kDuplicateArrival,  ///< AppArrival with an id that is already live
+  kServerAlreadyDown, ///< duplicate ServerFailure
+  kServerAlreadyUp,   ///< ServerRecovery for a healthy server
+  kServerOutOfRange,
+  kObjectOutOfRange,
+  kBadRate,           ///< ObjectRateChange with freq <= 0
+  kBadRho,            ///< RhoChange / AppArrival with rho <= 0
+  kBadArrivalTree,    ///< AppArrival tree index outside the trace
+};
+
+const char* to_string(EventError error);
+
 struct RepairReport {
   bool success = false;
+  EventError error = EventError::kNone;  ///< precondition verdict (see above)
   std::string failure_reason;   ///< set when the event left no valid plan
   bool used_fallback = false;   ///< targeted repair failed or was bypassed
   int violations_before = 0;    ///< overloaded processors+links post-event

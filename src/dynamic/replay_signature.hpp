@@ -1,0 +1,67 @@
+// FNV-1a accumulator over repair trajectories.  Extracted from the scenario
+// engine so every component that replays workload events — sequential trace
+// replay (scenario_engine), the sharded allocation service and its
+// sequential per-shard reference (src/service/) — mixes *exactly* the same
+// bytes in the same order.  Two replays are bit-identical iff their
+// signatures match; the golden-signature regression test
+// (tests/golden/replay_signatures.txt) pins the seed-42 smoke values.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/allocation.hpp"
+#include "dynamic/repair_allocator.hpp"
+#include "dynamic/workload_events.hpp"
+
+namespace insp {
+
+struct ReplaySignature {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void mix_bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void mix(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<long long>(v))); }
+  void mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  }
+
+  /// One applied event: the repair outcome fields that define the
+  /// trajectory.  Wall-clock timings are deliberately excluded.
+  void mix_repair(EventKind kind, const RepairReport& rep, int processors) {
+    mix(static_cast<int>(kind));
+    mix(rep.success ? 1 : 0);
+    mix(rep.used_fallback ? 1 : 0);
+    mix(rep.violations_before);
+    mix(rep.ops_moved);
+    mix(rep.procs_bought);
+    mix(rep.procs_retired);
+    mix(rep.reconfigures);
+    mix(rep.cost_after);
+    mix(processors);
+  }
+
+  void mix_allocation(const Allocation& alloc) {
+    mix(alloc.num_processors());
+    for (const PurchasedProcessor& p : alloc.processors) {
+      mix(p.config.cpu);
+      mix(p.config.nic);
+      for (int op : p.ops) mix(op);
+      for (const DownloadRoute& d : p.downloads) {
+        mix(d.object_type);
+        mix(d.server);
+      }
+    }
+    for (int pid : alloc.op_to_proc) mix(pid);
+  }
+};
+
+} // namespace insp

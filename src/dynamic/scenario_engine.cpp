@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstring>
 
+#include "dynamic/replay_signature.hpp"
 #include "util/thread_pool.hpp"
 
 namespace insp {
@@ -33,38 +33,6 @@ SimPlatformView degraded_view(const DynamicAllocator& engine) {
     if (!up[s]) view.set_server_up(static_cast<int>(s), false);
   }
   return view;
-}
-
-struct Fnv {
-  std::uint64_t h = 1469598103934665603ull;
-  void mix_bytes(const void* data, std::size_t n) {
-    const unsigned char* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ull;
-    }
-  }
-  void mix(std::uint64_t v) { mix_bytes(&v, sizeof v); }
-  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<long long>(v))); }
-  void mix(double v) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof bits);
-    mix(bits);
-  }
-};
-
-void mix_allocation(Fnv& f, const Allocation& alloc) {
-  f.mix(alloc.num_processors());
-  for (const PurchasedProcessor& p : alloc.processors) {
-    f.mix(p.config.cpu);
-    f.mix(p.config.nic);
-    for (int op : p.ops) f.mix(op);
-    for (const DownloadRoute& d : p.downloads) {
-      f.mix(d.object_type);
-      f.mix(d.server);
-    }
-  }
-  for (int pid : alloc.op_to_proc) f.mix(pid);
 }
 
 } // namespace
@@ -126,7 +94,7 @@ ScenarioResult replay_trace(const std::vector<ApplicationSpec>& initial_apps,
   }
 
   // Summary + signature.
-  Fnv f;
+  ReplaySignature f;
   std::vector<double> repair_times;
   for (const EventOutcome& out : result.outcomes) {
     ++result.summary.events;
@@ -139,19 +107,9 @@ ScenarioResult replay_trace(const std::vector<ApplicationSpec>& initial_apps,
     if (out.simulated) ++result.summary.simulated;
     if (out.sustained) ++result.summary.sustained;
     repair_times.push_back(out.repair_seconds);
-
-    f.mix(static_cast<int>(out.event.kind));
-    f.mix(out.repair.success ? 1 : 0);
-    f.mix(out.repair.used_fallback ? 1 : 0);
-    f.mix(out.repair.violations_before);
-    f.mix(out.repair.ops_moved);
-    f.mix(out.repair.procs_bought);
-    f.mix(out.repair.procs_retired);
-    f.mix(out.repair.reconfigures);
-    f.mix(out.repair.cost_after);
-    f.mix(out.processors);
+    f.mix_repair(out.event.kind, out.repair, out.processors);
   }
-  mix_allocation(f, result.final_allocation);
+  f.mix_allocation(result.final_allocation);
   result.signature = f.h;
 
   result.summary.final_cost =

@@ -1,0 +1,78 @@
+#include "service/batch_planner.hpp"
+
+#include <cmath>
+
+namespace insp {
+
+std::int64_t batch_epoch(double time_s, double window_s) {
+  if (window_s <= 0.0) return 0;  // callers split per event instead
+  return static_cast<std::int64_t>(std::floor(time_s / window_s));
+}
+
+bool is_rate_event(EventKind kind) {
+  return kind == EventKind::RhoChange || kind == EventKind::ObjectRateChange;
+}
+
+namespace {
+
+/// Coalescing key: two rate events collide iff they update the same knob.
+bool same_knob(const WorkloadEvent& a, const WorkloadEvent& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == EventKind::RhoChange) return a.app_id == b.app_id;
+  return a.object_type == b.object_type;  // ObjectRateChange
+}
+
+} // namespace
+
+CoalescedBatch coalesce_batch(const std::vector<WorkloadEvent>& batch) {
+  CoalescedBatch out;
+  out.applied.reserve(batch.size());
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (!is_rate_event(batch[i].kind)) {  // barrier: applied verbatim
+      out.applied.push_back(batch[i]);
+      ++i;
+      continue;
+    }
+    // Maximal run of rate events [i, j): keep the last update per knob.
+    std::size_t j = i;
+    while (j < batch.size() && is_rate_event(batch[j].kind)) ++j;
+    for (std::size_t k = i; k < j; ++k) {
+      bool overwritten = false;
+      for (std::size_t l = k + 1; l < j && !overwritten; ++l) {
+        overwritten = same_knob(batch[k], batch[l]);
+      }
+      if (overwritten) {
+        ++out.coalesced;
+      } else {
+        out.applied.push_back(batch[k]);
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> epoch_runs(
+    const std::vector<WorkloadEvent>& events, double window_s) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  if (events.empty()) return runs;
+  if (window_s <= 0.0) {  // batching disabled: one event per batch
+    for (std::size_t i = 0; i < events.size(); ++i) runs.emplace_back(i, i + 1);
+    return runs;
+  }
+  std::size_t first = 0;
+  std::int64_t epoch = batch_epoch(events[0].time, window_s);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const std::int64_t e = batch_epoch(events[i].time, window_s);
+    if (e != epoch) {
+      runs.emplace_back(first, i);
+      first = i;
+      epoch = e;
+    }
+  }
+  runs.emplace_back(first, events.size());
+  return runs;
+}
+
+} // namespace insp

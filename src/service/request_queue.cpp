@@ -1,0 +1,44 @@
+#include "service/request_queue.hpp"
+
+namespace insp {
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool RequestQueue::push(ServiceRequest request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_space_.wait(lock,
+                 [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(request));
+  lock.unlock();
+  cv_items_.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop(ServiceRequest& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_items_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  cv_space_.notify_one();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_space_.notify_all();
+  cv_items_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+} // namespace insp

@@ -1,0 +1,42 @@
+#include "service/service_replay.hpp"
+
+#include "service/batch_planner.hpp"
+
+namespace insp {
+
+ShardReplayResult replay_shard_sequential(const ShardSpec& spec,
+                                          int shard_index,
+                                          const ServiceOptions& options) {
+  ShardReplayResult result;
+  DynamicAllocator engine(spec.apps, spec.platform, spec.catalog,
+                          options.repair);
+  const RepairReport init =
+      engine.initialize(shard_seed(options.seed, shard_index));
+  result.initialized = init.success;
+  if (!init.success) ++result.failures;
+
+  ReplaySignature signature;
+  const std::vector<std::pair<std::size_t, std::size_t>> runs =
+      epoch_runs(spec.trace.events, options.batch_window_s);
+  std::vector<WorkloadEvent> batch;
+  for (const auto& [first, last] : runs) {
+    batch.assign(spec.trace.events.begin() + static_cast<std::ptrdiff_t>(first),
+                 spec.trace.events.begin() + static_cast<std::ptrdiff_t>(last));
+    const CoalescedBatch coalesced = coalesce_batch(batch);
+    for (const WorkloadEvent& event : coalesced.applied) {
+      const RepairReport rep = engine.apply(event, spec.trace);
+      if (!rep.success) ++result.failures;
+      ++result.events_applied;
+      signature.mix_repair(event.kind, rep,
+                           engine.allocation().num_processors());
+    }
+    result.events_coalesced += coalesced.coalesced;
+  }
+  result.signature = signature.h;
+  result.final_cost = engine.cost();
+  result.processors = engine.allocation().num_processors();
+  result.final_allocation = engine.allocation();
+  return result;
+}
+
+} // namespace insp

@@ -276,6 +276,70 @@ TEST(DynamicAllocator, WorldSurvivesDrainingToZeroApps) {
   EXPECT_TRUE(chk.ok()) << chk.summary();
 }
 
+TEST(DynamicAllocator, DepartureOfUnknownAppIsRejected) {
+  auto w = make_world(31, /*apps=*/2);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  const Allocation before = engine.allocation();
+  const EventTrace no_trace;
+
+  // Never-admitted app: rejected with a structured error, nothing applied.
+  WorkloadEvent never;
+  never.kind = EventKind::AppDeparture;
+  never.app_id = 7;
+  RepairReport rep = engine.apply(never, no_trace);
+  EXPECT_FALSE(rep.success);
+  EXPECT_EQ(rep.error, EventError::kUnknownApp);
+  EXPECT_FALSE(rep.failure_reason.empty());
+  EXPECT_EQ(engine.num_live_apps(), 2);
+  EXPECT_TRUE(engine.allocation() == before);
+
+  // A second departure of an app that already left is the same error.
+  WorkloadEvent gone;
+  gone.kind = EventKind::AppDeparture;
+  gone.app_id = 1;
+  ASSERT_TRUE(engine.apply(gone, no_trace).success);
+  rep = engine.apply(gone, no_trace);
+  EXPECT_FALSE(rep.success);
+  EXPECT_EQ(rep.error, EventError::kUnknownApp);
+  EXPECT_EQ(engine.num_live_apps(), 1);
+}
+
+TEST(DynamicAllocator, DuplicateServerFailureAndRecoveryAreRejected) {
+  auto w = make_world(32);
+  DynamicAllocator engine(w.apps, w.platform, w.catalog);
+  ASSERT_TRUE(engine.initialize(42).success);
+  const EventTrace no_trace;
+
+  WorkloadEvent fail;
+  fail.kind = EventKind::ServerFailure;
+  fail.server = 0;
+  ASSERT_TRUE(engine.apply(fail, no_trace).success);
+  ASSERT_EQ(engine.num_servers_down(), 1);
+
+  // Failing the same server again is a corrupted stream, not a no-op.
+  RepairReport rep = engine.apply(fail, no_trace);
+  EXPECT_FALSE(rep.success);
+  EXPECT_EQ(rep.error, EventError::kServerAlreadyDown);
+  EXPECT_EQ(engine.num_servers_down(), 1);
+
+  WorkloadEvent recover;
+  recover.kind = EventKind::ServerRecovery;
+  recover.server = 0;
+  ASSERT_TRUE(engine.apply(recover, no_trace).success);
+  EXPECT_EQ(engine.num_servers_down(), 0);
+
+  // Recovering a healthy server likewise.
+  rep = engine.apply(recover, no_trace);
+  EXPECT_FALSE(rep.success);
+  EXPECT_EQ(rep.error, EventError::kServerAlreadyUp);
+  EXPECT_EQ(engine.num_servers_down(), 0);
+
+  // Successful events report kNone.
+  ASSERT_TRUE(engine.apply(fail, no_trace).success);
+  EXPECT_EQ(engine.apply(recover, no_trace).error, EventError::kNone);
+}
+
 TEST(DynamicAllocator, AlwaysFallbackModeMatchesScratchPipeline) {
   auto w = make_world(30);
   RepairOptions opts;

@@ -1,0 +1,90 @@
+// Golden-signature regression: the seed-42 smoke replay signatures of
+// bench_dynamic and bench_service are pinned in
+// tests/golden/replay_signatures.txt, so any change that silently shifts a
+// repair trajectory — world generation, trace generation, repair policy,
+// batching/coalescing rules, signature mixing — fails ctest instead of
+// only being noticeable in bench output.  When a drift is *intentional*
+// (a deliberate policy change), re-run the bench smoke configs and update
+// the golden file in the same commit, saying why.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "bench_support/dynamic_world.hpp"
+#include "dynamic/scenario_engine.hpp"
+#include "service/service_replay.hpp"
+
+namespace insp {
+namespace {
+
+using benchx::DynamicWorld;
+using benchx::make_dynamic_world;
+
+std::map<std::string, std::uint64_t> load_golden() {
+  const std::string path =
+      std::string(INSP_TESTS_DIR) + "/golden/replay_signatures.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::map<std::string, std::uint64_t> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string name, hex;
+    ls >> name >> hex;
+    golden[name] = std::stoull(hex, nullptr, 16);
+  }
+  return golden;
+}
+
+std::string to_hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+TEST(ReplaySignatureGolden, BenchDynamicSmokeSignatureIsPinned) {
+  const auto golden = load_golden();
+  ASSERT_TRUE(golden.count("bench_dynamic_smoke"));
+  // Exactly bench_dynamic --smoke --seed 42: scale {40, 2, 24}, default
+  // repair options.  The signature covers only the repair trajectory and
+  // the final allocation, so the post-hoc simulation pass is skipped.
+  DynamicWorld world = make_dynamic_world(42, {40, 2, 24});
+  ScenarioOptions opts;
+  opts.seed = 42;
+  opts.simulate = false;
+  const ScenarioResult result = replay_trace(
+      world.apps, world.platform, world.catalog, world.trace, opts);
+  EXPECT_EQ(to_hex(result.signature),
+            to_hex(golden.at("bench_dynamic_smoke")));
+}
+
+TEST(ReplaySignatureGolden, BenchServiceSmokeSignaturesArePinned) {
+  const auto golden = load_golden();
+  // Exactly bench_service --smoke --seed 42: 2 shards, 20 operators and 24
+  // events each, default service options (30 s epoch window).
+  ServiceOptions opts;
+  opts.seed = 42;
+  for (int shard = 0; shard < 2; ++shard) {
+    const std::string key =
+        "bench_service_smoke_shard" + std::to_string(shard);
+    ASSERT_TRUE(golden.count(key)) << key;
+    DynamicWorld world = make_dynamic_world(
+        42 + 7919ull * static_cast<std::uint64_t>(shard), {20, 2, 24});
+    const ShardSpec spec{world.apps, world.platform, world.catalog,
+                         world.trace};
+    const ShardReplayResult ref =
+        replay_shard_sequential(spec, shard, opts);
+    EXPECT_TRUE(ref.initialized);
+    EXPECT_EQ(to_hex(ref.signature), to_hex(golden.at(key)))
+        << "shard " << shard;
+  }
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,151 @@
+// Concurrency stress for the allocation service: one producer thread per
+// shard blasting the shard's trace through the bounded queue, several query
+// threads hammering the lock-free snapshots the whole time, and worker
+// counts beyond the shard count — then the per-shard trajectory is checked
+// bit for bit against the sequential reference.  This binary is the core of
+// the ThreadSanitizer CI job (INSP_TSAN), so every synchronization path of
+// src/service/ runs under TSan on every PR.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_support/dynamic_world.hpp"
+#include "service/allocation_service.hpp"
+#include "service/service_replay.hpp"
+
+namespace insp {
+namespace {
+
+using benchx::DynamicWorld;
+using benchx::make_dynamic_world;
+
+std::vector<ShardSpec> stress_shards(int count, int n_ops, int events) {
+  std::vector<ShardSpec> specs;
+  for (int i = 0; i < count; ++i) {
+    DynamicWorld world = make_dynamic_world(
+        42 + 977ull * static_cast<std::uint64_t>(i), {n_ops, 2, events});
+    specs.push_back(ShardSpec{std::move(world.apps), std::move(world.platform),
+                              std::move(world.catalog),
+                              std::move(world.trace)});
+  }
+  return specs;
+}
+
+/// Drives one full service run with producers + query threads; returns the
+/// per-shard signatures observed after drain.
+std::vector<std::uint64_t> run_service(const std::vector<ShardSpec>& specs,
+                                       const ServiceOptions& opt,
+                                       int query_threads) {
+  AllocationService service(specs, opt);
+  service.start();
+
+  std::atomic<bool> stop_queries{false};
+  std::vector<std::thread> queries;
+  for (int t = 0; t < query_threads; ++t) {
+    queries.emplace_back([&service, &stop_queries, t] {
+      // Readers check what lock-free snapshots guarantee: never null, never
+      // torn (version/applied counts monotonic per shard, allocation
+      // internally consistent with its own scalar fields).
+      const int shard =
+          t % (service.num_shards() > 0 ? service.num_shards() : 1);
+      std::uint64_t last_version = 0;
+      int last_applied = 0;
+      while (!stop_queries.load()) {
+        const auto snap = service.snapshot(shard);
+        ASSERT_NE(snap, nullptr);
+        ASSERT_GE(snap->version, last_version);
+        ASSERT_GE(snap->events_applied, last_applied);
+        ASSERT_EQ(snap->processors,
+                  static_cast<int>(snap->allocation.processors.size()));
+        ASSERT_GE(snap->cost, 0.0);
+        last_version = snap->version;
+        last_applied = snap->events_applied;
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    producers.emplace_back([&service, &specs, s] {
+      for (const WorkloadEvent& event : specs[s].trace.events) {
+        ASSERT_TRUE(service.submit(static_cast<int>(s), event));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  const ServiceStats stats = service.finish();
+  stop_queries.store(true);
+  for (std::thread& t : queries) t.join();
+
+  EXPECT_EQ(stats.requests_submitted,
+            specs.size() * specs[0].trace.events.size());
+  EXPECT_EQ(static_cast<std::uint64_t>(stats.events_applied +
+                                       stats.events_coalesced),
+            stats.requests_submitted);
+  EXPECT_EQ(stats.latency_seconds.size(), stats.requests_submitted);
+  for (double latency : stats.latency_seconds) EXPECT_GE(latency, 0.0);
+
+  std::vector<std::uint64_t> signatures;
+  for (int s = 0; s < service.num_shards(); ++s) {
+    const auto snap = service.snapshot(s);
+    signatures.push_back(snap->signature);
+    // Final snapshots match the reference allocation checked by the caller.
+    EXPECT_TRUE(snap->initialized);
+  }
+  return signatures;
+}
+
+TEST(ServiceStress, ConcurrentRunIsBitIdenticalToSequentialReplay) {
+  // 4 shards x 60 events, tight queue (forces producer backpressure), more
+  // workers than cores on most CI boxes — then the whole thing again with
+  // different worker counts: every run must land on the same signatures.
+  const std::vector<ShardSpec> specs = stress_shards(4, 48, 60);
+  ServiceOptions opt;
+  opt.queue_capacity = 32;
+
+  std::vector<ShardReplayResult> reference;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    reference.push_back(
+        replay_shard_sequential(specs[s], static_cast<int>(s), opt));
+    ASSERT_TRUE(reference.back().initialized);
+  }
+
+  for (int workers : {1, 4, 8}) {
+    opt.num_workers = workers;
+    const std::vector<std::uint64_t> signatures =
+        run_service(specs, opt, /*query_threads=*/3);
+    ASSERT_EQ(signatures.size(), specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      EXPECT_EQ(signatures[s], reference[s].signature)
+          << "shard " << s << " diverged with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ServiceStress, ManyWorkersFewShardsKeepOrdering) {
+  // More workers than shards maximizes the pop-reordering window the
+  // sequence numbers exist to fix; single-event epochs (window 0) make
+  // every request an independent application so any ordering slip would
+  // change the trajectory.
+  const std::vector<ShardSpec> specs = stress_shards(2, 40, 48);
+  ServiceOptions opt;
+  opt.num_workers = 8;
+  opt.queue_capacity = 8;
+  opt.batch_window_s = 0.0;
+  std::vector<ShardReplayResult> reference;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    reference.push_back(
+        replay_shard_sequential(specs[s], static_cast<int>(s), opt));
+  }
+  const std::vector<std::uint64_t> signatures =
+      run_service(specs, opt, /*query_threads=*/2);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    EXPECT_EQ(signatures[s], reference[s].signature) << "shard " << s;
+  }
+}
+
+} // namespace
+} // namespace insp
