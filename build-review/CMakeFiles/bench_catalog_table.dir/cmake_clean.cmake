@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_catalog_table.dir/bench/bench_catalog_table.cpp.o"
+  "CMakeFiles/bench_catalog_table.dir/bench/bench_catalog_table.cpp.o.d"
+  "bench_catalog_table"
+  "bench_catalog_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_catalog_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_catalog_table.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic.dir/bench/bench_dynamic.cpp.o"
+  "CMakeFiles/bench_dynamic.dir/bench/bench_dynamic.cpp.o.d"
+  "bench_dynamic"
+  "bench_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

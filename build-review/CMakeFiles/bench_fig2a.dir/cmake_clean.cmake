@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a.dir/bench/bench_fig2a.cpp.o"
+  "CMakeFiles/bench_fig2a.dir/bench/bench_fig2a.cpp.o.d"
+  "bench_fig2a"
+  "bench_fig2a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b.dir/bench/bench_fig2b.cpp.o"
+  "CMakeFiles/bench_fig2b.dir/bench/bench_fig2b.cpp.o.d"
+  "bench_fig2b"
+  "bench_fig2b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3.dir/bench/bench_fig3.cpp.o"
+  "CMakeFiles/bench_fig3.dir/bench/bench_fig3.cpp.o.d"
+  "bench_fig3"
+  "bench_fig3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frequency.dir/bench/bench_frequency.cpp.o"
+  "CMakeFiles/bench_frequency.dir/bench/bench_frequency.cpp.o.d"
+  "bench_frequency"
+  "bench_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heuristic_speed.dir/bench/bench_heuristic_speed.cpp.o"
+  "CMakeFiles/bench_heuristic_speed.dir/bench/bench_heuristic_speed.cpp.o.d"
+  "bench_heuristic_speed"
+  "bench_heuristic_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heuristic_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

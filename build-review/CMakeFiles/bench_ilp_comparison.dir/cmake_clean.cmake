@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_comparison.dir/bench/bench_ilp_comparison.cpp.o"
+  "CMakeFiles/bench_ilp_comparison.dir/bench/bench_ilp_comparison.cpp.o.d"
+  "bench_ilp_comparison"
+  "bench_ilp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

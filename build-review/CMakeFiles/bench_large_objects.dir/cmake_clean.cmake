@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_large_objects.dir/bench/bench_large_objects.cpp.o"
+  "CMakeFiles/bench_large_objects.dir/bench/bench_large_objects.cpp.o.d"
+  "bench_large_objects"
+  "bench_large_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_large_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_search.dir/bench/bench_local_search.cpp.o"
+  "CMakeFiles/bench_local_search.dir/bench/bench_local_search.cpp.o.d"
+  "bench_local_search"
+  "bench_local_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

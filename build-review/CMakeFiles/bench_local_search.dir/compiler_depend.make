@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_local_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_local_search.
+# This may be replaced when dependencies are built.

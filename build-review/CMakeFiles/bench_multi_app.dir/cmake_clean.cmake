@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_app.dir/bench/bench_multi_app.cpp.o"
+  "CMakeFiles/bench_multi_app.dir/bench/bench_multi_app.cpp.o.d"
+  "bench_multi_app"
+  "bench_multi_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

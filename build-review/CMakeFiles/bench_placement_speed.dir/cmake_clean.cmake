@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_placement_speed.dir/bench/bench_placement_speed.cpp.o"
+  "CMakeFiles/bench_placement_speed.dir/bench/bench_placement_speed.cpp.o.d"
+  "bench_placement_speed"
+  "bench_placement_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_placement_speed.
+# This may be replaced when dependencies are built.

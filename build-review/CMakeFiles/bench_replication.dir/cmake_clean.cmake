@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replication.dir/bench/bench_replication.cpp.o"
+  "CMakeFiles/bench_replication.dir/bench/bench_replication.cpp.o.d"
+  "bench_replication"
+  "bench_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

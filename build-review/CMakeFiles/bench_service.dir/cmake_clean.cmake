@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service.dir/bench/bench_service.cpp.o"
+  "CMakeFiles/bench_service.dir/bench/bench_service.cpp.o.d"
+  "bench_service"
+  "bench_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_speed.dir/bench/bench_sim_speed.cpp.o"
+  "CMakeFiles/bench_sim_speed.dir/bench/bench_sim_speed.cpp.o.d"
+  "bench_sim_speed"
+  "bench_sim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_allocator_test.dir/tests/core/allocator_test.cpp.o"
+  "CMakeFiles/core_allocator_test.dir/tests/core/allocator_test.cpp.o.d"
+  "core_allocator_test"
+  "core_allocator_test.pdb"
+  "core_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

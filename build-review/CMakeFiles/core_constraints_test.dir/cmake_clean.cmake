@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_constraints_test.dir/tests/core/constraints_test.cpp.o"
+  "CMakeFiles/core_constraints_test.dir/tests/core/constraints_test.cpp.o.d"
+  "core_constraints_test"
+  "core_constraints_test.pdb"
+  "core_constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

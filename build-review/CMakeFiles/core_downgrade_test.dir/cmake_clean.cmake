@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_downgrade_test.dir/tests/core/downgrade_test.cpp.o"
+  "CMakeFiles/core_downgrade_test.dir/tests/core/downgrade_test.cpp.o.d"
+  "core_downgrade_test"
+  "core_downgrade_test.pdb"
+  "core_downgrade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_downgrade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

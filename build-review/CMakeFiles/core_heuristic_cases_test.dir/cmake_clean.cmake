@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_heuristic_cases_test.dir/tests/core/heuristic_cases_test.cpp.o"
+  "CMakeFiles/core_heuristic_cases_test.dir/tests/core/heuristic_cases_test.cpp.o.d"
+  "core_heuristic_cases_test"
+  "core_heuristic_cases_test.pdb"
+  "core_heuristic_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_heuristic_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_heuristics_test.dir/tests/core/heuristics_test.cpp.o"
+  "CMakeFiles/core_heuristics_test.dir/tests/core/heuristics_test.cpp.o.d"
+  "core_heuristics_test"
+  "core_heuristics_test.pdb"
+  "core_heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_local_search_test.dir/tests/core/local_search_test.cpp.o"
+  "CMakeFiles/core_local_search_test.dir/tests/core/local_search_test.cpp.o.d"
+  "core_local_search_test"
+  "core_local_search_test.pdb"
+  "core_local_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_local_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/placement_state_test.cpp" "CMakeFiles/core_placement_state_test.dir/tests/core/placement_state_test.cpp.o" "gcc" "CMakeFiles/core_placement_state_test.dir/tests/core/placement_state_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/_deps/googletest-build/googletest/CMakeFiles/gtest_main.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_service.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_planner.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_multi.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_platform.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/_deps/googletest-build/googletest/CMakeFiles/gtest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_placement_state_test.dir/tests/core/placement_state_test.cpp.o"
+  "CMakeFiles/core_placement_state_test.dir/tests/core/placement_state_test.cpp.o.d"
+  "core_placement_state_test"
+  "core_placement_state_test.pdb"
+  "core_placement_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_placement_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_placement_txn_diff_test.dir/tests/core/placement_txn_diff_test.cpp.o"
+  "CMakeFiles/core_placement_txn_diff_test.dir/tests/core/placement_txn_diff_test.cpp.o.d"
+  "core_placement_txn_diff_test"
+  "core_placement_txn_diff_test.pdb"
+  "core_placement_txn_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_placement_txn_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

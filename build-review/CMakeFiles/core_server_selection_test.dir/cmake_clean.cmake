@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_server_selection_test.dir/tests/core/server_selection_test.cpp.o"
+  "CMakeFiles/core_server_selection_test.dir/tests/core/server_selection_test.cpp.o.d"
+  "core_server_selection_test"
+  "core_server_selection_test.pdb"
+  "core_server_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_server_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

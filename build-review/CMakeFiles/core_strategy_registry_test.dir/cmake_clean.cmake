@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_strategy_registry_test.dir/tests/core/strategy_registry_test.cpp.o"
+  "CMakeFiles/core_strategy_registry_test.dir/tests/core/strategy_registry_test.cpp.o.d"
+  "core_strategy_registry_test"
+  "core_strategy_registry_test.pdb"
+  "core_strategy_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_strategy_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for core_strategy_registry_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_repair_allocator_test.dir/tests/dynamic/repair_allocator_test.cpp.o"
+  "CMakeFiles/dynamic_repair_allocator_test.dir/tests/dynamic/repair_allocator_test.cpp.o.d"
+  "dynamic_repair_allocator_test"
+  "dynamic_repair_allocator_test.pdb"
+  "dynamic_repair_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_repair_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dynamic_repair_allocator_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_trace_replay_determinism_test.dir/tests/dynamic/trace_replay_determinism_test.cpp.o"
+  "CMakeFiles/dynamic_trace_replay_determinism_test.dir/tests/dynamic/trace_replay_determinism_test.cpp.o.d"
+  "dynamic_trace_replay_determinism_test"
+  "dynamic_trace_replay_determinism_test.pdb"
+  "dynamic_trace_replay_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_trace_replay_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dynamic_trace_replay_determinism_test.
+# This may be replaced when dependencies are built.

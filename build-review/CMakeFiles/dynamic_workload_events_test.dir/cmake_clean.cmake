@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_workload_events_test.dir/tests/dynamic/workload_events_test.cpp.o"
+  "CMakeFiles/dynamic_workload_events_test.dir/tests/dynamic/workload_events_test.cpp.o.d"
+  "dynamic_workload_events_test"
+  "dynamic_workload_events_test.pdb"
+  "dynamic_workload_events_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_workload_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dynamic_workload_events_test.
+# This may be replaced when dependencies are built.

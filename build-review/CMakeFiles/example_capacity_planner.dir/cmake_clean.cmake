@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_capacity_planner.dir/examples/capacity_planner.cpp.o"
+  "CMakeFiles/example_capacity_planner.dir/examples/capacity_planner.cpp.o.d"
+  "example_capacity_planner"
+  "example_capacity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_capacity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

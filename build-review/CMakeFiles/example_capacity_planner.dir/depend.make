@@ -1,0 +1,2 @@
+# Empty dependencies file for example_capacity_planner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_query.dir/examples/multi_query.cpp.o"
+  "CMakeFiles/example_multi_query.dir/examples/multi_query.cpp.o.d"
+  "example_multi_query"
+  "example_multi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

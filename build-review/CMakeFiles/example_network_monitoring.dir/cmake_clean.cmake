@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_monitoring.dir/examples/network_monitoring.cpp.o"
+  "CMakeFiles/example_network_monitoring.dir/examples/network_monitoring.cpp.o.d"
+  "example_network_monitoring"
+  "example_network_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

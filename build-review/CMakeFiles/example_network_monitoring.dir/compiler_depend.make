@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_network_monitoring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_network_monitoring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_surveillance.dir/examples/video_surveillance.cpp.o"
+  "CMakeFiles/example_video_surveillance.dir/examples/video_surveillance.cpp.o.d"
+  "example_video_surveillance"
+  "example_video_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

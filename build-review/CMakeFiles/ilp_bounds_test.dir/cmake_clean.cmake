@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_bounds_test.dir/tests/ilp/bounds_test.cpp.o"
+  "CMakeFiles/ilp_bounds_test.dir/tests/ilp/bounds_test.cpp.o.d"
+  "ilp_bounds_test"
+  "ilp_bounds_test.pdb"
+  "ilp_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

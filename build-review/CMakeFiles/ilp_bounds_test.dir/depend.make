@@ -1,0 +1,2 @@
+# Empty dependencies file for ilp_bounds_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_exact_solver_test.dir/tests/ilp/exact_solver_test.cpp.o"
+  "CMakeFiles/ilp_exact_solver_test.dir/tests/ilp/exact_solver_test.cpp.o.d"
+  "ilp_exact_solver_test"
+  "ilp_exact_solver_test.pdb"
+  "ilp_exact_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_exact_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

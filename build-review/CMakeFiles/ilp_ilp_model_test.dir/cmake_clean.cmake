@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_ilp_model_test.dir/tests/ilp/ilp_model_test.cpp.o"
+  "CMakeFiles/ilp_ilp_model_test.dir/tests/ilp/ilp_model_test.cpp.o.d"
+  "ilp_ilp_model_test"
+  "ilp_ilp_model_test.pdb"
+  "ilp_ilp_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_ilp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_support/dynamic_world.cpp" "CMakeFiles/insp_bench_support.dir/src/bench_support/dynamic_world.cpp.o" "gcc" "CMakeFiles/insp_bench_support.dir/src/bench_support/dynamic_world.cpp.o.d"
+  "/root/repo/src/bench_support/experiment.cpp" "CMakeFiles/insp_bench_support.dir/src/bench_support/experiment.cpp.o" "gcc" "CMakeFiles/insp_bench_support.dir/src/bench_support/experiment.cpp.o.d"
+  "/root/repo/src/bench_support/reporting.cpp" "CMakeFiles/insp_bench_support.dir/src/bench_support/reporting.cpp.o" "gcc" "CMakeFiles/insp_bench_support.dir/src/bench_support/reporting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/insp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_platform.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_multi.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

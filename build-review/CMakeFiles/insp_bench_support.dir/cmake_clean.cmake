@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_bench_support.dir/src/bench_support/dynamic_world.cpp.o"
+  "CMakeFiles/insp_bench_support.dir/src/bench_support/dynamic_world.cpp.o.d"
+  "CMakeFiles/insp_bench_support.dir/src/bench_support/experiment.cpp.o"
+  "CMakeFiles/insp_bench_support.dir/src/bench_support/experiment.cpp.o.d"
+  "CMakeFiles/insp_bench_support.dir/src/bench_support/reporting.cpp.o"
+  "CMakeFiles/insp_bench_support.dir/src/bench_support/reporting.cpp.o.d"
+  "libinsp_bench_support.a"
+  "libinsp_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinsp_bench_support.a"
+)

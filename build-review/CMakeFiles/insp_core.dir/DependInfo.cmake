@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ablation_variants.cpp" "CMakeFiles/insp_core.dir/src/core/ablation_variants.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/ablation_variants.cpp.o.d"
+  "/root/repo/src/core/allocation.cpp" "CMakeFiles/insp_core.dir/src/core/allocation.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/allocation.cpp.o.d"
+  "/root/repo/src/core/allocator.cpp" "CMakeFiles/insp_core.dir/src/core/allocator.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/allocator.cpp.o.d"
+  "/root/repo/src/core/constraints.cpp" "CMakeFiles/insp_core.dir/src/core/constraints.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/constraints.cpp.o.d"
+  "/root/repo/src/core/downgrade.cpp" "CMakeFiles/insp_core.dir/src/core/downgrade.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/downgrade.cpp.o.d"
+  "/root/repo/src/core/heuristic_comm_greedy.cpp" "CMakeFiles/insp_core.dir/src/core/heuristic_comm_greedy.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/heuristic_comm_greedy.cpp.o.d"
+  "/root/repo/src/core/heuristic_comp_greedy.cpp" "CMakeFiles/insp_core.dir/src/core/heuristic_comp_greedy.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/heuristic_comp_greedy.cpp.o.d"
+  "/root/repo/src/core/heuristic_object_availability.cpp" "CMakeFiles/insp_core.dir/src/core/heuristic_object_availability.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/heuristic_object_availability.cpp.o.d"
+  "/root/repo/src/core/heuristic_object_grouping.cpp" "CMakeFiles/insp_core.dir/src/core/heuristic_object_grouping.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/heuristic_object_grouping.cpp.o.d"
+  "/root/repo/src/core/heuristic_random.cpp" "CMakeFiles/insp_core.dir/src/core/heuristic_random.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/heuristic_random.cpp.o.d"
+  "/root/repo/src/core/heuristic_subtree_bottom_up.cpp" "CMakeFiles/insp_core.dir/src/core/heuristic_subtree_bottom_up.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/heuristic_subtree_bottom_up.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "CMakeFiles/insp_core.dir/src/core/local_search.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/local_search.cpp.o.d"
+  "/root/repo/src/core/placement_common.cpp" "CMakeFiles/insp_core.dir/src/core/placement_common.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/placement_common.cpp.o.d"
+  "/root/repo/src/core/placement_state.cpp" "CMakeFiles/insp_core.dir/src/core/placement_state.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/placement_state.cpp.o.d"
+  "/root/repo/src/core/server_selection.cpp" "CMakeFiles/insp_core.dir/src/core/server_selection.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/server_selection.cpp.o.d"
+  "/root/repo/src/core/strategy_registry.cpp" "CMakeFiles/insp_core.dir/src/core/strategy_registry.cpp.o" "gcc" "CMakeFiles/insp_core.dir/src/core/strategy_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/insp_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_platform.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

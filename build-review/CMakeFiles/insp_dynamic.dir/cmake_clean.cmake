@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_dynamic.dir/src/dynamic/repair_allocator.cpp.o"
+  "CMakeFiles/insp_dynamic.dir/src/dynamic/repair_allocator.cpp.o.d"
+  "CMakeFiles/insp_dynamic.dir/src/dynamic/scenario_engine.cpp.o"
+  "CMakeFiles/insp_dynamic.dir/src/dynamic/scenario_engine.cpp.o.d"
+  "CMakeFiles/insp_dynamic.dir/src/dynamic/workload_events.cpp.o"
+  "CMakeFiles/insp_dynamic.dir/src/dynamic/workload_events.cpp.o.d"
+  "libinsp_dynamic.a"
+  "libinsp_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilp/bounds.cpp" "CMakeFiles/insp_ilp.dir/src/ilp/bounds.cpp.o" "gcc" "CMakeFiles/insp_ilp.dir/src/ilp/bounds.cpp.o.d"
+  "/root/repo/src/ilp/exact_solver.cpp" "CMakeFiles/insp_ilp.dir/src/ilp/exact_solver.cpp.o" "gcc" "CMakeFiles/insp_ilp.dir/src/ilp/exact_solver.cpp.o.d"
+  "/root/repo/src/ilp/ilp_model.cpp" "CMakeFiles/insp_ilp.dir/src/ilp/ilp_model.cpp.o" "gcc" "CMakeFiles/insp_ilp.dir/src/ilp/ilp_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/insp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_platform.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

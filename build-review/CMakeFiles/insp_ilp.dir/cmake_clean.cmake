@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_ilp.dir/src/ilp/bounds.cpp.o"
+  "CMakeFiles/insp_ilp.dir/src/ilp/bounds.cpp.o.d"
+  "CMakeFiles/insp_ilp.dir/src/ilp/exact_solver.cpp.o"
+  "CMakeFiles/insp_ilp.dir/src/ilp/exact_solver.cpp.o.d"
+  "CMakeFiles/insp_ilp.dir/src/ilp/ilp_model.cpp.o"
+  "CMakeFiles/insp_ilp.dir/src/ilp/ilp_model.cpp.o.d"
+  "libinsp_ilp.a"
+  "libinsp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for insp_ilp.
+# This may be replaced when dependencies are built.

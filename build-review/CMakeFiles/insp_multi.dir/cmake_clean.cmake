@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_multi.dir/src/multi/multi_app.cpp.o"
+  "CMakeFiles/insp_multi.dir/src/multi/multi_app.cpp.o.d"
+  "CMakeFiles/insp_multi.dir/src/multi/subexpression.cpp.o"
+  "CMakeFiles/insp_multi.dir/src/multi/subexpression.cpp.o.d"
+  "libinsp_multi.a"
+  "libinsp_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_net.dir/src/net/bandwidth_ledger.cpp.o"
+  "CMakeFiles/insp_net.dir/src/net/bandwidth_ledger.cpp.o.d"
+  "libinsp_net.a"
+  "libinsp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

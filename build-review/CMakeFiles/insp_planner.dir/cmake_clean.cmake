@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_planner.dir/src/planner/budget_planner.cpp.o"
+  "CMakeFiles/insp_planner.dir/src/planner/budget_planner.cpp.o.d"
+  "libinsp_planner.a"
+  "libinsp_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

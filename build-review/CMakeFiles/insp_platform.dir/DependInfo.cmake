@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/catalog.cpp" "CMakeFiles/insp_platform.dir/src/platform/catalog.cpp.o" "gcc" "CMakeFiles/insp_platform.dir/src/platform/catalog.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "CMakeFiles/insp_platform.dir/src/platform/platform.cpp.o" "gcc" "CMakeFiles/insp_platform.dir/src/platform/platform.cpp.o.d"
+  "/root/repo/src/platform/server_distribution.cpp" "CMakeFiles/insp_platform.dir/src/platform/server_distribution.cpp.o" "gcc" "CMakeFiles/insp_platform.dir/src/platform/server_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/insp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

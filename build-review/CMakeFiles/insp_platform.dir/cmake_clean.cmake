@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_platform.dir/src/platform/catalog.cpp.o"
+  "CMakeFiles/insp_platform.dir/src/platform/catalog.cpp.o.d"
+  "CMakeFiles/insp_platform.dir/src/platform/platform.cpp.o"
+  "CMakeFiles/insp_platform.dir/src/platform/platform.cpp.o.d"
+  "CMakeFiles/insp_platform.dir/src/platform/server_distribution.cpp.o"
+  "CMakeFiles/insp_platform.dir/src/platform/server_distribution.cpp.o.d"
+  "libinsp_platform.a"
+  "libinsp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

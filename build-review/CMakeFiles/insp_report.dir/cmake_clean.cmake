@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_report.dir/src/report/allocation_report.cpp.o"
+  "CMakeFiles/insp_report.dir/src/report/allocation_report.cpp.o.d"
+  "libinsp_report.a"
+  "libinsp_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/allocation_service.cpp" "CMakeFiles/insp_service.dir/src/service/allocation_service.cpp.o" "gcc" "CMakeFiles/insp_service.dir/src/service/allocation_service.cpp.o.d"
+  "/root/repo/src/service/batch_planner.cpp" "CMakeFiles/insp_service.dir/src/service/batch_planner.cpp.o" "gcc" "CMakeFiles/insp_service.dir/src/service/batch_planner.cpp.o.d"
+  "/root/repo/src/service/request_queue.cpp" "CMakeFiles/insp_service.dir/src/service/request_queue.cpp.o" "gcc" "CMakeFiles/insp_service.dir/src/service/request_queue.cpp.o.d"
+  "/root/repo/src/service/service_replay.cpp" "CMakeFiles/insp_service.dir/src/service/service_replay.cpp.o" "gcc" "CMakeFiles/insp_service.dir/src/service/service_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/insp_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_multi.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_platform.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

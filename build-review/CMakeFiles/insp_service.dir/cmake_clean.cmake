@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_service.dir/src/service/allocation_service.cpp.o"
+  "CMakeFiles/insp_service.dir/src/service/allocation_service.cpp.o.d"
+  "CMakeFiles/insp_service.dir/src/service/batch_planner.cpp.o"
+  "CMakeFiles/insp_service.dir/src/service/batch_planner.cpp.o.d"
+  "CMakeFiles/insp_service.dir/src/service/request_queue.cpp.o"
+  "CMakeFiles/insp_service.dir/src/service/request_queue.cpp.o.d"
+  "CMakeFiles/insp_service.dir/src/service/service_replay.cpp.o"
+  "CMakeFiles/insp_service.dir/src/service/service_replay.cpp.o.d"
+  "libinsp_service.a"
+  "libinsp_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

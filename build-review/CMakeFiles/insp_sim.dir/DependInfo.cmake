@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cpp" "CMakeFiles/insp_sim.dir/src/sim/event_sim.cpp.o" "gcc" "CMakeFiles/insp_sim.dir/src/sim/event_sim.cpp.o.d"
+  "/root/repo/src/sim/event_sim_dense.cpp" "CMakeFiles/insp_sim.dir/src/sim/event_sim_dense.cpp.o" "gcc" "CMakeFiles/insp_sim.dir/src/sim/event_sim_dense.cpp.o.d"
+  "/root/repo/src/sim/flow_analyzer.cpp" "CMakeFiles/insp_sim.dir/src/sim/flow_analyzer.cpp.o" "gcc" "CMakeFiles/insp_sim.dir/src/sim/flow_analyzer.cpp.o.d"
+  "/root/repo/src/sim/sim_platform_view.cpp" "CMakeFiles/insp_sim.dir/src/sim/sim_platform_view.cpp.o" "gcc" "CMakeFiles/insp_sim.dir/src/sim/sim_platform_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/insp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_tree.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_platform.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/insp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_sim.dir/src/sim/event_sim.cpp.o"
+  "CMakeFiles/insp_sim.dir/src/sim/event_sim.cpp.o.d"
+  "CMakeFiles/insp_sim.dir/src/sim/event_sim_dense.cpp.o"
+  "CMakeFiles/insp_sim.dir/src/sim/event_sim_dense.cpp.o.d"
+  "CMakeFiles/insp_sim.dir/src/sim/flow_analyzer.cpp.o"
+  "CMakeFiles/insp_sim.dir/src/sim/flow_analyzer.cpp.o.d"
+  "CMakeFiles/insp_sim.dir/src/sim/sim_platform_view.cpp.o"
+  "CMakeFiles/insp_sim.dir/src/sim/sim_platform_view.cpp.o.d"
+  "libinsp_sim.a"
+  "libinsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

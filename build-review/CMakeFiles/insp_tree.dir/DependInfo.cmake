@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/operator_tree.cpp" "CMakeFiles/insp_tree.dir/src/tree/operator_tree.cpp.o" "gcc" "CMakeFiles/insp_tree.dir/src/tree/operator_tree.cpp.o.d"
+  "/root/repo/src/tree/tree_generator.cpp" "CMakeFiles/insp_tree.dir/src/tree/tree_generator.cpp.o" "gcc" "CMakeFiles/insp_tree.dir/src/tree/tree_generator.cpp.o.d"
+  "/root/repo/src/tree/tree_io.cpp" "CMakeFiles/insp_tree.dir/src/tree/tree_io.cpp.o" "gcc" "CMakeFiles/insp_tree.dir/src/tree/tree_io.cpp.o.d"
+  "/root/repo/src/tree/tree_stats.cpp" "CMakeFiles/insp_tree.dir/src/tree/tree_stats.cpp.o" "gcc" "CMakeFiles/insp_tree.dir/src/tree/tree_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/insp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_tree.dir/src/tree/operator_tree.cpp.o"
+  "CMakeFiles/insp_tree.dir/src/tree/operator_tree.cpp.o.d"
+  "CMakeFiles/insp_tree.dir/src/tree/tree_generator.cpp.o"
+  "CMakeFiles/insp_tree.dir/src/tree/tree_generator.cpp.o.d"
+  "CMakeFiles/insp_tree.dir/src/tree/tree_io.cpp.o"
+  "CMakeFiles/insp_tree.dir/src/tree/tree_io.cpp.o.d"
+  "CMakeFiles/insp_tree.dir/src/tree/tree_stats.cpp.o"
+  "CMakeFiles/insp_tree.dir/src/tree/tree_stats.cpp.o.d"
+  "libinsp_tree.a"
+  "libinsp_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

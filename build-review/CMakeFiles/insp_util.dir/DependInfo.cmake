@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_chart.cpp" "CMakeFiles/insp_util.dir/src/util/ascii_chart.cpp.o" "gcc" "CMakeFiles/insp_util.dir/src/util/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/insp_util.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/insp_util.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/insp_util.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/insp_util.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/insp_util.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/insp_util.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/insp_util.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/insp_util.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/insp_util.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/insp_util.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/insp_util.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/insp_util.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

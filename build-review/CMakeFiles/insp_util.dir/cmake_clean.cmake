@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insp_util.dir/src/util/ascii_chart.cpp.o"
+  "CMakeFiles/insp_util.dir/src/util/ascii_chart.cpp.o.d"
+  "CMakeFiles/insp_util.dir/src/util/cli.cpp.o"
+  "CMakeFiles/insp_util.dir/src/util/cli.cpp.o.d"
+  "CMakeFiles/insp_util.dir/src/util/csv.cpp.o"
+  "CMakeFiles/insp_util.dir/src/util/csv.cpp.o.d"
+  "CMakeFiles/insp_util.dir/src/util/log.cpp.o"
+  "CMakeFiles/insp_util.dir/src/util/log.cpp.o.d"
+  "CMakeFiles/insp_util.dir/src/util/rng.cpp.o"
+  "CMakeFiles/insp_util.dir/src/util/rng.cpp.o.d"
+  "CMakeFiles/insp_util.dir/src/util/stats.cpp.o"
+  "CMakeFiles/insp_util.dir/src/util/stats.cpp.o.d"
+  "CMakeFiles/insp_util.dir/src/util/thread_pool.cpp.o"
+  "CMakeFiles/insp_util.dir/src/util/thread_pool.cpp.o.d"
+  "libinsp_util.a"
+  "libinsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_experiment_harness_test.dir/tests/integration/experiment_harness_test.cpp.o"
+  "CMakeFiles/integration_experiment_harness_test.dir/tests/integration/experiment_harness_test.cpp.o.d"
+  "integration_experiment_harness_test"
+  "integration_experiment_harness_test.pdb"
+  "integration_experiment_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_experiment_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_failure_injection_test.dir/tests/integration/failure_injection_test.cpp.o"
+  "CMakeFiles/integration_failure_injection_test.dir/tests/integration/failure_injection_test.cpp.o.d"
+  "integration_failure_injection_test"
+  "integration_failure_injection_test.pdb"
+  "integration_failure_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_failure_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

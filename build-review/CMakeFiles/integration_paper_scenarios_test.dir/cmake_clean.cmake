@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_paper_scenarios_test.dir/tests/integration/paper_scenarios_test.cpp.o"
+  "CMakeFiles/integration_paper_scenarios_test.dir/tests/integration/paper_scenarios_test.cpp.o.d"
+  "integration_paper_scenarios_test"
+  "integration_paper_scenarios_test.pdb"
+  "integration_paper_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_paper_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

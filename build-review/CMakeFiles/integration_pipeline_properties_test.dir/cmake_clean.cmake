@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_pipeline_properties_test.dir/tests/integration/pipeline_properties_test.cpp.o"
+  "CMakeFiles/integration_pipeline_properties_test.dir/tests/integration/pipeline_properties_test.cpp.o.d"
+  "integration_pipeline_properties_test"
+  "integration_pipeline_properties_test.pdb"
+  "integration_pipeline_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_pipeline_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_regression_pins_test.dir/tests/integration/regression_pins_test.cpp.o"
+  "CMakeFiles/integration_regression_pins_test.dir/tests/integration/regression_pins_test.cpp.o.d"
+  "integration_regression_pins_test"
+  "integration_regression_pins_test.pdb"
+  "integration_regression_pins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_regression_pins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

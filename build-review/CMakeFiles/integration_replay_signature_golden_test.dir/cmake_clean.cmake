@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_replay_signature_golden_test.dir/tests/integration/replay_signature_golden_test.cpp.o"
+  "CMakeFiles/integration_replay_signature_golden_test.dir/tests/integration/replay_signature_golden_test.cpp.o.d"
+  "integration_replay_signature_golden_test"
+  "integration_replay_signature_golden_test.pdb"
+  "integration_replay_signature_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_replay_signature_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for integration_replay_signature_golden_test.
+# This may be replaced when dependencies are built.

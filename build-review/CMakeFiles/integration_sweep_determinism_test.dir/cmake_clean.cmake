@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_sweep_determinism_test.dir/tests/integration/sweep_determinism_test.cpp.o"
+  "CMakeFiles/integration_sweep_determinism_test.dir/tests/integration/sweep_determinism_test.cpp.o.d"
+  "integration_sweep_determinism_test"
+  "integration_sweep_determinism_test.pdb"
+  "integration_sweep_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_sweep_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

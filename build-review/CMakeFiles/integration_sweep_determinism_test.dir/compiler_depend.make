@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for integration_sweep_determinism_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_multi_app_test.dir/tests/multi/multi_app_test.cpp.o"
+  "CMakeFiles/multi_multi_app_test.dir/tests/multi/multi_app_test.cpp.o.d"
+  "multi_multi_app_test"
+  "multi_multi_app_test.pdb"
+  "multi_multi_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_multi_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

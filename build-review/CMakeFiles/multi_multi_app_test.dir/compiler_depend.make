@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multi_multi_app_test.
+# This may be replaced when dependencies are built.

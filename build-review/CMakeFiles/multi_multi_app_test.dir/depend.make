@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_multi_app_test.
+# This may be replaced when dependencies are built.

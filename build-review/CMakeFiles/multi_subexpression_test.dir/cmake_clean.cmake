@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_subexpression_test.dir/tests/multi/subexpression_test.cpp.o"
+  "CMakeFiles/multi_subexpression_test.dir/tests/multi/subexpression_test.cpp.o.d"
+  "multi_subexpression_test"
+  "multi_subexpression_test.pdb"
+  "multi_subexpression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_subexpression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

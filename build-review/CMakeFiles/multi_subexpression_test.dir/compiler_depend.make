@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multi_subexpression_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_bandwidth_ledger_test.dir/tests/net/bandwidth_ledger_test.cpp.o"
+  "CMakeFiles/net_bandwidth_ledger_test.dir/tests/net/bandwidth_ledger_test.cpp.o.d"
+  "net_bandwidth_ledger_test"
+  "net_bandwidth_ledger_test.pdb"
+  "net_bandwidth_ledger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_bandwidth_ledger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for net_bandwidth_ledger_test.
+# This may be replaced when dependencies are built.

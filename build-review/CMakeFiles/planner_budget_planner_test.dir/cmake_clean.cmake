@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_budget_planner_test.dir/tests/planner/budget_planner_test.cpp.o"
+  "CMakeFiles/planner_budget_planner_test.dir/tests/planner/budget_planner_test.cpp.o.d"
+  "planner_budget_planner_test"
+  "planner_budget_planner_test.pdb"
+  "planner_budget_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_budget_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_catalog_test.dir/tests/platform/catalog_test.cpp.o"
+  "CMakeFiles/platform_catalog_test.dir/tests/platform/catalog_test.cpp.o.d"
+  "platform_catalog_test"
+  "platform_catalog_test.pdb"
+  "platform_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

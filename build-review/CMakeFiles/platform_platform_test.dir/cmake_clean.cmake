@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_platform_test.dir/tests/platform/platform_test.cpp.o"
+  "CMakeFiles/platform_platform_test.dir/tests/platform/platform_test.cpp.o.d"
+  "platform_platform_test"
+  "platform_platform_test.pdb"
+  "platform_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_server_distribution_test.dir/tests/platform/server_distribution_test.cpp.o"
+  "CMakeFiles/platform_server_distribution_test.dir/tests/platform/server_distribution_test.cpp.o.d"
+  "platform_server_distribution_test"
+  "platform_server_distribution_test.pdb"
+  "platform_server_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_server_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_allocation_report_test.dir/tests/report/allocation_report_test.cpp.o"
+  "CMakeFiles/report_allocation_report_test.dir/tests/report/allocation_report_test.cpp.o.d"
+  "report_allocation_report_test"
+  "report_allocation_report_test.pdb"
+  "report_allocation_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_allocation_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

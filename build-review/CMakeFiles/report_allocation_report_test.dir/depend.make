@@ -1,0 +1,2 @@
+# Empty dependencies file for report_allocation_report_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_allocation_service_test.dir/tests/service/allocation_service_test.cpp.o"
+  "CMakeFiles/service_allocation_service_test.dir/tests/service/allocation_service_test.cpp.o.d"
+  "service_allocation_service_test"
+  "service_allocation_service_test.pdb"
+  "service_allocation_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_allocation_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for service_allocation_service_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_service_stress_test.dir/tests/service/service_stress_test.cpp.o"
+  "CMakeFiles/service_service_stress_test.dir/tests/service/service_stress_test.cpp.o.d"
+  "service_service_stress_test"
+  "service_service_stress_test.pdb"
+  "service_service_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_service_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

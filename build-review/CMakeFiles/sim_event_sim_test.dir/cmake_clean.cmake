@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_event_sim_test.dir/tests/sim/event_sim_test.cpp.o"
+  "CMakeFiles/sim_event_sim_test.dir/tests/sim/event_sim_test.cpp.o.d"
+  "sim_event_sim_test"
+  "sim_event_sim_test.pdb"
+  "sim_event_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_event_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_flow_analyzer_test.dir/tests/sim/flow_analyzer_test.cpp.o"
+  "CMakeFiles/sim_flow_analyzer_test.dir/tests/sim/flow_analyzer_test.cpp.o.d"
+  "sim_flow_analyzer_test"
+  "sim_flow_analyzer_test.pdb"
+  "sim_flow_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_flow_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sim_differential_test.dir/tests/sim/sim_differential_test.cpp.o"
+  "CMakeFiles/sim_sim_differential_test.dir/tests/sim/sim_differential_test.cpp.o.d"
+  "sim_sim_differential_test"
+  "sim_sim_differential_test.pdb"
+  "sim_sim_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sim_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_operator_tree_test.dir/tests/tree/operator_tree_test.cpp.o"
+  "CMakeFiles/tree_operator_tree_test.dir/tests/tree/operator_tree_test.cpp.o.d"
+  "tree_operator_tree_test"
+  "tree_operator_tree_test.pdb"
+  "tree_operator_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_operator_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tree_operator_tree_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_tree_io_test.dir/tests/tree/tree_io_test.cpp.o"
+  "CMakeFiles/tree_tree_io_test.dir/tests/tree/tree_io_test.cpp.o.d"
+  "tree_tree_io_test"
+  "tree_tree_io_test.pdb"
+  "tree_tree_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_tree_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_ascii_chart_test.dir/tests/util/ascii_chart_test.cpp.o"
+  "CMakeFiles/util_ascii_chart_test.dir/tests/util/ascii_chart_test.cpp.o.d"
+  "util_ascii_chart_test"
+  "util_ascii_chart_test.pdb"
+  "util_ascii_chart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_ascii_chart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_cli_test.dir/tests/util/cli_test.cpp.o"
+  "CMakeFiles/util_cli_test.dir/tests/util/cli_test.cpp.o.d"
+  "util_cli_test"
+  "util_cli_test.pdb"
+  "util_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

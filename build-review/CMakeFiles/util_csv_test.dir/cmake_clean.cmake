@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_csv_test.dir/tests/util/csv_test.cpp.o"
+  "CMakeFiles/util_csv_test.dir/tests/util/csv_test.cpp.o.d"
+  "util_csv_test"
+  "util_csv_test.pdb"
+  "util_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

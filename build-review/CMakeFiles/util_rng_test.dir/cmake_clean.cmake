@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_rng_test.dir/tests/util/rng_test.cpp.o"
+  "CMakeFiles/util_rng_test.dir/tests/util/rng_test.cpp.o.d"
+  "util_rng_test"
+  "util_rng_test.pdb"
+  "util_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

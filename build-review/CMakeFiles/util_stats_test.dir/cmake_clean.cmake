@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_stats_test.dir/tests/util/stats_test.cpp.o"
+  "CMakeFiles/util_stats_test.dir/tests/util/stats_test.cpp.o.d"
+  "util_stats_test"
+  "util_stats_test.pdb"
+  "util_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_units_test.dir/tests/util/units_test.cpp.o"
+  "CMakeFiles/util_units_test.dir/tests/util/units_test.cpp.o.d"
+  "util_units_test"
+  "util_units_test.pdb"
+  "util_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../../bin/libgtest_main.pdb"
+  "../../../lib/libgtest_main.a"
+  "CMakeFiles/gtest_main.dir/src/gtest_main.cc.o"
+  "CMakeFiles/gtest_main.dir/src/gtest_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtest_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

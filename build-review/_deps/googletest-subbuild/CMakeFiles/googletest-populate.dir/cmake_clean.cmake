@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/googletest-populate"
+  "CMakeFiles/googletest-populate-complete"
+  "googletest-populate-prefix/src/googletest-populate-stamp/googletest-populate-build"
+  "googletest-populate-prefix/src/googletest-populate-stamp/googletest-populate-configure"
+  "googletest-populate-prefix/src/googletest-populate-stamp/googletest-populate-download"
+  "googletest-populate-prefix/src/googletest-populate-stamp/googletest-populate-install"
+  "googletest-populate-prefix/src/googletest-populate-stamp/googletest-populate-mkdir"
+  "googletest-populate-prefix/src/googletest-populate-stamp/googletest-populate-patch"
+  "googletest-populate-prefix/src/googletest-populate-stamp/googletest-populate-test"
+  "googletest-populate-prefix/src/googletest-populate-stamp/googletest-populate-update"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/googletest-populate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
