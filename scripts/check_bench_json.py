@@ -29,6 +29,12 @@ import sys
 # emitter); the key lists keep the benches' downstream consumers honest.
 # Benches not listed here are envelope-checked only.
 REQUIRED_ROW_KEYS = {
+    "placement_speed": {
+        "num_operators", "live_processors", "probes_per_sec_incremental",
+        "probes_per_sec_copy_baseline", "probe_speedup",
+        "soa_probe_throughput", "scalar_scan_throughput",
+        "speedup_vs_scalar", "verdicts_match", "hardware_concurrency",
+    },
     "dynamic": {
         "num_operators", "events", "median_repair_ms", "median_scratch_ms",
         "latency_speedup", "repair_signature",

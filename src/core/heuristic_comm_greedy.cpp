@@ -16,10 +16,15 @@ PlacementOutcome place_comm_greedy(PlacementState& state, Rng& /*rng*/) {
     const int up = state.proc_of(parent);
 
     if (uc == kNoNode && up == kNoNode) {
-      // (i) both unassigned: cheapest processor that can handle both ...
+      // (i) both unassigned: cheapest processor that can handle both,
+      // found with one batched hypothetical-purchase probe over the catalog.
       bool placed = false;
-      for (const auto& cfg : cat.by_cost()) {
-        const int pid = state.buy(cfg);
+      const auto& configs = cat.by_cost();
+      std::vector<unsigned char> verdicts;
+      state.can_place_on_new_batch({child, parent}, configs, verdicts);
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (!verdicts[c]) continue;
+        const int pid = state.buy(configs[c]);
         if (state.try_place({child, parent}, pid)) {
           placed = true;
           break;

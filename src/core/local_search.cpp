@@ -71,25 +71,27 @@ bool relocation_pass(PlacementState& state, LocalSearchStats& stats) {
     const int home = state.proc_of(op);
     if (home == kNoNode || state.ops_on(home).size() < 2) continue;
     const Dollars before = projected_downgraded_cost(state);
-    // Copy: a restore move below can auto-sell an emptied target, which
-    // mutates the live list.
-    const std::vector<int> targets = state.live_processors();
-    for (int target : targets) {
-      if (target == home) continue;
-      if (!state.try_place({op}, target)) continue;
-      const Dollars after = projected_downgraded_cost(state);
-      if (after < before - 1e-9) {
-        ++stats.relocations;
-        improved = true;
-        break;
-      }
-      // Not an improvement: move back (always feasible — the previous
-      // state satisfied every constraint).
-      const bool restored = state.try_place({op}, home);
-      (void)restored;
-      assert(restored);
-      break;  // one probe per operator per pass keeps the pass linear-ish
+    // One batched probe picks the first feasible target (the scalar scan
+    // paid a journal transaction per candidate); only that one target is
+    // then tried for an improvement, as before.
+    std::vector<int> targets;
+    for (int t : state.live_processors()) {
+      if (t != home) targets.push_back(t);
     }
+    const int target = state.first_feasible_target({op}, targets);
+    if (target == kNoNode) continue;
+    if (!state.try_place({op}, target)) continue;
+    const Dollars after = projected_downgraded_cost(state);
+    if (after < before - 1e-9) {
+      ++stats.relocations;
+      improved = true;
+      continue;
+    }
+    // Not an improvement: move back (always feasible — the previous
+    // state satisfied every constraint).
+    const bool restored = state.try_place({op}, home);
+    (void)restored;
+    assert(restored);
   }
   return improved;
 }

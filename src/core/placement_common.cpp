@@ -43,8 +43,16 @@ bool try_buy_and_place(PlacementState& state, const std::vector<int>& group,
     state.sell(pid);
     return false;
   }
-  for (const auto& cfg : cat.by_cost()) {
-    const int pid = state.buy(cfg);
+  // Cheapest-first config scan, batched: one journal baseline judges every
+  // catalog configuration at once, and only the winner's processor is
+  // actually bought (the scalar loop paid a full probe per configuration and
+  // burned a processor id per rejection).
+  const auto& configs = cat.by_cost();
+  std::vector<unsigned char> verdicts;
+  state.can_place_on_new_batch(group, configs, verdicts);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    if (!verdicts[c]) continue;
+    const int pid = state.buy(configs[c]);
     if (state.try_place(group, pid)) {
       *out_pid = pid;
       return true;

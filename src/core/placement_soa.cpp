@@ -1,0 +1,69 @@
+#include "core/placement_soa.hpp"
+
+namespace insp {
+
+void soa_probe_candidates(const PlacementSoA& soa, const BatchFootprint& fp,
+                          const int* pids, std::size_t num,
+                          const double* dl_add, const double* link_base,
+                          const double* link_pre, const unsigned char* skip,
+                          unsigned char* verdicts) {
+  const std::size_t ext = fp.ext_pid.size();
+  const bool relaxed = fp.relaxed;
+  for (std::size_t i = 0; i < num; ++i) {
+    if (skip != nullptr && skip[i] != 0) continue;
+    const int pid = pids[i];
+
+    // Every touched processor other than the candidate must pass; the
+    // candidate replaces its own folded entry with the richer check below.
+    bool ok = fp.others_failed == 0 ||
+              (fp.others_failed == 1 && fp.others_failed_pid == pid);
+    ok = ok && fp.base_links_ok;
+
+    // CPU: the whole group lands on the candidate.
+    const double cpu = fp.rho * (soa.work[pid] + fp.sum_w);
+    ok = ok && (fits_within(cpu, soa.speed_cap[pid]) ||
+                (relaxed && fits_within(cpu, fp.rho * soa.work0[pid])));
+
+    // NIC: added downloads plus the external edge volume that actually
+    // crosses (edges toward the candidate itself become internal).
+    const double nic =
+        soa.nic[pid] + dl_add[i] + (fp.ext_total - soa.vol_to[pid]);
+    ok = ok && (fits_within(nic, soa.bw_cap[pid]) ||
+                (relaxed && fits_within(nic, soa.nic0[pid])));
+
+    // Pairwise links toward each external neighbor processor.
+    for (std::size_t j = 0; ok && j < ext; ++j) {
+      if (fp.ext_pid[j] == pid) continue;
+      const double used = link_base[i * ext + j] + fp.ext_vol[j];
+      ok = fits_within(used, fp.link_cap) ||
+           (relaxed && fits_within(used, link_pre[i * ext + j]));
+    }
+
+    verdicts[i] = ok ? 1 : 0;
+  }
+}
+
+void soa_probe_configs(const BatchFootprint& fp, const double* speed_caps,
+                       const double* bw_caps, std::size_t num,
+                       unsigned char* verdicts) {
+  // A fresh processor is empty: every group type is downloaded, every
+  // external edge crosses, and every candidate-side link starts at zero.
+  // The candidate-independent parts collapse to one flag.
+  double dl_all = 0.0;
+  for (double r : fp.gtype_rate) dl_all += r;
+  bool shared_ok = fp.others_failed == 0 && fp.base_links_ok;
+  for (std::size_t j = 0; shared_ok && j < fp.ext_vol.size(); ++j) {
+    // Link pre-transaction value is zero too, so relaxed == strict here.
+    shared_ok = fits_within(fp.ext_vol[j], fp.link_cap);
+  }
+  const double cpu = fp.rho * fp.sum_w;
+  const double nic = dl_all + fp.ext_total;
+  for (std::size_t i = 0; i < num; ++i) {
+    verdicts[i] = (shared_ok && fits_within(cpu, speed_caps[i]) &&
+                   fits_within(nic, bw_caps[i]))
+                      ? 1
+                      : 0;
+  }
+}
+
+} // namespace insp

@@ -323,6 +323,296 @@ bool PlacementState::can_place_relaxed(const std::vector<int>& ops, int pid) {
   return probe(ops, pid, /*commit=*/false, /*relaxed=*/true);
 }
 
+// --- batched probes (docs/DESIGN.md §10) ------------------------------------
+
+bool PlacementState::batch_footprint(const std::vector<int>& ops,
+                                     bool relaxed) {
+  assert(txn_mode_ == TxnMode::kNone);
+  const OperatorTree& tree = *problem_.tree;
+  const PriceCatalog& cat = *problem_.catalog;
+
+  // Deduplicate preserving order: the sequential probe skips an operator's
+  // second occurrence (it is already on the target by then).
+  batch_group_.clear();
+  batch_group_pos_.assign(op_to_proc_.size(), 0);
+  for (int op : ops) {
+    int& pos = batch_group_pos_[static_cast<std::size_t>(op)];
+    if (pos == 0) {
+      batch_group_.push_back(op);
+      pos = static_cast<int>(batch_group_.size());
+    }
+  }
+  proc_is_source_.assign(procs_.size(), 0);
+  for (int op : batch_group_) {
+    const int src = proc_of(op);
+    if (src != kNoNode) proc_is_source_[static_cast<std::size_t>(src)] = 1;
+  }
+  if (batch_group_.empty()) return false;
+
+  // Transient sources: when group member b (assigned at src_b) has a group
+  // neighbor that moves BEFORE it, the sequential probe realizes their edge
+  // toward src_b for a moment — touching link (candidate, src_b) with net
+  // zero volume but still validating it at its baseline value.  Recorded
+  // here (before the baseline erases proc_of) and folded in below as
+  // zero-volume ext entries so the strict verdict checks the same links.
+  batch_transient_.clear();
+  for (std::size_t ib = 0; ib < batch_group_.size(); ++ib) {
+    const int b = batch_group_[ib];
+    const int src = proc_of(b);
+    if (src == kNoNode) continue;
+    bool has_earlier = false;
+    for_each_neighbor(b, [&](int a, MBps /*volume*/) {
+      const int pa = batch_group_pos_[static_cast<std::size_t>(a)];
+      if (pa != 0 && static_cast<std::size_t>(pa - 1) < ib) has_earlier = true;
+    });
+    if (has_earlier) batch_transient_.push_back(src);
+  }
+
+  // Journal baseline: the world without the group.
+  begin_txn(TxnMode::kFull);
+  for (int op : batch_group_) {
+    if (proc_of(op) != kNoNode) unassign_op(op);
+  }
+
+  fp_.rho = problem_.rho;
+  fp_.relaxed = relaxed;
+  fp_.link_cap = pp_links_.capacity();
+  fp_.sum_w = 0.0;
+  fp_.gtypes.clear();
+  fp_.gtype_rate.clear();
+  fp_.ext_pid.clear();
+  fp_.ext_vol.clear();
+  batch_ext_slot_.assign(procs_.size(), -1);
+  for (int op : batch_group_) {
+    fp_.sum_w += tree.op(op).work;
+    for (int t : tree.object_types_of(op)) {
+      if (std::find(fp_.gtypes.begin(), fp_.gtypes.end(), t) ==
+          fp_.gtypes.end()) {
+        fp_.gtypes.push_back(t);
+        fp_.gtype_rate.push_back(tree.catalog().type(t).rate());
+      }
+    }
+    for_each_neighbor(op, [&](int nb, MBps volume) {
+      if (batch_group_pos_[static_cast<std::size_t>(nb)] != 0) return;
+      const int q = proc_of(nb);
+      if (q == kNoNode) return;
+      int slot = batch_ext_slot_[static_cast<std::size_t>(q)];
+      if (slot < 0) {
+        slot = static_cast<int>(fp_.ext_pid.size());
+        batch_ext_slot_[static_cast<std::size_t>(q)] = slot;
+        fp_.ext_pid.push_back(q);
+        fp_.ext_vol.push_back(0.0);
+      }
+      fp_.ext_vol[static_cast<std::size_t>(slot)] += volume;
+    });
+  }
+  double ext_total = 0.0;
+  for (double v : fp_.ext_vol) ext_total += v;
+  fp_.ext_total = ext_total;
+  for (int s : batch_transient_) {
+    if (batch_ext_slot_[static_cast<std::size_t>(s)] < 0) {
+      batch_ext_slot_[static_cast<std::size_t>(s)] =
+          static_cast<int>(fp_.ext_pid.size());
+      fp_.ext_pid.push_back(s);
+      fp_.ext_vol.push_back(0.0);
+    }
+  }
+
+  // Fold the candidate-independent processor checks: drained sources (at
+  // their baseline values) and external neighbor processors (baseline plus
+  // the edge volume the placement realizes toward them).  The candidate
+  // itself is judged by its own richer check in the kernel; the count/pid
+  // pair lets it forgive exactly its own folded entry.
+  fp_.others_failed = 0;
+  fp_.others_failed_pid = -1;
+  const auto eval_other = [&](int o, double w0, double d0, double c0) {
+    const ProcState& p = proc(o);
+    if (!p.live) return;
+    const int slot = batch_ext_slot_[static_cast<std::size_t>(o)];
+    const double ev = slot >= 0 ? fp_.ext_vol[static_cast<std::size_t>(slot)]
+                                : 0.0;
+    const double cpu_now = problem_.rho * p.work;
+    const double nic_now = p.download + p.comm + ev;
+    const bool ok =
+        (fits_within(cpu_now, cat.speed(p.cfg)) ||
+         (relaxed && fits_within(cpu_now, problem_.rho * w0))) &&
+        (fits_within(nic_now, cat.bandwidth(p.cfg)) ||
+         (relaxed && fits_within(nic_now, d0 + c0)));
+    if (!ok) {
+      ++fp_.others_failed;
+      fp_.others_failed_pid = o;
+    }
+  };
+  // Baseline-touched processors carry their pre-transaction snapshot in
+  // snaps_ (parallel to touched_procs_ in kFull mode); processors only the
+  // candidate assignment touches are at their pre-transaction values now.
+  for (std::size_t i = 0; i < touched_procs_.size(); ++i) {
+    const ProcSnapshot& s = snaps_[i];
+    eval_other(touched_procs_[i], s.work, s.download, s.comm);
+  }
+  for (int q : fp_.ext_pid) {
+    const ProcState& p = proc(q);
+    if (p.touch_epoch == txn_epoch_) continue;  // folded above
+    eval_other(q, p.work, p.download, p.comm);
+  }
+
+  // Strict: every link the baseline touched must fit at its baseline value
+  // (re-added candidate-side volume is re-checked per candidate; volumes are
+  // non-negative and fits_within is monotone, so the conjunction is exact).
+  // Relaxed: vacuous — the baseline only removes volume.
+  fp_.base_links_ok = relaxed ? true : pp_links_.touched_within();
+  return true;
+}
+
+void PlacementState::batch_probe(const std::vector<int>& ops, const int* pids,
+                                 std::size_t num, bool relaxed,
+                                 unsigned char* verdicts) {
+  if (num == 0) return;
+  if (!batch_footprint(ops, relaxed)) {
+    // Empty move: the sequential probe touches nothing and reports true.
+    std::fill(verdicts, verdicts + num, 1);
+    return;
+  }
+  bool any_skip = false;
+  batch_skip_.assign(num, 0);
+  for (std::size_t i = 0; i < num; ++i) {
+    assert(is_live(pids[i]));
+    if (proc_is_source_[static_cast<std::size_t>(pids[i])]) {
+      batch_skip_[i] = 1;
+      any_skip = true;
+    }
+  }
+
+  // Gather the flat SoA mirror while the baseline is open.
+  const PriceCatalog& cat = *problem_.catalog;
+  soa_.resize(procs_.size());
+  for (int pid : live_ids_) {
+    const ProcState& p = proc(pid);
+    const auto u = static_cast<std::size_t>(pid);
+    soa_.speed_cap[u] = cat.speed(p.cfg);
+    soa_.bw_cap[u] = cat.bandwidth(p.cfg);
+    soa_.work[u] = p.work;
+    soa_.nic[u] = p.download + p.comm;
+    soa_.work0[u] = p.work;
+    soa_.nic0[u] = p.download + p.comm;
+    soa_.vol_to[u] = 0.0;
+  }
+  for (std::size_t i = 0; i < snap_count_; ++i) {
+    const ProcSnapshot& s = snaps_[i];
+    const auto u = static_cast<std::size_t>(s.pid);
+    soa_.work0[u] = s.work;
+    soa_.nic0[u] = s.download + s.comm;
+  }
+  for (std::size_t j = 0; j < fp_.ext_pid.size(); ++j) {
+    soa_.vol_to[static_cast<std::size_t>(fp_.ext_pid[j])] = fp_.ext_vol[j];
+  }
+
+  // Per-candidate download delta: rates of group types the candidate does
+  // not already hold, summed in the group's first-need order (matching the
+  // sequential assignment's accumulation order).
+  batch_dl_add_.assign(num, 0.0);
+  for (std::size_t i = 0; i < num; ++i) {
+    if (batch_skip_[i]) continue;
+    const auto& tc = proc(pids[i]).type_count;
+    double add = 0.0;
+    for (std::size_t g = 0; g < fp_.gtypes.size(); ++g) {
+      const int t = fp_.gtypes[g];
+      const auto it = std::lower_bound(
+          tc.begin(), tc.end(), t,
+          [](const std::pair<int, int>& e, int type) {
+            return e.first < type;
+          });
+      if (it == tc.end() || it->first != t) add += fp_.gtype_rate[g];
+    }
+    batch_dl_add_[i] = add;
+  }
+
+  // Baseline (and, relaxed, pre-transaction) usage of every candidate<->ext
+  // link, row-major [candidate][ext].
+  const std::size_t ext = fp_.ext_pid.size();
+  batch_link_base_.assign(num * ext, 0.0);
+  batch_link_pre_.assign(relaxed ? num * ext : 0, 0.0);
+  for (std::size_t i = 0; i < num; ++i) {
+    if (batch_skip_[i]) continue;
+    for (std::size_t j = 0; j < ext; ++j) {
+      if (fp_.ext_pid[j] == pids[i]) continue;
+      batch_link_base_[i * ext + j] = pp_links_.used(pids[i], fp_.ext_pid[j]);
+      if (relaxed) {
+        batch_link_pre_[i * ext + j] =
+            pp_links_.pre_txn_value(pids[i], fp_.ext_pid[j]);
+      }
+    }
+  }
+
+  rollback_txn();
+
+  soa_probe_candidates(soa_, fp_, pids, num, batch_dl_add_.data(),
+                       batch_link_base_.data(),
+                       relaxed ? batch_link_pre_.data() : nullptr,
+                       batch_skip_.data(), verdicts);
+
+  // Candidates hosting group members keep the sequential probe's
+  // partial-move semantics (members already on the target do not move at
+  // all); resolve them through the sequential path.
+  if (any_skip) {
+    for (std::size_t i = 0; i < num; ++i) {
+      if (!batch_skip_[i]) continue;
+      verdicts[i] = (relaxed ? can_place_relaxed(ops, pids[i])
+                             : can_place(ops, pids[i]))
+                        ? 1
+                        : 0;
+    }
+  }
+}
+
+void PlacementState::can_place_batch(const std::vector<int>& ops,
+                                     const std::vector<int>& pids,
+                                     std::vector<unsigned char>& verdicts) {
+  verdicts.resize(pids.size());
+  batch_probe(ops, pids.data(), pids.size(), /*relaxed=*/false,
+              verdicts.data());
+}
+
+void PlacementState::can_place_batch_relaxed(
+    const std::vector<int>& ops, const std::vector<int>& pids,
+    std::vector<unsigned char>& verdicts) {
+  verdicts.resize(pids.size());
+  batch_probe(ops, pids.data(), pids.size(), /*relaxed=*/true,
+              verdicts.data());
+}
+
+int PlacementState::first_feasible_target(const std::vector<int>& ops,
+                                          const std::vector<int>& pids,
+                                          bool relaxed) {
+  batch_verdicts_.resize(pids.size());
+  batch_probe(ops, pids.data(), pids.size(), relaxed, batch_verdicts_.data());
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (batch_verdicts_[i]) return pids[i];
+  }
+  return kNoNode;
+}
+
+void PlacementState::can_place_on_new_batch(
+    const std::vector<int>& ops, const std::vector<ProcessorConfig>& configs,
+    std::vector<unsigned char>& verdicts) {
+  verdicts.assign(configs.size(), 0);
+  if (configs.empty()) return;
+  if (!batch_footprint(ops, /*relaxed=*/false)) {
+    std::fill(verdicts.begin(), verdicts.end(), 1);
+    return;
+  }
+  rollback_txn();
+  const PriceCatalog& cat = *problem_.catalog;
+  batch_speed_caps_.resize(configs.size());
+  batch_bw_caps_.resize(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    batch_speed_caps_[i] = cat.speed(configs[i]);
+    batch_bw_caps_[i] = cat.bandwidth(configs[i]);
+  }
+  soa_probe_configs(fp_, batch_speed_caps_.data(), batch_bw_caps_.data(),
+                    configs.size(), verdicts.data());
+}
+
 bool PlacementState::search_place(int op, int pid) {
   begin_txn(TxnMode::kTrack);
   assign_op(op, pid);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/allocation.hpp"
+#include "core/placement_soa.hpp"
 #include "core/problem.hpp"
 #include "net/bandwidth_ledger.hpp"
 
@@ -99,6 +100,42 @@ class PlacementState {
   bool try_place_relaxed(const std::vector<int>& ops, int pid);
   /// can_place under the relaxed verdict (probe + bit-exact rollback).
   bool can_place_relaxed(const std::vector<int>& ops, int pid);
+
+  // --- batched feasibility probes (docs/DESIGN.md §10) ---------------------
+  // The heuristics' inner loop asks one question many times: "which of these
+  // candidate processors can host this operator group?"  The sequential
+  // probes answer it by paying a full journal transaction per candidate.
+  // The batch probes pay it ONCE: the group is unassigned under a single
+  // journal baseline, the per-processor state is gathered into a flat SoA
+  // mirror, every candidate is judged by a branch-light loop over parallel
+  // arrays (core/placement_soa.hpp), and the baseline is rolled back
+  // bit-exactly.  Verdicts are element-wise identical to the sequential
+  // probes (candidates that host group members are resolved through the
+  // sequential path, whose partial-move semantics a shared baseline cannot
+  // reproduce).  Like can_place, batch probes mutate scratch state in
+  // between — not thread-safe on a shared state.
+
+  /// verdicts[i] == can_place(ops, pids[i]); resized to pids.size().
+  void can_place_batch(const std::vector<int>& ops,
+                       const std::vector<int>& pids,
+                       std::vector<unsigned char>& verdicts);
+  /// verdicts[i] == can_place_relaxed(ops, pids[i]).
+  void can_place_batch_relaxed(const std::vector<int>& ops,
+                               const std::vector<int>& pids,
+                               std::vector<unsigned char>& verdicts);
+  /// First pids[i] whose (strict or relaxed) verdict is true, else kNoNode —
+  /// the batched form of the heuristics' first-fit scans.
+  int first_feasible_target(const std::vector<int>& ops,
+                            const std::vector<int>& pids,
+                            bool relaxed = false);
+  /// Hypothetical purchases, strict verdict: verdicts[i] is true iff buying
+  /// a processor of configs[i] and try_place(ops, <new pid>) would succeed —
+  /// evaluated without consuming a processor id (a failed buy+sell still
+  /// burns an id; the config scans of the grouping technique used to leak
+  /// one id per rejected configuration).
+  void can_place_on_new_batch(const std::vector<int>& ops,
+                              const std::vector<ProcessorConfig>& configs,
+                              std::vector<unsigned char>& verdicts);
 
   /// Re-prices live processor `pid` to `config` (repair upgrade, or the
   /// downgrade-equivalent consolidation step on a live state).  Fails — and
@@ -201,6 +238,18 @@ class PlacementState {
   /// Shared body of try_place/can_place and their relaxed variants.
   bool probe(const std::vector<int>& ops, int pid, bool commit, bool relaxed);
 
+  /// Batch-probe protocol steps 1-2 (docs/DESIGN.md §10): deduplicates the
+  /// group, opens the journal baseline (group unassigned), and extracts the
+  /// pid-independent footprint into fp_.  Returns false — without opening a
+  /// transaction — when the group is empty (an empty move is vacuously
+  /// feasible everywhere); otherwise LEAVES THE TRANSACTION OPEN so the
+  /// caller can gather per-candidate baseline data before rolling back.
+  bool batch_footprint(const std::vector<int>& ops, bool relaxed);
+  /// Full batch probe: footprint, SoA gather, flat verdict loop, bit-exact
+  /// rollback, sequential slow path for candidates hosting group members.
+  void batch_probe(const std::vector<int>& ops, const int* pids,
+                   std::size_t num, bool relaxed, unsigned char* verdicts);
+
   void assign_op(int op, int pid);
   void unassign_op(int op);
   /// Calls fn(neighbor op, rho * edge volume) for the parent (first) and
@@ -230,6 +279,22 @@ class PlacementState {
   std::vector<std::pair<int, int>> moved_ops_;  // (op, previous pid)
   std::vector<int> scratch_ops_;
   std::vector<int> sell_candidates_;
+
+  // --- batch-probe scratch (docs/DESIGN.md §10; reused across batches) -----
+  PlacementSoA soa_;
+  BatchFootprint fp_;
+  std::vector<int> batch_group_;       // deduplicated group, original order
+  std::vector<int> batch_group_pos_;   // op -> position+1 in group, 0 = absent
+  std::vector<int> batch_transient_;   // sources of later-moving group members
+  std::vector<unsigned char> proc_is_source_;  // pid hosts a group member
+  std::vector<int> batch_ext_slot_;    // pid -> index into fp_.ext_*, -1 = none
+  std::vector<unsigned char> batch_skip_;
+  std::vector<unsigned char> batch_verdicts_;
+  std::vector<double> batch_dl_add_;
+  std::vector<double> batch_link_base_;
+  std::vector<double> batch_link_pre_;
+  std::vector<double> batch_speed_caps_;
+  std::vector<double> batch_bw_caps_;
 };
 
 } // namespace insp

@@ -7,6 +7,7 @@
 #include "core/local_search.hpp"
 #include "core/server_selection.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace insp {
 
@@ -138,6 +139,24 @@ void DynamicAllocator::refold_and_replay(
   }
 }
 
+namespace {
+
+/// Batched relaxed first-fit: one journal baseline judges every candidate,
+/// then the committing probe re-validates the winner (falling back to the
+/// scalar scan if the two ever disagree on a boundary-epsilon case).
+bool first_fit_relaxed(PlacementState& state, const std::vector<int>& ops,
+                       const std::vector<int>& pids) {
+  const int target = state.first_feasible_target(ops, pids, /*relaxed=*/true);
+  if (target == kNoNode) return false;
+  if (state.try_place_relaxed(ops, target)) return true;
+  for (int pid : pids) {
+    if (state.try_place_relaxed(ops, pid)) return true;
+  }
+  return false;
+}
+
+} // namespace
+
 bool DynamicAllocator::place_unassigned(RepairReport& report) {
   // Arriving operators, bottom-up so children are seated before parents
   // (first-fit then naturally gravitates toward realized neighbors'
@@ -148,14 +167,7 @@ bool DynamicAllocator::place_unassigned(RepairReport& report) {
     if (state_->proc_of(op) == kNoNode) order.push_back(op);
   }
   for (int op : order) {
-    bool placed = false;
-    const std::vector<int> live = state_->live_processors();
-    for (int pid : live) {
-      if (state_->try_place_relaxed({op}, pid)) {
-        placed = true;
-        break;
-      }
-    }
+    bool placed = first_fit_relaxed(*state_, {op}, state_->live_processors());
     if (!placed && opt_.allow_purchase) {
       const int pid = state_->buy(catalog_.most_expensive());
       if (state_->try_place_relaxed({op}, pid)) {
@@ -174,32 +186,38 @@ bool DynamicAllocator::place_unassigned(RepairReport& report) {
   return true;
 }
 
-bool DynamicAllocator::repair_violations(RepairReport& report) {
+bool DynamicAllocator::repair_violations_plan(PlacementState& state,
+                                              RepairReport& report,
+                                              int plan_index) const {
   const int max_rounds = opt_.max_repair_rounds > 0
                              ? opt_.max_repair_rounds
-                             : 4 * state_->num_live_processors() + 16;
+                             : 4 * state.num_live_processors() + 16;
   for (int round = 0; round < max_rounds; ++round) {
-    const std::vector<int> over_procs = state_->overloaded_processors();
-    const auto over_links = state_->overloaded_links();
+    const std::vector<int> over_procs = state.overloaded_processors();
+    const auto over_links = state.overloaded_links();
     if (over_procs.empty() && over_links.empty()) return true;
 
     // Target the lowest overloaded processor; when only links are violated,
-    // drain the endpoint carrying more traffic.
+    // drain the endpoint carrying more traffic.  Speculative plans rotate
+    // both choices by their index (plan 0 is the sequential engine).
     int target;
     bool proc_violation = !over_procs.empty();
     if (proc_violation) {
-      target = over_procs.front();
+      target = over_procs[static_cast<std::size_t>(plan_index) %
+                          over_procs.size()];
     } else {
       const auto [a, b] = over_links.front();
-      target = state_->comm_load(a) >= state_->comm_load(b) ? a : b;
+      const bool heavier_a = state.comm_load(a) >= state.comm_load(b);
+      const bool flip = plan_index % 2 == 1;
+      target = heavier_a != flip ? a : b;
     }
 
     // Move 1 — re-purchase in place: the cheapest catalog configuration
     // that meets the processor's new loads (no operator moves at all).
     if (proc_violation) {
-      const auto cfg = catalog_.cheapest_meeting(state_->cpu_demand(target),
-                                                 state_->nic_load(target));
-      if (cfg && state_->try_reconfigure(target, *cfg)) {
+      const auto cfg = catalog_.cheapest_meeting(state.cpu_demand(target),
+                                                 state.nic_load(target));
+      if (cfg && state.try_reconfigure(target, *cfg)) {
         ++report.reconfigures;
         continue;
       }
@@ -209,10 +227,10 @@ bool DynamicAllocator::repair_violations(RepairReport& report) {
     // resource via the relaxed probe (the source may stay violated, but no
     // touched capacity may get worse and no new violation may appear).
     // Order candidates by their contribution to the violated dimension.
-    std::vector<int> candidates = state_->ops_on(target);
+    std::vector<int> candidates = state.ops_on(target);
     const MegaOps cpu_excess =
-        state_->cpu_demand(target) -
-        catalog_.speed(state_->config(target));
+        state.cpu_demand(target) -
+        catalog_.speed(state.config(target));
     std::vector<std::pair<double, int>> keyed;
     keyed.reserve(candidates.size());
     for (int op : candidates) {
@@ -222,8 +240,8 @@ bool DynamicAllocator::repair_violations(RepairReport& report) {
       } else {
         // Bandwidth violation: crossing-edge volume the operator carries.
         key = 0.0;
-        for (const auto& [nb, volume] : state_->neighbors(op)) {
-          const int q = state_->proc_of(nb);
+        for (const auto& [nb, volume] : state.neighbors(op)) {
+          const int q = state.proc_of(nb);
           if (q != kNoNode && q != target) key += volume;
         }
       }
@@ -232,40 +250,44 @@ bool DynamicAllocator::repair_violations(RepairReport& report) {
     std::sort(keyed.begin(), keyed.end(), [](const auto& x, const auto& y) {
       return x.first != y.first ? x.first > y.first : x.second < y.second;
     });
+    if (plan_index > 0 && keyed.size() > 1) {
+      std::rotate(keyed.begin(),
+                  keyed.begin() + plan_index % static_cast<int>(keyed.size()),
+                  keyed.end());
+    }
 
     bool moved = false;
     for (const auto& [key, op] : keyed) {
       (void)key;
-      const std::vector<int> live = state_->live_processors();
-      for (int q : live) {
-        if (q == target) continue;
-        if (state_->try_place_relaxed({op}, q)) {
-          ++report.ops_moved;
-          if (!state_->is_live(target)) ++report.procs_retired;
-          moved = true;
-          break;
-        }
+      std::vector<int> cands;
+      for (int q : state.live_processors()) {
+        if (q != target) cands.push_back(q);
       }
-      if (moved) break;
+      if (first_fit_relaxed(state, {op}, cands)) {
+        ++report.ops_moved;
+        if (!state.is_live(target)) ++report.procs_retired;
+        moved = true;
+        break;
+      }
     }
     if (moved) continue;
 
     // Move 3 — bounded re-purchase: a fresh processor for the heaviest
     // evictable operator.
     if (opt_.allow_purchase) {
-      const int pid = state_->buy(catalog_.most_expensive());
+      const int pid = state.buy(catalog_.most_expensive());
       for (const auto& [key, op] : keyed) {
         (void)key;
-        if (state_->try_place_relaxed({op}, pid)) {
+        if (state.try_place_relaxed({op}, pid)) {
           ++report.ops_moved;
           ++report.procs_bought;
-          if (!state_->is_live(target)) ++report.procs_retired;
+          if (!state.is_live(target)) ++report.procs_retired;
           moved = true;
           break;
         }
       }
       if (moved) continue;
-      state_->sell(pid);
+      state.sell(pid);
     }
 
     report.failure_reason =
@@ -274,6 +296,58 @@ bool DynamicAllocator::repair_violations(RepairReport& report) {
   }
   report.failure_reason = "repair: round limit exhausted";
   return false;
+}
+
+bool DynamicAllocator::repair_violations(RepairReport& report) {
+  if (opt_.speculative_plans <= 1) {
+    return repair_violations_plan(*state_, report, 0);
+  }
+  // Speculative parallel repair: race k candidate plans on independent
+  // copies of the live state.  Each plan is fully deterministic given its
+  // index, and the winner is picked by a total order on the finished
+  // results after all plans have joined — so the committed state is
+  // bit-identical for any worker-thread count.
+  const std::size_t k = static_cast<std::size_t>(opt_.speculative_plans);
+  std::vector<PlacementState> states(k, *state_);
+  std::vector<RepairReport> reports(k, report);
+  std::vector<unsigned char> succeeded(k, 0);
+  ThreadPool::parallel_for(
+      k, ThreadPool::resolve_num_threads(opt_.speculative_threads),
+      [&](std::size_t j) {
+        succeeded[j] = repair_violations_plan(states[j], reports[j],
+                                              static_cast<int>(j))
+                           ? 1
+                           : 0;
+      });
+  // Winner: cheapest projected fleet, then least disruption, then lowest
+  // plan index (ascending scan keeps the first of equals).
+  auto fleet_cost = [&](std::size_t j) {
+    Dollars c = 0.0;
+    for (int pid : states[j].live_processors()) {
+      c += catalog_.cost(states[j].config(pid));
+    }
+    return c;
+  };
+  std::size_t best = k;
+  Dollars best_cost = 0.0;
+  int best_moved = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (!succeeded[j]) continue;
+    const Dollars c = fleet_cost(j);
+    const int moved = reports[j].ops_moved;
+    if (best == k || c < best_cost - 1e-9 ||
+        (c < best_cost + 1e-9 && moved < best_moved)) {
+      best = j;
+      best_cost = c;
+      best_moved = moved;
+    }
+  }
+  // On total failure commit plan 0's trajectory so the failure path (and
+  // the scratch fallback that follows it) stays reproducible.
+  const std::size_t commit = best == k ? 0 : best;
+  *state_ = std::move(states[commit]);
+  report = std::move(reports[commit]);
+  return best != k;
 }
 
 void DynamicAllocator::consolidate(RepairReport& report) {

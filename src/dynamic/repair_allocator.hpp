@@ -54,6 +54,17 @@ struct RepairOptions {
   /// "what the static paper pipeline would do" yardstick bench_dynamic
   /// measures repair latency and disruption against.
   bool always_fallback = false;
+  /// Speculative parallel repair (docs/DESIGN.md §10): evaluate this many
+  /// candidate repair plans concurrently on copies of the placement state
+  /// (plan j perturbs the drain target and the eviction order by its index)
+  /// and commit the deterministic best, ranked by (success, projected cost,
+  /// operators moved, plan index) — bit-identical for any thread count.
+  /// 0 or 1 keeps the single sequential plan, byte-for-byte the
+  /// pre-speculative engine.
+  int speculative_plans = 0;
+  /// Worker threads for the speculative evaluation; 0 = hardware
+  /// concurrency.
+  unsigned speculative_threads = 0;
 };
 
 /// Machine-readable verdict of the event-precondition checks apply() runs
@@ -146,7 +157,15 @@ class DynamicAllocator {
   /// nothing fits.  Returns false when some operator fits nowhere.
   bool place_unassigned(RepairReport& report);
   /// Drains overloaded processors/links with reconfigure+evict moves.
+  /// Dispatches to the single sequential plan, or — with
+  /// speculative_plans > 1 — to the parallel plan race.
   bool repair_violations(RepairReport& report);
+  /// One candidate repair trajectory.  plan_index 0 is the sequential
+  /// engine's exact move order; higher indices rotate the drain target and
+  /// the eviction order.  Mutates only `state` and `report`, so plans can
+  /// run concurrently on independent state copies.
+  bool repair_violations_plan(PlacementState& state, RepairReport& report,
+                              int plan_index) const;
   /// Merge pass + cheapest-meeting re-pricing on the feasible state.
   void consolidate(RepairReport& report);
   /// Full from-scratch re-allocation of the current problem.
