@@ -1,0 +1,400 @@
+// Per-ISA kernel microbenchmark (docs/DESIGN.md §11): times the dispatched
+// probe/sim kernels on every tier this binary+host can execute — forced
+// scalar, SSE2, AVX2 — over the identical inputs, and emits
+// BENCH_kernel.json with, per ISA:
+//
+//   * kernel_throughput      — candidate verdicts/sec of the RAW
+//                              probe_candidates kernel on a synthetic
+//                              N-candidate sweep (no journal, no gather:
+//                              the vectorized loop itself);
+//   * batch_throughput       — end-to-end can_place_batch verdicts/sec on a
+//                              real populated PlacementState (gather +
+//                              journal + kernel);
+//   * sim_caps_throughput    — element updates/sec of the ready-caps kernel;
+//   * speedup_vs_scalar      — kernel_throughput relative to the forced
+//                              scalar row;
+//   * verdicts_match         — byte-wise equality of this ISA's verdicts
+//                              against the scalar reference, over both the
+//                              synthetic sweep and the real state;
+//   * allocations_per_probe  — heap allocations per end-to-end batch probe
+//                              in steady state (counting operator new,
+//                              compiled into this binary): must be 0.
+//
+// The process exits non-zero if any ISA's verdicts diverge from scalar or
+// any steady-state probe allocates — CI runs `--smoke` on every push.
+#define INSP_DEFINE_COUNTING_ALLOCATOR
+#include "util/alloc_counter.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/placement_state.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/simd_kernels.hpp"
+
+using namespace insp;
+using namespace insp::benchx;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<simd::Isa> available_isas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::detected_isa() >= simd::Isa::kSse2) {
+    isas.push_back(simd::Isa::kSse2);
+  }
+  if (simd::detected_isa() >= simd::Isa::kAvx2) {
+    isas.push_back(simd::Isa::kAvx2);
+  }
+  return isas;
+}
+
+/// Synthetic candidate sweep with the real kernel's data shape: N candidate
+/// processors against `ext` external link endpoints, loads drawn so most
+/// lanes survive the whole link loop (the expensive common case — early
+/// rejection would just measure the short-circuit).
+struct SyntheticSweep {
+  std::vector<double> speed_cap, bw_cap, work, nic, work0, nic0, vol_to;
+  std::vector<int> pids;
+  std::vector<double> dl_add;
+  std::vector<double> link_base, link_pre;
+  std::vector<int> ext_pid;
+  std::vector<double> ext_vol;
+  std::vector<unsigned char> verdicts;
+  simdk::ProbeBatchArgs args = {};
+
+  SyntheticSweep(std::uint64_t seed, std::size_t num, std::size_t ext) {
+    Rng rng(seed);
+    speed_cap.resize(num);
+    bw_cap.resize(num);
+    work.resize(num);
+    nic.resize(num);
+    work0.resize(num);
+    nic0.resize(num);
+    vol_to.resize(num);
+    pids.resize(num);
+    dl_add.resize(num);
+    link_base.resize(num * ext);
+    link_pre.resize(num * ext);
+    ext_pid.resize(ext);
+    ext_vol.resize(ext);
+    verdicts.resize(num);
+    for (std::size_t i = 0; i < num; ++i) {
+      pids[i] = static_cast<int>(i);
+      speed_cap[i] = rng.uniform_real(300.0, 500.0);
+      bw_cap[i] = rng.uniform_real(800.0, 1200.0);
+      work[i] = rng.uniform_real(10.0, 250.0);
+      nic[i] = rng.uniform_real(50.0, 400.0);
+      work0[i] = work[i] * rng.uniform_real(0.8, 1.1);
+      nic0[i] = nic[i] * rng.uniform_real(0.8, 1.1);
+      vol_to[i] = rng.uniform_real(0.0, 20.0);
+      dl_add[i] = rng.uniform_real(0.0, 30.0);
+    }
+    for (std::size_t j = 0; j < ext; ++j) {
+      // A few externals alias candidate pids: the lane-compare pass path.
+      ext_pid[j] = j % 5 == 0 ? static_cast<int>(j * 7 % num)
+                              : static_cast<int>(num + j);
+      ext_vol[j] = rng.uniform_real(0.0, 12.0);
+      for (std::size_t i = 0; i < num; ++i) {
+        link_base[j * num + i] = rng.uniform_real(0.0, 600.0);
+        link_pre[j * num + i] = link_base[j * num + i] * 0.9;
+      }
+    }
+    args.speed_cap = speed_cap.data();
+    args.bw_cap = bw_cap.data();
+    args.work = work.data();
+    args.nic = nic.data();
+    args.work0 = work0.data();
+    args.nic0 = nic0.data();
+    args.vol_to = vol_to.data();
+    args.pids = pids.data();
+    args.num = num;
+    args.dl_add = dl_add.data();
+    args.link_base = link_base.data();
+    args.link_pre = nullptr;  // strict mode
+    args.stride = num;
+    args.ext_pid = ext_pid.data();
+    args.ext_vol = ext_vol.data();
+    args.ext = ext;
+    args.skip = nullptr;
+    args.rho = 1.0;
+    args.sum_w = 120.0;
+    args.ext_total = 40.0;
+    args.link_cap = 1000.0;
+    args.relaxed = false;
+    args.others_failed = 0;
+    args.others_failed_pid = -1;
+    args.base_links_ok = true;
+    args.verdicts = verdicts.data();
+  }
+};
+
+/// Raw kernel verdicts/sec for one table over the synthetic sweep.
+double measure_kernel(const simdk::KernelTable* table, SyntheticSweep& sweep,
+                      std::size_t iters) {
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    table->probe_candidates(sweep.args);
+  }
+  const double elapsed = seconds_since(t0);
+  return static_cast<double>(iters * sweep.args.num) / elapsed;
+}
+
+/// Raw ready-caps element updates/sec for one table.
+double measure_sim_caps(const simdk::KernelTable* table, std::size_t n,
+                        std::size_t iters, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> parent(n);
+  std::vector<double> root_inf(n), cas(n), in_cap(n), caps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    parent[i] = i == 0 ? 0 : static_cast<int>(rng.index(i));
+    root_inf[i] = i % 17 == 0 ? std::numeric_limits<double>::infinity() : 0.0;
+    cas[i] = static_cast<double>(rng.index(400));
+    in_cap[i] = static_cast<double>(rng.index(400)) + 1.0;
+  }
+  simdk::SimReadyCapsArgs a;
+  a.n = n;
+  a.parent_clamped = parent.data();
+  a.root_inf = root_inf.data();
+  a.cas = cas.data();
+  a.in_cap = in_cap.data();
+  a.bound = 8.0;
+  a.period_cap = 201.0;
+  a.caps = caps.data();
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    table->sim_ready_caps(a);
+  }
+  const double elapsed = seconds_since(t0);
+  if (caps[0] < -1.0) std::printf(" ");  // defeat DCE
+  return static_cast<double>(iters * n) / elapsed;
+}
+
+/// Scatters the N-operator paper instance over many processors, as
+/// bench_placement_speed does, for the end-to-end rows.  The Instance is
+/// heap-pinned BEFORE the PlacementState captures Problem pointers into it.
+struct RealState {
+  std::unique_ptr<Instance> inst;
+  std::unique_ptr<PlacementState> state;
+  std::vector<int> live;
+  std::vector<int> ops;
+};
+
+RealState make_real_state(std::uint64_t seed, int n) {
+  InstanceConfig cfg = paper_instance(n, 1.0);
+  cfg.tree.at_most_n = false;
+  cfg.rho = 0.05;
+  RealState rs;
+  rs.inst = std::make_unique<Instance>(make_instance(seed, cfg));
+  rs.state = std::make_unique<PlacementState>(rs.inst->problem());
+  PlacementState& st = *rs.state;
+  const int num_procs = std::max(2, n / 8);
+  for (int i = 0; i < num_procs; ++i) {
+    st.buy(rs.inst->problem().catalog->most_expensive());
+  }
+  rs.live = st.live_processors();
+  const int n_ops = rs.inst->problem().tree->num_operators();
+  for (int op = 0; op < n_ops; ++op) {
+    for (int attempt = 0; attempt < num_procs; ++attempt) {
+      if (st.try_place(op, rs.live[static_cast<std::size_t>(
+                               (op + attempt) % num_procs)])) {
+        break;
+      }
+    }
+    rs.ops.push_back(op);
+  }
+  return rs;
+}
+
+/// End-to-end can_place_batch verdicts/sec on the real state, plus the
+/// steady-state allocation rate per batch probe.
+struct EndToEnd {
+  double throughput = 0.0;
+  double allocations_per_probe = 0.0;
+};
+
+EndToEnd measure_end_to_end(RealState& rs, std::size_t rounds) {
+  std::vector<int> group(1);
+  std::vector<unsigned char> verdicts;
+  std::size_t feasible = 0;
+  // Warmup sizes every persistent buffer for this state shape.
+  for (std::size_t i = 0; i < 2 * rs.ops.size(); ++i) {
+    group[0] = rs.ops[i % rs.ops.size()];
+    rs.state->can_place_batch(group, rs.live, verdicts);
+  }
+  const long long alloc0 = alloc_counter::allocations();
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    group[0] = rs.ops[i % rs.ops.size()];
+    rs.state->can_place_batch(group, rs.live, verdicts);
+    feasible += verdicts[0];
+  }
+  const double elapsed = seconds_since(t0);
+  const long long allocs = alloc_counter::allocations() - alloc0;
+  if (feasible == rounds + 1) std::printf(" ");  // defeat DCE
+  EndToEnd e;
+  e.throughput = static_cast<double>(rounds * rs.live.size()) / elapsed;
+  e.allocations_per_probe =
+      static_cast<double>(allocs) / static_cast<double>(rounds);
+  return e;
+}
+
+/// One pass of end-to-end verdict bytes for cross-ISA comparison.
+std::vector<unsigned char> end_to_end_verdicts(RealState& rs) {
+  std::vector<int> group(1);
+  std::vector<unsigned char> verdicts, all;
+  for (int op : rs.ops) {
+    group[0] = op;
+    rs.state->can_place_batch(group, rs.live, verdicts);
+    all.insert(all.end(), verdicts.begin(), verdicts.end());
+    rs.state->can_place_batch_relaxed(group, rs.live, verdicts);
+    all.insert(all.end(), verdicts.begin(), verdicts.end());
+  }
+  return all;
+}
+
+struct IsaResult {
+  simd::Isa isa = simd::Isa::kScalar;
+  double kernel_throughput = 0.0;
+  double batch_throughput = 0.0;
+  double sim_caps_throughput = 0.0;
+  double speedup_vs_scalar = 1.0;
+  bool verdicts_match = true;
+  double allocations_per_probe = 0.0;
+};
+
+void write_json(const std::string& path, std::uint64_t seed,
+                std::size_t num_candidates,
+                const std::vector<IsaResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernel\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"detected_isa\": \"%s\",\n",
+               simd::to_string(simd::detected_isa()));
+  std::fprintf(f, "  \"num_candidates\": %zu,\n", num_candidates);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const IsaResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"isa\": \"%s\",\n", simd::to_string(r.isa));
+    std::fprintf(f, "      \"kernel_throughput\": %.1f,\n",
+                 r.kernel_throughput);
+    std::fprintf(f, "      \"batch_throughput\": %.1f,\n",
+                 r.batch_throughput);
+    std::fprintf(f, "      \"sim_caps_throughput\": %.1f,\n",
+                 r.sim_caps_throughput);
+    std::fprintf(f, "      \"speedup_vs_scalar\": %.2f,\n",
+                 r.speedup_vs_scalar);
+    std::fprintf(f, "      \"verdicts_match\": %s,\n",
+                 r.verdicts_match ? "true" : "false");
+    std::fprintf(f, "      \"allocations_per_probe\": %.3f\n",
+                 r.allocations_per_probe);
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::string json_path = args.get("json", "BENCH_kernel.json");
+  const bool smoke = args.get_bool("smoke", false);
+
+  const std::size_t num = 400;  // acceptance point: N=400 candidates
+  const std::size_t ext = 24;
+  const std::size_t kernel_iters = smoke ? 2'000 : 40'000;
+  const std::size_t batch_rounds = smoke ? 2'000 : 20'000;
+  const std::size_t caps_iters = smoke ? 5'000 : 100'000;
+
+  std::printf("SIMD kernel dispatch throughput (N=%zu candidates)\n"
+              "==================================================\n\n",
+              num);
+  std::printf("detected ISA: %s\n\n", simd::to_string(simd::detected_isa()));
+
+  SyntheticSweep sweep(seed, num, ext);
+  RealState rs = make_real_state(seed, static_cast<int>(num));
+
+  // Scalar reference verdicts, once.
+  const simdk::KernelTable* scalar = simdk::kernels_for(simd::Isa::kScalar);
+  scalar->probe_candidates(sweep.args);
+  const std::vector<unsigned char> ref_synthetic = sweep.verdicts;
+  simd::set_forced_isa(simd::Isa::kScalar);
+  const std::vector<unsigned char> ref_real = end_to_end_verdicts(rs);
+  simd::clear_forced_isa();
+
+  std::vector<IsaResult> results;
+  double scalar_kernel = 0.0;
+  for (simd::Isa isa : available_isas()) {
+    const simdk::KernelTable* table = simdk::kernels_for(isa);
+    IsaResult r;
+    r.isa = isa;
+
+    table->probe_candidates(sweep.args);  // warm
+    r.kernel_throughput = measure_kernel(table, sweep, kernel_iters);
+    if (isa == simd::Isa::kScalar) scalar_kernel = r.kernel_throughput;
+    r.speedup_vs_scalar =
+        scalar_kernel > 0.0 ? r.kernel_throughput / scalar_kernel : 1.0;
+
+    r.verdicts_match = sweep.verdicts == ref_synthetic;
+
+    r.sim_caps_throughput = measure_sim_caps(table, num, caps_iters, seed);
+
+    simd::set_forced_isa(isa);
+    r.verdicts_match = r.verdicts_match && end_to_end_verdicts(rs) == ref_real;
+    const EndToEnd e = measure_end_to_end(rs, batch_rounds);
+    simd::clear_forced_isa();
+    r.batch_throughput = e.throughput;
+    r.allocations_per_probe = e.allocations_per_probe;
+
+    std::printf("%-7s kernel %12.0f cand/s (%5.2fx)   batch %12.0f cand/s   "
+                "sim caps %12.0f elem/s   verdicts %s   allocs/probe %.3f\n",
+                simd::to_string(isa), r.kernel_throughput,
+                r.speedup_vs_scalar, r.batch_throughput,
+                r.sim_caps_throughput,
+                r.verdicts_match ? "match" : "MISMATCH",
+                r.allocations_per_probe);
+    results.push_back(r);
+  }
+
+  write_json(json_path, seed, num, results);
+  std::printf("\njson written to %s\n", json_path.c_str());
+
+  int rc = 0;
+  for (const IsaResult& r : results) {
+    if (!r.verdicts_match) {
+      std::fprintf(stderr, "FAIL: %s verdicts diverge from scalar\n",
+                   simd::to_string(r.isa));
+      rc = 1;
+    }
+    if (r.allocations_per_probe > 0.0) {
+      std::fprintf(stderr, "FAIL: %s steady-state probes allocate (%.3f per "
+                           "probe)\n",
+                   simd::to_string(r.isa), r.allocations_per_probe);
+      rc = 1;
+    }
+  }
+  return rc;
+}

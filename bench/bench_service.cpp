@@ -8,11 +8,15 @@
 // signatures_match=false is a correctness failure and the bench exits
 // non-zero.
 //
-// Scaling is CPU-bound repair work, so the 1 -> 8 worker speedup gate
-// (>= 3x at N=400, 8 shards) is only meaningful with >= 4 hardware
-// threads; the JSON records hardware_concurrency so readers can tell a
-// serialized box from a scaling failure.  --smoke shrinks the grid to one
-// tiny row for CI.
+// Scaling is CPU-bound repair work, so the worker-speedup gate is keyed to
+// the cores the runner actually has: >= 3x from 1 -> 8 workers on >= 8
+// hardware threads, >= 2x at 4 workers on >= 4, >= 1.5x at 2 workers on
+// >= 2, and skipped outright on a single-core box (which serializes
+// everything by construction).  The JSON records hardware_concurrency so
+// readers can tell a serialized box from a scaling failure.  --smoke
+// shrinks the grid to one tiny row for CI; --gate makes the gate verdict
+// the process exit code (CI runs --smoke --gate on every push, so the gate
+// executes on the real runner instead of existing only as prose).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -169,6 +173,7 @@ int main(int argc, char** argv) {
       parse_flags(argc, argv, /*default_reps=*/1, /*accepts_heuristics=*/false);
   const std::string json_path = args.get("json", "BENCH_service.json");
   const bool smoke = args.get_bool("smoke", false);
+  const bool gate = args.get_bool("gate", false);
   const unsigned hardware = std::thread::hardware_concurrency();
 
   std::vector<int> n_totals, shard_counts, worker_counts;
@@ -177,7 +182,10 @@ int main(int argc, char** argv) {
     n_totals = {40};
     shard_counts = {2};
     worker_counts = {1, 2};
-    events_per_shard = 24;
+    // A gated smoke run needs enough events for the speedup measurement to
+    // rise above scheduler noise; a plain smoke run just exercises the
+    // machinery.
+    events_per_shard = gate ? 120 : 24;
   } else {
     n_totals = {200, 400};
     shard_counts = {2, 4, 8};
@@ -223,27 +231,50 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Scaling gate: >= 3x from 1 -> max workers at the largest deployment.
-  // Only meaningful on hardware that can actually run the workers in
-  // parallel; a 1-2 core box serializes everything by construction.
-  if (!smoke) {
-    double best = 0.0;
-    for (const RowResult& r : results) {
-      if (r.row.n_total == n_totals.back() &&
-          r.row.shards == shard_counts.back() &&
-          r.row.workers == worker_counts.back()) {
-        best = r.speedup_vs_1worker;
-      }
+  // Scaling gate, keyed off the cores this runner actually has: a box can
+  // only demonstrate the parallelism it can park on hardware threads, so
+  // the worker count and threshold scale down with hardware_concurrency
+  // (and the gate is skipped entirely on a single-core box).
+  bool gate_pass = true;
+  {
+    int gate_workers = 0;
+    double threshold = 0.0;
+    if (hardware >= 8) {
+      gate_workers = 8;
+      threshold = 3.0;
+    } else if (hardware >= 4) {
+      gate_workers = 4;
+      threshold = 2.0;
+    } else if (hardware >= 2) {
+      gate_workers = 2;
+      threshold = 1.5;
     }
-    if (hardware >= 4) {
-      std::printf("scaling gate (>= 3x, 1 -> %d workers, N=%d, %d shards): "
-                  "%.2fx  %s\n",
-                  worker_counts.back(), n_totals.back(), shard_counts.back(),
-                  best, best >= 3.0 ? "PASS" : "FAIL");
+    // Clamp to the grid actually run (smoke runs only {1, 2} workers) and
+    // re-key the threshold to the clamped width.
+    if (gate_workers > worker_counts.back()) {
+      gate_workers = worker_counts.back();
+      threshold = gate_workers >= 8 ? 3.0 : gate_workers >= 4 ? 2.0 : 1.5;
+    }
+    if (gate_workers >= 2) {
+      double measured = 0.0;
+      for (const RowResult& r : results) {
+        if (r.row.n_total == n_totals.back() &&
+            r.row.shards == shard_counts.back() &&
+            r.row.workers == gate_workers) {
+          measured = r.speedup_vs_1worker;
+        }
+      }
+      gate_pass = measured >= threshold;
+      std::printf("scaling gate (>= %.1fx, 1 -> %d workers, N=%d, %d shards, "
+                  "%u hardware threads): %.2fx  %s%s\n",
+                  threshold, gate_workers, n_totals.back(),
+                  shard_counts.back(), hardware, measured,
+                  gate_pass ? "PASS" : "FAIL",
+                  gate ? "" : " (informational; run with --gate to enforce)");
     } else {
       std::printf("scaling gate skipped: %u hardware thread(s) cannot "
-                  "demonstrate worker scaling (measured %.2fx)\n",
-                  hardware, best);
+                  "demonstrate worker scaling\n",
+                  hardware);
     }
   }
   if (!all_match) {
@@ -254,5 +285,7 @@ int main(int argc, char** argv) {
 
   write_json(json_path, flags.seed, hardware, results);
   std::printf("json written to %s\n", json_path.c_str());
-  return all_match ? 0 : 1;
+  if (!all_match) return 1;
+  if (gate && !gate_pass) return 1;
+  return 0;
 }

@@ -44,6 +44,11 @@ REQUIRED_ROW_KEYS = {
         "events_per_sec", "p50_ms", "p99_ms", "speedup_vs_1worker",
         "hardware_concurrency", "signatures_match",
     },
+    "kernel": {
+        "isa", "kernel_throughput", "batch_throughput",
+        "sim_caps_throughput", "speedup_vs_scalar", "verdicts_match",
+        "allocations_per_probe",
+    },
 }
 
 

@@ -67,6 +67,9 @@ bool merge_pass(PlacementState& state, LocalSearchStats& stats) {
 bool relocation_pass(PlacementState& state, LocalSearchStats& stats) {
   bool improved = false;
   const OperatorTree& tree = *state.problem().tree;
+  // Hoisted candidate buffer: refilled per operator (the live set shifts as
+  // relocations retire processors) but reuses its capacity across the pass.
+  std::vector<int> targets;
   for (int op = 0; op < tree.num_operators(); ++op) {
     const int home = state.proc_of(op);
     if (home == kNoNode || state.ops_on(home).size() < 2) continue;
@@ -74,13 +77,13 @@ bool relocation_pass(PlacementState& state, LocalSearchStats& stats) {
     // One batched probe picks the first feasible target (the scalar scan
     // paid a journal transaction per candidate); only that one target is
     // then tried for an improvement, as before.
-    std::vector<int> targets;
+    targets.clear();
     for (int t : state.live_processors()) {
       if (t != home) targets.push_back(t);
     }
-    const int target = state.first_feasible_target({op}, targets);
+    const int target = state.first_feasible_target(op, targets);
     if (target == kNoNode) continue;
-    if (!state.try_place({op}, target)) continue;
+    if (!state.try_place(op, target)) continue;
     const Dollars after = projected_downgraded_cost(state);
     if (after < before - 1e-9) {
       ++stats.relocations;
@@ -89,7 +92,7 @@ bool relocation_pass(PlacementState& state, LocalSearchStats& stats) {
     }
     // Not an improvement: move back (always feasible — the previous
     // state satisfied every constraint).
-    const bool restored = state.try_place({op}, home);
+    const bool restored = state.try_place(op, home);
     (void)restored;
     assert(restored);
   }

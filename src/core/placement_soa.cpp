@@ -1,46 +1,42 @@
 #include "core/placement_soa.hpp"
 
+#include "util/simd_kernels.hpp"
+
 namespace insp {
 
 void soa_probe_candidates(const PlacementSoA& soa, const BatchFootprint& fp,
                           const int* pids, std::size_t num,
                           const double* dl_add, const double* link_base,
-                          const double* link_pre, const unsigned char* skip,
-                          unsigned char* verdicts) {
-  const std::size_t ext = fp.ext_pid.size();
-  const bool relaxed = fp.relaxed;
-  for (std::size_t i = 0; i < num; ++i) {
-    if (skip != nullptr && skip[i] != 0) continue;
-    const int pid = pids[i];
-
-    // Every touched processor other than the candidate must pass; the
-    // candidate replaces its own folded entry with the richer check below.
-    bool ok = fp.others_failed == 0 ||
-              (fp.others_failed == 1 && fp.others_failed_pid == pid);
-    ok = ok && fp.base_links_ok;
-
-    // CPU: the whole group lands on the candidate.
-    const double cpu = fp.rho * (soa.work[pid] + fp.sum_w);
-    ok = ok && (fits_within(cpu, soa.speed_cap[pid]) ||
-                (relaxed && fits_within(cpu, fp.rho * soa.work0[pid])));
-
-    // NIC: added downloads plus the external edge volume that actually
-    // crosses (edges toward the candidate itself become internal).
-    const double nic =
-        soa.nic[pid] + dl_add[i] + (fp.ext_total - soa.vol_to[pid]);
-    ok = ok && (fits_within(nic, soa.bw_cap[pid]) ||
-                (relaxed && fits_within(nic, soa.nic0[pid])));
-
-    // Pairwise links toward each external neighbor processor.
-    for (std::size_t j = 0; ok && j < ext; ++j) {
-      if (fp.ext_pid[j] == pid) continue;
-      const double used = link_base[i * ext + j] + fp.ext_vol[j];
-      ok = fits_within(used, fp.link_cap) ||
-           (relaxed && fits_within(used, link_pre[i * ext + j]));
-    }
-
-    verdicts[i] = ok ? 1 : 0;
-  }
+                          const double* link_pre, std::size_t stride,
+                          const unsigned char* skip, unsigned char* verdicts) {
+  simdk::ProbeBatchArgs a;
+  a.speed_cap = soa.speed_cap.data();
+  a.bw_cap = soa.bw_cap.data();
+  a.work = soa.work.data();
+  a.nic = soa.nic.data();
+  a.work0 = soa.work0.data();
+  a.nic0 = soa.nic0.data();
+  a.vol_to = soa.vol_to.data();
+  a.pids = pids;
+  a.num = num;
+  a.dl_add = dl_add;
+  a.link_base = link_base;
+  a.link_pre = link_pre;
+  a.stride = stride;
+  a.ext_pid = fp.ext_pid.data();
+  a.ext_vol = fp.ext_vol.data();
+  a.ext = fp.ext_pid.size();
+  a.skip = skip;
+  a.rho = fp.rho;
+  a.sum_w = fp.sum_w;
+  a.ext_total = fp.ext_total;
+  a.link_cap = fp.link_cap;
+  a.relaxed = fp.relaxed;
+  a.others_failed = fp.others_failed;
+  a.others_failed_pid = fp.others_failed_pid;
+  a.base_links_ok = fp.base_links_ok;
+  a.verdicts = verdicts;
+  simdk::active_kernels()->probe_candidates(a);
 }
 
 void soa_probe_configs(const BatchFootprint& fp, const double* speed_caps,
@@ -48,7 +44,8 @@ void soa_probe_configs(const BatchFootprint& fp, const double* speed_caps,
                        unsigned char* verdicts) {
   // A fresh processor is empty: every group type is downloaded, every
   // external edge crosses, and every candidate-side link starts at zero.
-  // The candidate-independent parts collapse to one flag.
+  // The candidate-independent parts collapse to one flag (folded scalar —
+  // O(ext), not O(num)); only the per-config capacity sweep dispatches.
   double dl_all = 0.0;
   for (double r : fp.gtype_rate) dl_all += r;
   bool shared_ok = fp.others_failed == 0 && fp.base_links_ok;
@@ -56,14 +53,15 @@ void soa_probe_configs(const BatchFootprint& fp, const double* speed_caps,
     // Link pre-transaction value is zero too, so relaxed == strict here.
     shared_ok = fits_within(fp.ext_vol[j], fp.link_cap);
   }
-  const double cpu = fp.rho * fp.sum_w;
-  const double nic = dl_all + fp.ext_total;
-  for (std::size_t i = 0; i < num; ++i) {
-    verdicts[i] = (shared_ok && fits_within(cpu, speed_caps[i]) &&
-                   fits_within(nic, bw_caps[i]))
-                      ? 1
-                      : 0;
-  }
+  simdk::ProbeConfigsArgs a;
+  a.speed_caps = speed_caps;
+  a.bw_caps = bw_caps;
+  a.num = num;
+  a.cpu = fp.rho * fp.sum_w;
+  a.nic = dl_all + fp.ext_total;
+  a.shared_ok = shared_ok;
+  a.verdicts = verdicts;
+  simdk::active_kernels()->probe_configs(a);
 }
 
 } // namespace insp

@@ -100,20 +100,25 @@ struct BatchFootprint {
   bool base_links_ok = true;
 };
 
-/// Evaluates `num` live candidate processors in one flat pass.
-///   dl_add[i]        — download rate candidate i would gain (the caller
-///                      resolves object-type presence);
-///   link_base[i*E+j] — baseline usage of link (pids[i], ext_pid[j]);
-///   link_pre [i*E+j] — pre-transaction usage of the same link (relaxed
-///                      verdicts only; may be null in strict mode);
-///   skip[i]          — non-zero entries are left untouched (the caller
-///                      resolves them through the scalar probe; may be null).
+/// Evaluates `num` live candidate processors in one flat pass, through the
+/// runtime-dispatched SIMD kernels (util/simd_kernels.hpp: scalar/SSE2/AVX2,
+/// element-wise identical verdicts on every path).
+///   dl_add[i]             — download rate candidate i would gain (the
+///                           caller resolves object-type presence);
+///   link_base[j*stride+i] — baseline usage of link (pids[i], ext_pid[j]);
+///                           COLUMN-major so a vector block of candidates
+///                           loads contiguously (stride is normally num);
+///   link_pre [j*stride+i] — pre-transaction usage of the same link (relaxed
+///                           verdicts only; may be null in strict mode);
+///   skip[i]               — non-zero entries are left untouched (the caller
+///                           resolves them through the scalar probe; may be
+///                           null).
 /// verdicts[i] is set to 0/1.
 void soa_probe_candidates(const PlacementSoA& soa, const BatchFootprint& fp,
                           const int* pids, std::size_t num,
                           const double* dl_add, const double* link_base,
-                          const double* link_pre, const unsigned char* skip,
-                          unsigned char* verdicts);
+                          const double* link_pre, std::size_t stride,
+                          const unsigned char* skip, unsigned char* verdicts);
 
 /// Hypothetical-purchase variant: candidate i is a freshly bought, empty
 /// processor with capacities (speed_caps[i], bw_caps[i]).  No processor id

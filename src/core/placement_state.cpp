@@ -79,18 +79,6 @@ std::vector<std::pair<int, MBps>> PlacementState::neighbors(int op) const {
   return out;
 }
 
-template <typename Fn>
-void PlacementState::for_each_neighbor(int op, Fn&& fn) const {
-  const OperatorTree& tree = *problem_.tree;
-  const auto& n = tree.op(op);
-  if (n.parent != kNoNode) {
-    fn(n.parent, problem_.rho * n.output_mb);
-  }
-  for (int c : n.children) {
-    fn(c, problem_.rho * tree.op(c).output_mb);
-  }
-}
-
 // --- transactions ----------------------------------------------------------
 
 void PlacementState::begin_txn(TxnMode mode) {
@@ -203,7 +191,7 @@ void PlacementState::assign_op(int op, int pid) {
   sorted_erase(unassigned_ids_, op);
   p.ops.push_back(op);
   p.work += problem_.tree->op(op).work;
-  for (int t : problem_.tree->object_types_of(op)) {
+  problem_.tree->visit_object_types(op, [&](int t) {
     auto it = std::lower_bound(
         p.type_count.begin(), p.type_count.end(), t,
         [](const std::pair<int, int>& e, int type) { return e.first < type; });
@@ -213,7 +201,7 @@ void PlacementState::assign_op(int op, int pid) {
       p.type_count.insert(it, {t, 1});
       p.download += problem_.tree->catalog().type(t).rate();
     }
-  }
+  });
   for_each_neighbor(op, [&](int nb, MBps volume) {
     const int q = proc_of(nb);
     if (q == kNoNode || q == pid) return;
@@ -240,7 +228,7 @@ void PlacementState::unassign_op(int op) {
     proc(q).comm -= volume;
     pp_links_.remove(pid, q, volume);
   });
-  for (int t : problem_.tree->object_types_of(op)) {
+  problem_.tree->visit_object_types(op, [&](int t) {
     auto it = std::lower_bound(
         p.type_count.begin(), p.type_count.end(), t,
         [](const std::pair<int, int>& e, int type) { return e.first < type; });
@@ -249,7 +237,7 @@ void PlacementState::unassign_op(int op) {
       p.download -= problem_.tree->catalog().type(t).rate();
       p.type_count.erase(it);
     }
-  }
+  });
   p.work -= problem_.tree->op(op).work;
   auto pos = std::find(p.ops.begin(), p.ops.end(), op);
   assert(pos != p.ops.end());
@@ -269,11 +257,11 @@ bool PlacementState::feasible() const {
   return pp_links_.all_within();
 }
 
-bool PlacementState::probe(const std::vector<int>& ops, int pid, bool commit,
-                           bool relaxed) {
+bool PlacementState::probe(const int* ops, std::size_t n, int pid,
+                           bool commit, bool relaxed) {
   // `ops` routinely aliases ops_on() of a processor the move empties, and
   // assign/unassign reshuffle those vectors — copy into reusable scratch.
-  scratch_ops_.assign(ops.begin(), ops.end());
+  scratch_ops_.assign(ops, ops + n);
   sell_candidates_.clear();
   begin_txn(TxnMode::kFull);
   for (int op : scratch_ops_) {
@@ -307,25 +295,47 @@ bool PlacementState::probe(const std::vector<int>& ops, int pid, bool commit,
 
 bool PlacementState::try_place(const std::vector<int>& ops, int pid) {
   assert(is_live(pid));
-  return probe(ops, pid, /*commit=*/true, /*relaxed=*/false);
+  return probe(ops.data(), ops.size(), pid, /*commit=*/true,
+               /*relaxed=*/false);
+}
+
+bool PlacementState::try_place(int op, int pid) {
+  assert(is_live(pid));
+  return probe(&op, 1, pid, /*commit=*/true, /*relaxed=*/false);
 }
 
 bool PlacementState::can_place(const std::vector<int>& ops, int pid) {
-  return probe(ops, pid, /*commit=*/false, /*relaxed=*/false);
+  return probe(ops.data(), ops.size(), pid, /*commit=*/false,
+               /*relaxed=*/false);
+}
+
+bool PlacementState::can_place(int op, int pid) {
+  return probe(&op, 1, pid, /*commit=*/false, /*relaxed=*/false);
 }
 
 bool PlacementState::try_place_relaxed(const std::vector<int>& ops, int pid) {
   assert(is_live(pid));
-  return probe(ops, pid, /*commit=*/true, /*relaxed=*/true);
+  return probe(ops.data(), ops.size(), pid, /*commit=*/true,
+               /*relaxed=*/true);
+}
+
+bool PlacementState::try_place_relaxed(int op, int pid) {
+  assert(is_live(pid));
+  return probe(&op, 1, pid, /*commit=*/true, /*relaxed=*/true);
 }
 
 bool PlacementState::can_place_relaxed(const std::vector<int>& ops, int pid) {
-  return probe(ops, pid, /*commit=*/false, /*relaxed=*/true);
+  return probe(ops.data(), ops.size(), pid, /*commit=*/false,
+               /*relaxed=*/true);
+}
+
+bool PlacementState::can_place_relaxed(int op, int pid) {
+  return probe(&op, 1, pid, /*commit=*/false, /*relaxed=*/true);
 }
 
 // --- batched probes (docs/DESIGN.md §10) ------------------------------------
 
-bool PlacementState::batch_footprint(const std::vector<int>& ops,
+bool PlacementState::batch_footprint(const int* ops, std::size_t n,
                                      bool relaxed) {
   assert(txn_mode_ == TxnMode::kNone);
   const OperatorTree& tree = *problem_.tree;
@@ -335,7 +345,8 @@ bool PlacementState::batch_footprint(const std::vector<int>& ops,
   // second occurrence (it is already on the target by then).
   batch_group_.clear();
   batch_group_pos_.assign(op_to_proc_.size(), 0);
-  for (int op : ops) {
+  for (std::size_t gi = 0; gi < n; ++gi) {
+    const int op = ops[gi];
     int& pos = batch_group_pos_[static_cast<std::size_t>(op)];
     if (pos == 0) {
       batch_group_.push_back(op);
@@ -385,13 +396,13 @@ bool PlacementState::batch_footprint(const std::vector<int>& ops,
   batch_ext_slot_.assign(procs_.size(), -1);
   for (int op : batch_group_) {
     fp_.sum_w += tree.op(op).work;
-    for (int t : tree.object_types_of(op)) {
+    tree.visit_object_types(op, [&](int t) {
       if (std::find(fp_.gtypes.begin(), fp_.gtypes.end(), t) ==
           fp_.gtypes.end()) {
         fp_.gtypes.push_back(t);
         fp_.gtype_rate.push_back(tree.catalog().type(t).rate());
       }
-    }
+    });
     for_each_neighbor(op, [&](int nb, MBps volume) {
       if (batch_group_pos_[static_cast<std::size_t>(nb)] != 0) return;
       const int q = proc_of(nb);
@@ -464,11 +475,11 @@ bool PlacementState::batch_footprint(const std::vector<int>& ops,
   return true;
 }
 
-void PlacementState::batch_probe(const std::vector<int>& ops, const int* pids,
-                                 std::size_t num, bool relaxed,
-                                 unsigned char* verdicts) {
+void PlacementState::batch_probe(const int* ops, std::size_t n,
+                                 const int* pids, std::size_t num,
+                                 bool relaxed, unsigned char* verdicts) {
   if (num == 0) return;
-  if (!batch_footprint(ops, relaxed)) {
+  if (!batch_footprint(ops, n, relaxed)) {
     // Empty move: the sequential probe touches nothing and reports true.
     std::fill(verdicts, verdicts + num, 1);
     return;
@@ -528,7 +539,8 @@ void PlacementState::batch_probe(const std::vector<int>& ops, const int* pids,
   }
 
   // Baseline (and, relaxed, pre-transaction) usage of every candidate<->ext
-  // link, row-major [candidate][ext].
+  // link, column-major [ext][candidate] (stride = num) so the SIMD kernel's
+  // candidate blocks load contiguously.
   const std::size_t ext = fp_.ext_pid.size();
   batch_link_base_.assign(num * ext, 0.0);
   batch_link_pre_.assign(relaxed ? num * ext : 0, 0.0);
@@ -536,9 +548,9 @@ void PlacementState::batch_probe(const std::vector<int>& ops, const int* pids,
     if (batch_skip_[i]) continue;
     for (std::size_t j = 0; j < ext; ++j) {
       if (fp_.ext_pid[j] == pids[i]) continue;
-      batch_link_base_[i * ext + j] = pp_links_.used(pids[i], fp_.ext_pid[j]);
+      batch_link_base_[j * num + i] = pp_links_.used(pids[i], fp_.ext_pid[j]);
       if (relaxed) {
-        batch_link_pre_[i * ext + j] =
+        batch_link_pre_[j * num + i] =
             pp_links_.pre_txn_value(pids[i], fp_.ext_pid[j]);
       }
     }
@@ -549,7 +561,7 @@ void PlacementState::batch_probe(const std::vector<int>& ops, const int* pids,
   soa_probe_candidates(soa_, fp_, pids, num, batch_dl_add_.data(),
                        batch_link_base_.data(),
                        relaxed ? batch_link_pre_.data() : nullptr,
-                       batch_skip_.data(), verdicts);
+                       /*stride=*/num, batch_skip_.data(), verdicts);
 
   // Candidates hosting group members keep the sequential probe's
   // partial-move semantics (members already on the target do not move at
@@ -557,10 +569,8 @@ void PlacementState::batch_probe(const std::vector<int>& ops, const int* pids,
   if (any_skip) {
     for (std::size_t i = 0; i < num; ++i) {
       if (!batch_skip_[i]) continue;
-      verdicts[i] = (relaxed ? can_place_relaxed(ops, pids[i])
-                             : can_place(ops, pids[i]))
-                        ? 1
-                        : 0;
+      verdicts[i] =
+          probe(ops, n, pids[i], /*commit=*/false, relaxed) ? 1 : 0;
     }
   }
 }
@@ -569,23 +579,35 @@ void PlacementState::can_place_batch(const std::vector<int>& ops,
                                      const std::vector<int>& pids,
                                      std::vector<unsigned char>& verdicts) {
   verdicts.resize(pids.size());
-  batch_probe(ops, pids.data(), pids.size(), /*relaxed=*/false,
-              verdicts.data());
+  batch_probe(ops.data(), ops.size(), pids.data(), pids.size(),
+              /*relaxed=*/false, verdicts.data());
 }
 
 void PlacementState::can_place_batch_relaxed(
     const std::vector<int>& ops, const std::vector<int>& pids,
     std::vector<unsigned char>& verdicts) {
   verdicts.resize(pids.size());
-  batch_probe(ops, pids.data(), pids.size(), /*relaxed=*/true,
-              verdicts.data());
+  batch_probe(ops.data(), ops.size(), pids.data(), pids.size(),
+              /*relaxed=*/true, verdicts.data());
 }
 
 int PlacementState::first_feasible_target(const std::vector<int>& ops,
                                           const std::vector<int>& pids,
                                           bool relaxed) {
   batch_verdicts_.resize(pids.size());
-  batch_probe(ops, pids.data(), pids.size(), relaxed, batch_verdicts_.data());
+  batch_probe(ops.data(), ops.size(), pids.data(), pids.size(), relaxed,
+              batch_verdicts_.data());
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (batch_verdicts_[i]) return pids[i];
+  }
+  return kNoNode;
+}
+
+int PlacementState::first_feasible_target(int op, const std::vector<int>& pids,
+                                          bool relaxed) {
+  batch_verdicts_.resize(pids.size());
+  batch_probe(&op, 1, pids.data(), pids.size(), relaxed,
+              batch_verdicts_.data());
   for (std::size_t i = 0; i < pids.size(); ++i) {
     if (batch_verdicts_[i]) return pids[i];
   }
@@ -597,7 +619,7 @@ void PlacementState::can_place_on_new_batch(
     std::vector<unsigned char>& verdicts) {
   verdicts.assign(configs.size(), 0);
   if (configs.empty()) return;
-  if (!batch_footprint(ops, /*relaxed=*/false)) {
+  if (!batch_footprint(ops.data(), ops.size(), /*relaxed=*/false)) {
     std::fill(verdicts.begin(), verdicts.end(), 1);
     return;
   }
@@ -673,8 +695,14 @@ void PlacementState::refresh_object_rate(int type, MBps old_rate) {
 }
 
 std::vector<int> PlacementState::overloaded_processors() const {
-  const PriceCatalog& cat = *problem_.catalog;
   std::vector<int> out;
+  overloaded_processors(out);
+  return out;
+}
+
+void PlacementState::overloaded_processors(std::vector<int>& out) const {
+  const PriceCatalog& cat = *problem_.catalog;
+  out.clear();
   for (int pid : live_ids_) {
     const ProcState& p = proc(pid);
     if (!fits_within(problem_.rho * p.work, cat.speed(p.cfg)) ||
@@ -682,15 +710,20 @@ std::vector<int> PlacementState::overloaded_processors() const {
       out.push_back(pid);
     }
   }
-  return out;
 }
 
 std::vector<std::pair<int, int>> PlacementState::overloaded_links() const {
   std::vector<std::pair<int, int>> out;
+  overloaded_links(out);
+  return out;
+}
+
+void PlacementState::overloaded_links(
+    std::vector<std::pair<int, int>>& out) const {
+  out.clear();
   for (const auto& [link, used] : pp_links_.entries()) {
     if (!fits_within(used, pp_links_.capacity())) out.push_back(link);
   }
-  return out;
 }
 
 // --- loads ------------------------------------------------------------------

@@ -76,6 +76,9 @@ class PlacementState {
   /// undo journal restores the state exactly.  `ops` may alias ops_on() of a
   /// processor the move empties (it is copied internally).
   bool try_place(const std::vector<int>& ops, int pid);
+  /// Single-operator form, allocation-free (no `{op}` temporary vector —
+  /// the hot first-fit scans call this thousands of times per repair).
+  bool try_place(int op, int pid);
 
   /// try_place without the commit: reports feasibility only.  Non-const on
   /// purpose: the probe applies the move and rolls it back bit-identically,
@@ -83,6 +86,7 @@ class PlacementState {
   /// scratch) is mutated in between — probing a shared PlacementState from
   /// several threads is a data race; give each thread its own copy.
   bool can_place(const std::vector<int>& ops, int pid);
+  bool can_place(int op, int pid);
 
   // --- repair API (docs/DESIGN.md §8) --------------------------------------
   // After a workload event mutates demands (refresh_op_demand /
@@ -98,8 +102,10 @@ class PlacementState {
   /// try_place under the relaxed verdict; commits exactly like try_place
   /// (including auto-selling emptied sources).
   bool try_place_relaxed(const std::vector<int>& ops, int pid);
+  bool try_place_relaxed(int op, int pid);
   /// can_place under the relaxed verdict (probe + bit-exact rollback).
   bool can_place_relaxed(const std::vector<int>& ops, int pid);
+  bool can_place_relaxed(int op, int pid);
 
   // --- batched feasibility probes (docs/DESIGN.md §10) ---------------------
   // The heuristics' inner loop asks one question many times: "which of these
@@ -127,6 +133,9 @@ class PlacementState {
   /// the batched form of the heuristics' first-fit scans.
   int first_feasible_target(const std::vector<int>& ops,
                             const std::vector<int>& pids,
+                            bool relaxed = false);
+  /// Single-operator form (allocation-free; verdict scratch is a member).
+  int first_feasible_target(int op, const std::vector<int>& pids,
                             bool relaxed = false);
   /// Hypothetical purchases, strict verdict: verdicts[i] is true iff buying
   /// a processor of configs[i] and try_place(ops, <new pid>) would succeed —
@@ -158,8 +167,12 @@ class PlacementState {
 
   /// Live processors violating CPU or NIC capacity, ascending.
   std::vector<int> overloaded_processors() const;
+  /// Out-parameter form for hot loops: `out` is cleared and refilled, so a
+  /// caller-owned scratch vector makes the scan allocation-free.
+  void overloaded_processors(std::vector<int>& out) const;
   /// Processor pairs whose realized traffic exceeds the link capacity.
   std::vector<std::pair<int, int>> overloaded_links() const;
+  void overloaded_links(std::vector<std::pair<int, int>>& out) const;
 
   /// Expert hooks for exhaustive search (ilp::ExactSolver): raw assignment
   /// updates with incremental accounting and *no* auto-selling.  `op` must
@@ -193,6 +206,14 @@ class PlacementState {
   /// Tree neighbors (parent + operator children) of `op`, with the data
   /// volume (rho * delta) carried by the connecting edge.
   std::vector<std::pair<int, MBps>> neighbors(int op) const;
+
+  /// Allocation-free neighbors(): calls fn(neighbor op, rho * edge volume)
+  /// for the parent (first) and each operator child, in the same order
+  /// neighbors() lists them.
+  template <typename Fn>
+  void visit_neighbors(int op, Fn&& fn) const {
+    for_each_neighbor(op, static_cast<Fn&&>(fn));
+  }
 
  private:
   struct ProcState {
@@ -235,8 +256,10 @@ class PlacementState {
   /// snapshots): touched capacities may stay violated if already violated
   /// at snapshot time and the excess did not grow.
   bool touched_no_worse() const;
-  /// Shared body of try_place/can_place and their relaxed variants.
-  bool probe(const std::vector<int>& ops, int pid, bool commit, bool relaxed);
+  /// Shared body of try_place/can_place and their relaxed variants.  Takes
+  /// a raw span so the single-op overloads pass &op without a temporary.
+  bool probe(const int* ops, std::size_t n, int pid, bool commit,
+             bool relaxed);
 
   /// Batch-probe protocol steps 1-2 (docs/DESIGN.md §10): deduplicates the
   /// group, opens the journal baseline (group unassigned), and extracts the
@@ -244,18 +267,29 @@ class PlacementState {
   /// transaction — when the group is empty (an empty move is vacuously
   /// feasible everywhere); otherwise LEAVES THE TRANSACTION OPEN so the
   /// caller can gather per-candidate baseline data before rolling back.
-  bool batch_footprint(const std::vector<int>& ops, bool relaxed);
+  bool batch_footprint(const int* ops, std::size_t n, bool relaxed);
   /// Full batch probe: footprint, SoA gather, flat verdict loop, bit-exact
   /// rollback, sequential slow path for candidates hosting group members.
-  void batch_probe(const std::vector<int>& ops, const int* pids,
+  void batch_probe(const int* ops, std::size_t n, const int* pids,
                    std::size_t num, bool relaxed, unsigned char* verdicts);
 
   void assign_op(int op, int pid);
   void unassign_op(int op);
   /// Calls fn(neighbor op, rho * edge volume) for the parent (first) and
   /// each operator child, exactly like neighbors() but allocation-free.
+  /// Defined here so the public visit_neighbors() wrapper instantiates in
+  /// every caller's TU.
   template <typename Fn>
-  void for_each_neighbor(int op, Fn&& fn) const;
+  void for_each_neighbor(int op, Fn&& fn) const {
+    const OperatorTree& tree = *problem_.tree;
+    const auto& n = tree.op(op);
+    if (n.parent != kNoNode) {
+      fn(n.parent, problem_.rho * n.output_mb);
+    }
+    for (int c : n.children) {
+      fn(c, problem_.rho * tree.op(c).output_mb);
+    }
+  }
 
   ProcState& proc(int pid) { return procs_[static_cast<std::size_t>(pid)]; }
   const ProcState& proc(int pid) const {

@@ -144,15 +144,33 @@ namespace {
 /// Batched relaxed first-fit: one journal baseline judges every candidate,
 /// then the committing probe re-validates the winner (falling back to the
 /// scalar scan if the two ever disagree on a boundary-epsilon case).
-bool first_fit_relaxed(PlacementState& state, const std::vector<int>& ops,
+bool first_fit_relaxed(PlacementState& state, int op,
                        const std::vector<int>& pids) {
-  const int target = state.first_feasible_target(ops, pids, /*relaxed=*/true);
+  const int target = state.first_feasible_target(op, pids, /*relaxed=*/true);
   if (target == kNoNode) return false;
-  if (state.try_place_relaxed(ops, target)) return true;
+  if (state.try_place_relaxed(op, target)) return true;
   for (int pid : pids) {
-    if (state.try_place_relaxed(ops, pid)) return true;
+    if (state.try_place_relaxed(op, pid)) return true;
   }
   return false;
+}
+
+/// Per-thread scratch for the repair loops.  repair_violations_plan is const
+/// and races on several worker threads during speculative repair, so the
+/// buffers must be thread_local rather than members; each worker's vectors
+/// reach steady-state capacity after the first round and every later round
+/// reuses them without touching the heap.
+struct RepairScratch {
+  std::vector<int> over_procs;
+  std::vector<std::pair<int, int>> over_links;
+  std::vector<std::pair<double, int>> keyed;
+  std::vector<int> cands;
+  std::vector<int> order;
+};
+
+RepairScratch& repair_scratch() {
+  thread_local RepairScratch scratch;
+  return scratch;
 }
 
 } // namespace
@@ -162,15 +180,16 @@ bool DynamicAllocator::place_unassigned(RepairReport& report) {
   // (first-fit then naturally gravitates toward realized neighbors'
   // processors via the link budget).  The relaxed probe is used so an
   // earlier failed event (degraded state) cannot veto unrelated placements.
-  std::vector<int> order;
+  std::vector<int>& order = repair_scratch().order;
+  order.clear();
   for (int op : forest_.bottom_up_order()) {
     if (state_->proc_of(op) == kNoNode) order.push_back(op);
   }
   for (int op : order) {
-    bool placed = first_fit_relaxed(*state_, {op}, state_->live_processors());
+    bool placed = first_fit_relaxed(*state_, op, state_->live_processors());
     if (!placed && opt_.allow_purchase) {
       const int pid = state_->buy(catalog_.most_expensive());
-      if (state_->try_place_relaxed({op}, pid)) {
+      if (state_->try_place_relaxed(op, pid)) {
         ++report.procs_bought;
         placed = true;
       } else {
@@ -192,9 +211,12 @@ bool DynamicAllocator::repair_violations_plan(PlacementState& state,
   const int max_rounds = opt_.max_repair_rounds > 0
                              ? opt_.max_repair_rounds
                              : 4 * state.num_live_processors() + 16;
+  RepairScratch& sc = repair_scratch();
   for (int round = 0; round < max_rounds; ++round) {
-    const std::vector<int> over_procs = state.overloaded_processors();
-    const auto over_links = state.overloaded_links();
+    state.overloaded_processors(sc.over_procs);
+    state.overloaded_links(sc.over_links);
+    const std::vector<int>& over_procs = sc.over_procs;
+    const std::vector<std::pair<int, int>>& over_links = sc.over_links;
     if (over_procs.empty() && over_links.empty()) return true;
 
     // Target the lowest overloaded processor; when only links are violated,
@@ -227,11 +249,12 @@ bool DynamicAllocator::repair_violations_plan(PlacementState& state,
     // resource via the relaxed probe (the source may stay violated, but no
     // touched capacity may get worse and no new violation may appear).
     // Order candidates by their contribution to the violated dimension.
-    std::vector<int> candidates = state.ops_on(target);
+    const std::vector<int>& candidates = state.ops_on(target);
     const MegaOps cpu_excess =
         state.cpu_demand(target) -
         catalog_.speed(state.config(target));
-    std::vector<std::pair<double, int>> keyed;
+    std::vector<std::pair<double, int>>& keyed = sc.keyed;
+    keyed.clear();
     keyed.reserve(candidates.size());
     for (int op : candidates) {
       double key;
@@ -240,10 +263,10 @@ bool DynamicAllocator::repair_violations_plan(PlacementState& state,
       } else {
         // Bandwidth violation: crossing-edge volume the operator carries.
         key = 0.0;
-        for (const auto& [nb, volume] : state.neighbors(op)) {
+        state.visit_neighbors(op, [&](int nb, MBps volume) {
           const int q = state.proc_of(nb);
           if (q != kNoNode && q != target) key += volume;
-        }
+        });
       }
       keyed.emplace_back(key, op);
     }
@@ -259,11 +282,12 @@ bool DynamicAllocator::repair_violations_plan(PlacementState& state,
     bool moved = false;
     for (const auto& [key, op] : keyed) {
       (void)key;
-      std::vector<int> cands;
+      std::vector<int>& cands = sc.cands;
+      cands.clear();
       for (int q : state.live_processors()) {
         if (q != target) cands.push_back(q);
       }
-      if (first_fit_relaxed(state, {op}, cands)) {
+      if (first_fit_relaxed(state, op, cands)) {
         ++report.ops_moved;
         if (!state.is_live(target)) ++report.procs_retired;
         moved = true;
@@ -278,7 +302,7 @@ bool DynamicAllocator::repair_violations_plan(PlacementState& state,
       const int pid = state.buy(catalog_.most_expensive());
       for (const auto& [key, op] : keyed) {
         (void)key;
-        if (state.try_place_relaxed({op}, pid)) {
+        if (state.try_place_relaxed(op, pid)) {
           ++report.ops_moved;
           ++report.procs_bought;
           if (!state.is_live(target)) ++report.procs_retired;

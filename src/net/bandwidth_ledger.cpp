@@ -34,19 +34,39 @@ std::pair<int, int> LinkLedger::key(int a, int b) {
   return {std::min(a, b), std::max(a, b)};
 }
 
+std::vector<LinkLedger::Entry>::iterator LinkLedger::lower(
+    const std::pair<int, int>& k) {
+  return std::lower_bound(
+      used_.begin(), used_.end(), k,
+      [](const Entry& e, const std::pair<int, int>& v) { return e.first < v; });
+}
+
+std::vector<LinkLedger::Entry>::const_iterator LinkLedger::lower(
+    const std::pair<int, int>& k) const {
+  return std::lower_bound(
+      used_.begin(), used_.end(), k,
+      [](const Entry& e, const std::pair<int, int>& v) { return e.first < v; });
+}
+
 MBps LinkLedger::used(int a, int b) const {
-  auto it = used_.find(key(a, b));
-  return it == used_.end() ? 0.0 : it->second;
+  const auto k = key(a, b);
+  auto it = lower(k);
+  return it == used_.end() || it->first != k ? 0.0 : it->second;
 }
 
 void LinkLedger::add(int a, int b, MBps amount) {
   const auto k = key(a, b);
-  // Single map traversal: journal the prior value off the emplaced node.
-  auto [it, inserted] = used_.try_emplace(k, 0.0);
+  // Single binary search: journal the prior value at the found position.
+  auto it = lower(k);
+  const bool existed = it != used_.end() && it->first == k;
   if (in_txn_) {
-    journal_.push_back({k, inserted ? 0.0 : it->second, !inserted});
+    journal_.push_back({k, existed ? it->second : 0.0, existed});
   }
-  it->second += amount;
+  if (existed) {
+    it->second += amount;
+  } else {
+    used_.insert(it, {k, amount});  // shifts the tail; reuses capacity
+  }
 }
 
 bool LinkLedger::all_within() const {
@@ -59,8 +79,8 @@ bool LinkLedger::all_within() const {
 
 void LinkLedger::remove(int a, int b, MBps amount) {
   const auto k = key(a, b);
-  auto it = used_.find(k);
-  assert(it != used_.end());
+  auto it = lower(k);
+  assert(it != used_.end() && it->first == k);
   if (in_txn_) journal_.push_back({k, it->second, true});
   it->second -= amount;
   if (it->second < kCapacityEpsilon) {
@@ -91,12 +111,18 @@ void LinkLedger::rollback_txn() {
   in_txn_ = false;
   // Reverse replay: each entry restores its key to the state immediately
   // before the journaled call, so the whole replay restores the
-  // pre-transaction map exactly (values bit for bit, absences included).
+  // pre-transaction ledger exactly (values bit for bit, absences included).
   for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    auto pos = lower(it->key);
+    const bool present = pos != used_.end() && pos->first == it->key;
     if (it->existed) {
-      used_[it->key] = it->old_value;
-    } else {
-      used_.erase(it->key);
+      if (present) {
+        pos->second = it->old_value;
+      } else {
+        used_.insert(pos, {it->key, it->old_value});
+      }
+    } else if (present) {
+      used_.erase(pos);
     }
   }
   journal_.clear();
@@ -104,8 +130,11 @@ void LinkLedger::rollback_txn() {
 
 bool LinkLedger::touched_within() const {
   for (const auto& e : journal_) {
-    auto it = used_.find(e.key);
-    if (it != used_.end() && !fits_within(it->second, capacity_)) return false;
+    auto it = lower(e.key);
+    if (it != used_.end() && it->first == e.key &&
+        !fits_within(it->second, capacity_)) {
+      return false;
+    }
   }
   return true;
 }
@@ -155,8 +184,9 @@ bool LinkLedger::touched_no_worse() const {
       }
     }
     if (!first) continue;
-    auto it = used_.find(e.key);
-    const MBps now = it == used_.end() ? 0.0 : it->second;
+    auto it = lower(e.key);
+    const MBps now =
+        it == used_.end() || it->first != e.key ? 0.0 : it->second;
     if (fits_within(now, capacity_)) continue;
     const MBps before = e.existed ? e.old_value : 0.0;
     if (!fits_within(now, before)) return false;

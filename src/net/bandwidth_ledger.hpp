@@ -11,7 +11,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "util/units.hpp"
@@ -54,6 +54,15 @@ class CardLedger {
 /// delta API the incremental placement probes are built on.
 class LinkLedger {
  public:
+  /// One active link: ((min endpoint, max endpoint), usage).  Storage is a
+  /// FLAT SORTED VECTOR, not a map: lookups are a contiguous binary search,
+  /// inserts/erases shift elements but reuse capacity, so the probe/rollback
+  /// hot paths make zero heap allocations in steady state (a map pays a
+  /// node allocation on every transient try_emplace/erase).  Iteration
+  /// order is identical to the old map's (sorted by key), which keeps every
+  /// whole-ledger walk deterministic and byte-compatible.
+  using Entry = std::pair<std::pair<int, int>, MBps>;
+
   explicit LinkLedger(MBps uniform_capacity);
   LinkLedger() = default;
 
@@ -67,8 +76,9 @@ class LinkLedger {
   void remove(int a, int b, MBps amount);
   void clear();
   std::size_t active_links() const { return used_.size(); }
-  /// All links with non-zero usage (for whole-state validation).
-  const std::map<std::pair<int, int>, MBps>& entries() const { return used_; }
+  /// All links with non-zero usage, sorted by key (for whole-state
+  /// validation).
+  const std::vector<Entry>& entries() const { return used_; }
   /// True when every active link is within capacity.
   bool all_within() const;
 
@@ -108,9 +118,12 @@ class LinkLedger {
   };
 
   static std::pair<int, int> key(int a, int b);
+  /// First entry with key >= k (sorted-vector lower bound).
+  std::vector<Entry>::iterator lower(const std::pair<int, int>& k);
+  std::vector<Entry>::const_iterator lower(const std::pair<int, int>& k) const;
 
   MBps capacity_ = 0.0;
-  std::map<std::pair<int, int>, MBps> used_;
+  std::vector<Entry> used_;  ///< sorted by key
   bool in_txn_ = false;
   std::vector<JournalEntry> journal_;
 };

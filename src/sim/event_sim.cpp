@@ -20,9 +20,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <vector>
 
 #include "sim/event_sim_internal.hpp"
+#include "util/simd_kernels.hpp"
 
 namespace insp {
 
@@ -269,13 +271,45 @@ EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
     return simdetail::finalize_result(problem, plan, {}, {}, -1);
   }
 
-  std::vector<long long> computed(n_ops, 0);  ///< #results finished per op
-  std::vector<long long> computed_at_start(n_ops, 0);
-  std::vector<long long> delivered(n_ops, 0);  ///< #results handed to the
-                                               ///< parent's processor
-  std::vector<double> progress(n_ops, 0.0);    ///< Mops spent on current result
+  // Result counters live in doubles: every value is an exact integer far
+  // below 2^53, and the double layout feeds the vectorized per-period cap
+  // kernel below without a conversion pass.
+  std::vector<double> computed(n_ops, 0.0);  ///< #results finished per op
+  std::vector<double> computed_at_start(n_ops, 0.0);
+  std::vector<double> delivered(n_ops, 0.0);  ///< #results handed to the
+                                              ///< parent's processor
+  std::vector<double> progress(n_ops, 0.0);   ///< Mops spent on current result
   std::vector<int> dirty;  ///< ops whose computed changed this period
   dirty.reserve(n_ops);
+
+  // The catch-up loop's three break conditions (one result per period,
+  // backpressure toward the parent, inputs ready) only read counters that
+  // are FROZEN during the compute phase (computed_at_start folds at end of
+  // period, delivered moves in the transfer phase).  So they collapse into
+  // one precomputed per-op bound:
+  //
+  //   caps[o] = min(period + 1,
+  //                 computed_at_start[parent] + bound   (+inf for roots),
+  //                 min over children of have[c]         (+inf for leaves))
+  //
+  // and the walk below progresses exactly while computed[o] < caps[o] —
+  // bit-identical to the seed's per-iteration checks (integer-exact doubles,
+  // min/max tie values equal).  The combine dispatches through the SIMD
+  // kernel table; parent_clamped/root_inf make the root case branch-free.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<int> parent_clamped(n_ops, 0);
+  std::vector<double> root_inf(n_ops, 0.0);
+  for (std::size_t o = 0; o < n_ops; ++o) {
+    const int parent = plan.parent[o];
+    if (parent == kNoNode) {
+      root_inf[o] = kInf;
+    } else {
+      parent_clamped[o] = parent;
+    }
+  }
+  std::vector<double> in_cap(n_ops, kInf);  ///< leaves stay +inf forever
+  std::vector<double> caps(n_ops, 0.0);
+  const simdk::KernelTable* const kernels = simdk::active_kernels();
 
   std::vector<double> cpu_left;
   cpu_left.reserve(plan.cpu_budget_mops.size());
@@ -312,6 +346,36 @@ EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
 
     // ---- Compute phase (start-of-period snapshot: one-period stage
     //      latency, matching the paper's pipelined execution model). -------
+    // Inputs-ready bound per op: min over children of the frozen counter
+    // the child feeds through (same-processor results via the snapshot,
+    // crossing results via delivered).  Scalar CSR pass; leaves keep +inf.
+    for (std::size_t o = 0; o < n_ops; ++o) {
+      const int kb = plan.child_start[o];
+      const int ke = plan.child_start[o + 1];
+      if (kb == ke) continue;
+      double m = kInf;
+      for (int k = kb; k < ke; ++k) {
+        const auto c =
+            static_cast<std::size_t>(plan.child_list[static_cast<std::size_t>(k)]);
+        const double have = plan.proc[c] == plan.proc[o]
+                                ? computed_at_start[c]
+                                : delivered[c];
+        m = have < m ? have : m;
+      }
+      in_cap[o] = m;
+    }
+    {
+      simdk::SimReadyCapsArgs ca;
+      ca.n = n_ops;
+      ca.parent_clamped = parent_clamped.data();
+      ca.root_inf = root_inf.data();
+      ca.cas = computed_at_start.data();
+      ca.in_cap = in_cap.data();
+      ca.bound = static_cast<double>(bound);
+      ca.period_cap = static_cast<double>(period) + 1.0;
+      ca.caps = caps.data();
+      kernels->sim_ready_caps(ca);
+    }
     cpu_left = plan.cpu_budget_mops;
     for (int op : plan.bottom_up) {
       const auto o = static_cast<std::size_t>(op);
@@ -319,31 +383,11 @@ EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
       const auto u = static_cast<std::size_t>(plan.proc[o]);
       double& budget = cpu_left[u];
       const MegaOps w = plan.work[o];
-      const int parent = plan.parent[o];
+      const double cap = caps[o];
       // Catch-up is allowed: an operator may complete several pending
       // results in one period if its CPU share and inputs permit.
-      for (;;) {
-        const long long r = computed[o];
-        if (r > period) break;  // basic objects update once per period
-        // Backpressure: bounded buffer toward the parent.
-        if (parent != kNoNode &&
-            r >= computed_at_start[static_cast<std::size_t>(parent)] +
-                     bound) {
-          break;
-        }
-        bool inputs_ready = true;
-        for (int k = plan.child_start[o]; k < plan.child_start[o + 1]; ++k) {
-          const auto c =
-              static_cast<std::size_t>(plan.child_list[static_cast<std::size_t>(k)]);
-          const long long have = plan.proc[c] == plan.proc[o]
-                                     ? computed_at_start[c]
-                                     : delivered[c];
-          if (have < r + 1) {
-            inputs_ready = false;
-            break;
-          }
-        }
-        if (!inputs_ready || budget <= 0.0) break;
+      while (computed[o] < cap) {
+        if (budget <= 0.0) break;
         // Partial progress carries across periods: a heavyweight operator
         // accumulates CPU over several periods instead of losing budget
         // remainders to fragmentation.
@@ -354,7 +398,7 @@ EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
         if (done < w - 1e-9) break;  // result not finished this period
         done = 0.0;
         if (computed[o] == computed_at_start[o]) dirty.push_back(op);
-        ++computed[o];
+        computed[o] += 1.0;
         if (plan.root_index[o] >= 0) {
           ++root_produced[static_cast<std::size_t>(plan.root_index[o])];
           if (first_output_period < 0) first_output_period = period;
@@ -394,7 +438,7 @@ EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
       if (token.remaining <= 1e-9) {
         // Delivered: usable by the parent from the next period on (the
         // delivered[] counter is only read in the next compute phase).
-        ++delivered[static_cast<std::size_t>(edge.child_op)];
+        delivered[static_cast<std::size_t>(edge.child_op)] += 1.0;
       } else {
         next_transit.push_back(token);
       }

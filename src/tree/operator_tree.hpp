@@ -80,6 +80,27 @@ class OperatorTree {
   /// two leaves of the same type needs that type once).
   std::vector<int> object_types_of(int i) const;
 
+  /// Allocation-free object_types_of(): calls fn(type) for each distinct
+  /// type, in the same first-occurrence order.  Operators have at most a
+  /// handful of leaves, so the quadratic dedup is cheaper than any set —
+  /// and the placement probes call this on every assign/unassign, where a
+  /// returned vector would be the hot path's only heap traffic.
+  template <typename Fn>
+  void visit_object_types(int i, Fn&& fn) const {
+    const auto& ls = op(i).leaves;
+    for (std::size_t a = 0; a < ls.size(); ++a) {
+      const int t = leaf(ls[a]).object_type;
+      bool seen = false;
+      for (std::size_t b = 0; b < a; ++b) {
+        if (leaf(ls[b]).object_type == t) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) fn(t);
+    }
+  }
+
   /// Indices of al-operators (operators with >= 1 leaf child).
   std::vector<int> al_operators() const;
 

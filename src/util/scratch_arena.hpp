@@ -1,0 +1,105 @@
+// Persistent scratch arena for zero-allocation hot paths (docs/DESIGN.md
+// §11).  A bump allocator over a chain of chunks:
+//
+//   * alloc<T>(n) hands out uninitialized, suitably-aligned storage from the
+//     current chunk, growing the chain (geometrically) only when it runs
+//     out — so after a warmup pass through a workload, steady-state use
+//     never touches the heap (asserted by the counting-allocator tests);
+//   * reset() rewinds every chunk to empty WITHOUT releasing memory —
+//     O(chunks), no destructors run (only trivially-destructible element
+//     types are accepted);
+//   * growth appends a new chunk rather than reallocating, so pointers
+//     handed out earlier in the same cycle stay valid even if a later
+//     alloc() grows the arena.
+//
+// Ownership protocol: an arena belongs to exactly one logical caller —
+// either a single-threaded object that owns it as a member, or a
+// `thread_local` at function scope for const/concurrent code paths (e.g.
+// repair planning, which runs the same const method on several
+// PlacementState copies in parallel).  Spans obtained from an arena are
+// dead the moment its owner calls reset(); never store them across calls.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace insp {
+
+class ScratchArena {
+ public:
+  explicit ScratchArena(std::size_t first_chunk_bytes = 4096)
+      : first_chunk_bytes_(first_chunk_bytes == 0 ? 64 : first_chunk_bytes) {}
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Uninitialized storage for `n` objects of T, aligned for T.  Valid
+  /// until the next reset().  T must be trivially destructible (nothing is
+  /// ever destroyed) and trivially copyable keeps use sane.
+  template <class T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned types are not supported");
+    const std::size_t bytes = n * sizeof(T);
+    for (; cursor_ < chunks_.size(); ++cursor_) {
+      Chunk& c = chunks_[cursor_];
+      const std::size_t at = aligned_up(c.used, alignof(T));
+      if (at + bytes <= c.size) {
+        c.used = at + bytes;
+        return reinterpret_cast<T*>(c.data.get() + at);
+      }
+    }
+    grow(bytes + alignof(T));
+    Chunk& c = chunks_[cursor_];
+    const std::size_t at = aligned_up(c.used, alignof(T));
+    assert(at + bytes <= c.size);
+    c.used = at + bytes;
+    return reinterpret_cast<T*>(c.data.get() + at);
+  }
+
+  /// Rewinds every chunk; keeps all memory for reuse.
+  void reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    cursor_ = 0;
+  }
+
+  /// Total bytes reserved across chunks (growth diagnostic for tests).
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t aligned_up(std::size_t v, std::size_t align) {
+    return (v + (align - 1)) & ~(align - 1);
+  }
+
+  void grow(std::size_t at_least) {
+    std::size_t next = chunks_.empty() ? first_chunk_bytes_
+                                       : chunks_.back().size * 2;
+    if (next < at_least) next = at_least;
+    Chunk c;
+    c.data = std::make_unique<unsigned char[]>(next);
+    c.size = next;
+    chunks_.push_back(std::move(c));
+    cursor_ = chunks_.size() - 1;
+  }
+
+  std::size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t cursor_ = 0;  ///< first chunk worth trying for the next alloc
+};
+
+} // namespace insp

@@ -1,0 +1,85 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace insp::simd {
+
+namespace {
+
+Isa detect() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Isa::kSse2;
+#endif
+  return Isa::kScalar;
+}
+
+// -2 = not yet initialized (read INSP_FORCE_ISA on first use),
+// -1 = no force, >= 0 = forced Isa value.  Plain atomic: concurrent first
+// uses race benignly to store the same env-derived value.
+std::atomic<int> g_forced{-2};
+
+int force_from_env() {
+  const char* env = std::getenv("INSP_FORCE_ISA");
+  Isa isa;
+  if (env != nullptr && parse_isa(env, &isa)) return static_cast<int>(isa);
+  return -1;
+}
+
+} // namespace
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool parse_isa(const char* name, Isa* out) {
+  if (name == nullptr) return false;
+  char lower[8] = {};
+  std::size_t n = std::strlen(name);
+  if (n == 0 || n >= sizeof(lower)) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(name[i])));
+  }
+  for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2}) {
+    if (std::strcmp(lower, to_string(isa)) == 0) {
+      *out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+Isa detected_isa() {
+  static const Isa isa = detect();
+  return isa;
+}
+
+Isa active_isa() {
+  int f = g_forced.load(std::memory_order_relaxed);
+  if (f == -2) {
+    f = force_from_env();
+    g_forced.store(f, std::memory_order_relaxed);
+  }
+  const Isa d = detected_isa();
+  if (f < 0 || f > static_cast<int>(d)) return d;
+  return static_cast<Isa>(f);
+}
+
+void set_forced_isa(Isa isa) {
+  g_forced.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_forced_isa() {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+} // namespace insp::simd

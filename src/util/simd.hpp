@@ -1,0 +1,131 @@
+// Portable SIMD lane layer (docs/DESIGN.md §11): 2/4-wide double lanes over
+// SSE2/AVX2 with a scalar fallback, selected by *runtime* CPUID dispatch so
+// one binary serves every x86-64 host (and degrades to scalar elsewhere).
+//
+// Two pieces live here:
+//
+//   1. The ISA model.  `detected_isa()` is the widest path the running CPU
+//      supports; `active_isa()` additionally honors a forced narrowing —
+//      either programmatic (`set_forced_isa`, used by the differential
+//      tests) or the INSP_FORCE_ISA environment variable ("scalar", "sse2",
+//      "avx2").  Forcing never widens: the active ISA is min(forced,
+//      detected), so INSP_FORCE_ISA=avx2 on an SSE2-only box runs SSE2.
+//
+//   2. The lane wrappers VSse2 / VAvx2: thin static-function shims over the
+//      intrinsics, shaped so one `template <class V>` kernel body serves
+//      every width.  Each wrapper is compiled ONLY inside its own
+//      per-ISA translation unit (src/util/simd_kernels_{sse2,avx2}.cpp) —
+//      see the dispatch rule in simd_kernels.hpp: code built with -mavx2
+//      must never leak into baseline TUs, or the "portable binary" claim
+//      dies by ODR merging.
+//
+// Bit-identity contract: every wrapper op is a single IEEE-754 elementwise
+// instruction (add/sub/mul/min/max/cmp), which produces bit-identical
+// results per lane across scalar, SSE2 and AVX2.  Kernels must keep the
+// same expression tree as their scalar reference and must NOT enable FMA
+// contraction (-mfma is deliberately never passed): a fused multiply-add
+// rounds once where mul+add rounds twice, and the verdict equality the
+// tests pin would break on epsilon-boundary cases.
+#pragma once
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace insp::simd {
+
+/// Instruction-set tiers, ordered: wider tiers strictly extend narrower
+/// ones, so clamping by min() is meaningful.
+enum class Isa : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* to_string(Isa isa);
+/// Parses "scalar" / "sse2" / "avx2" (case-insensitive); false on junk.
+bool parse_isa(const char* name, Isa* out);
+
+/// Widest tier the running CPU supports (cached CPUID; kScalar off-x86).
+Isa detected_isa();
+/// min(forced, detected).  The force comes from set_forced_isa() or, if
+/// never called, from INSP_FORCE_ISA read once on first use.
+Isa active_isa();
+/// Programmatic force for tests/benches; overrides INSP_FORCE_ISA.
+void set_forced_isa(Isa isa);
+/// Drops the programmatic force AND the env force: back to detected_isa().
+void clear_forced_isa();
+
+#if defined(__SSE2__)
+/// Two double lanes over SSE2 (baseline on x86-64: no extra -m flags).
+struct VSse2 {
+  static constexpr int kLanes = 2;
+  using reg = __m128d;
+  using mask = __m128d;  ///< all-ones / all-zeros per lane
+
+  static reg load(const double* p) { return _mm_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm_storeu_pd(p, v); }
+  static reg broadcast(double x) { return _mm_set1_pd(x); }
+  static reg add(reg a, reg b) { return _mm_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm_mul_pd(a, b); }
+  static reg min(reg a, reg b) { return _mm_min_pd(a, b); }
+  static reg max(reg a, reg b) { return _mm_max_pd(a, b); }
+  static mask le(reg a, reg b) { return _mm_cmple_pd(a, b); }
+  static mask and_(mask a, mask b) { return _mm_and_pd(a, b); }
+  static mask or_(mask a, mask b) { return _mm_or_pd(a, b); }
+  /// Lane l of the result = sign bit of lane l (cmp masks are all-ones).
+  static unsigned bits(mask m) {
+    return static_cast<unsigned>(_mm_movemask_pd(m));
+  }
+  static bool any(mask m) { return _mm_movemask_pd(m) != 0; }
+  /// r[l] = base[idx[l]] — no SSE2 gather instruction; composed scalar.
+  static reg gather(const double* base, const int* idx) {
+    return _mm_set_pd(base[idx[1]], base[idx[0]]);
+  }
+  /// Mask of lanes where idx[l] == v.
+  static mask eq_int(const int* idx, int v) {
+    return _mm_castsi128_pd(_mm_set_epi64x(idx[1] == v ? -1 : 0,
+                                           idx[0] == v ? -1 : 0));
+  }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+/// Four double lanes over AVX2 (requires -mavx2: only the dedicated
+/// kernel TU is built with it).
+struct VAvx2 {
+  static constexpr int kLanes = 4;
+  using reg = __m256d;
+  using mask = __m256d;
+
+  static reg load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg broadcast(double x) { return _mm256_set1_pd(x); }
+  static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+  static reg min(reg a, reg b) { return _mm256_min_pd(a, b); }
+  static reg max(reg a, reg b) { return _mm256_max_pd(a, b); }
+  static mask le(reg a, reg b) { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+  static mask and_(mask a, mask b) { return _mm256_and_pd(a, b); }
+  static mask or_(mask a, mask b) { return _mm256_or_pd(a, b); }
+  static unsigned bits(mask m) {
+    return static_cast<unsigned>(_mm256_movemask_pd(m));
+  }
+  static bool any(mask m) { return _mm256_movemask_pd(m) != 0; }
+  static reg gather(const double* base, const int* idx) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+    return _mm256_i32gather_pd(base, v, 8);
+  }
+  static mask eq_int(const int* idx, int v) {
+    const __m128i lanes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+    const __m128i eq = _mm_cmpeq_epi32(lanes, _mm_set1_epi32(v));
+    // Sign-extend the 32-bit all-ones/zeros to 64-bit lane masks.
+    return _mm256_castsi256_pd(_mm256_cvtepi32_epi64(eq));
+  }
+};
+#endif  // __AVX2__
+
+} // namespace insp::simd

@@ -1,0 +1,100 @@
+// Baseline-flags TU: the single home of the scalar reference bodies (the
+// per-ISA TUs call the *_range functions for degenerate cases and tails, so
+// these must be non-inline and defined exactly once here), the scalar
+// KernelTable, and the fallback-chain dispatch.  See the ODR rule in
+// util/simd_kernels.hpp.
+#include "util/simd_kernels.hpp"
+
+#include "util/units.hpp"
+
+namespace insp::simdk {
+
+void probe_candidates_range(const ProbeBatchArgs& a, std::size_t begin,
+                            std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (a.skip != nullptr && a.skip[i] != 0) continue;
+    const int pid = a.pids[i];
+
+    // Every touched processor other than the candidate must pass; the
+    // candidate replaces its own folded entry with the richer check below.
+    bool ok = a.others_failed == 0 ||
+              (a.others_failed == 1 && a.others_failed_pid == pid);
+    ok = ok && a.base_links_ok;
+
+    // CPU: the whole group lands on the candidate.
+    const double cpu = a.rho * (a.work[pid] + a.sum_w);
+    ok = ok && (fits_within(cpu, a.speed_cap[pid]) ||
+                (a.relaxed && fits_within(cpu, a.rho * a.work0[pid])));
+
+    // NIC: added downloads plus the external edge volume that actually
+    // crosses (edges toward the candidate itself become internal).
+    const double nic =
+        a.nic[pid] + a.dl_add[i] + (a.ext_total - a.vol_to[pid]);
+    ok = ok && (fits_within(nic, a.bw_cap[pid]) ||
+                (a.relaxed && fits_within(nic, a.nic0[pid])));
+
+    // Pairwise links toward each external neighbor processor.
+    for (std::size_t j = 0; ok && j < a.ext; ++j) {
+      if (a.ext_pid[j] == pid) continue;
+      const double used = a.link_base[j * a.stride + i] + a.ext_vol[j];
+      ok = fits_within(used, a.link_cap) ||
+           (a.relaxed && fits_within(used, a.link_pre[j * a.stride + i]));
+    }
+
+    a.verdicts[i] = ok ? 1 : 0;
+  }
+}
+
+void probe_configs_range(const ProbeConfigsArgs& a, std::size_t begin,
+                         std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    a.verdicts[i] = (a.shared_ok && fits_within(a.cpu, a.speed_caps[i]) &&
+                     fits_within(a.nic, a.bw_caps[i]))
+                        ? 1
+                        : 0;
+  }
+}
+
+void sim_ready_caps_range(const SimReadyCapsArgs& a, std::size_t begin,
+                          std::size_t end) {
+  for (std::size_t o = begin; o < end; ++o) {
+    const double bp = a.cas[a.parent_clamped[o]] + a.bound + a.root_inf[o];
+    const double inner = bp < a.in_cap[o] ? bp : a.in_cap[o];
+    a.caps[o] = a.period_cap < inner ? a.period_cap : inner;
+  }
+}
+
+namespace {
+
+void scalar_probe_candidates(const ProbeBatchArgs& a) {
+  probe_candidates_range(a, 0, a.num);
+}
+void scalar_probe_configs(const ProbeConfigsArgs& a) {
+  probe_configs_range(a, 0, a.num);
+}
+void scalar_sim_ready_caps(const SimReadyCapsArgs& a) {
+  sim_ready_caps_range(a, 0, a.n);
+}
+
+constexpr KernelTable kScalarTable{simd::Isa::kScalar,
+                                   &scalar_probe_candidates,
+                                   &scalar_probe_configs,
+                                   &scalar_sim_ready_caps};
+
+} // namespace
+
+const KernelTable* kernels_for(simd::Isa isa) {
+  if (isa >= simd::Isa::kAvx2) {
+    if (const KernelTable* t = avx2_table()) return t;
+  }
+  if (isa >= simd::Isa::kSse2) {
+    if (const KernelTable* t = sse2_table()) return t;
+  }
+  return &kScalarTable;
+}
+
+const KernelTable* active_kernels() {
+  return kernels_for(simd::active_isa());
+}
+
+} // namespace insp::simdk

@@ -1,0 +1,147 @@
+// Runtime-dispatched kernel tables for the hot flat loops (docs/DESIGN.md
+// §11).  The lane wrappers in util/simd.hpp give one `template <class V>`
+// body per kernel (util/simd_kernels_impl.hpp); this header is the ONLY
+// interface the rest of the codebase sees: plain argument structs over flat
+// arrays plus a per-ISA function-pointer table.
+//
+// ODR / portability rule — why three translation units:
+//
+//   * simd_kernels.cpp       — baseline flags.  Defines the scalar range
+//                              functions (non-inline, the single definition
+//                              everyone links against), the scalar table,
+//                              and `kernels_for`.
+//   * simd_kernels_sse2.cpp  — baseline flags on x86-64 (SSE2 is baseline);
+//                              instantiates the templates with VSse2 only.
+//   * simd_kernels_avx2.cpp  — built with -mavx2; instantiates with VAvx2
+//                              only.  Nothing inline or template-shared with
+//                              the other TUs is *defined* here, so the
+//                              linker can never pick an AVX2-encoded body
+//                              for a symbol reachable from baseline code —
+//                              that is what keeps one binary safe on
+//                              SSE2-only hosts.
+//
+// Each per-ISA TU exposes exactly one symbol (`sse2_table()` /
+// `avx2_table()`) returning its KernelTable, or nullptr when the compiler
+// can't target that ISA.  `kernels_for(isa)` walks the fallback chain
+// avx2 → sse2 → scalar so callers always get a usable table.
+//
+// Every kernel is bit-identical across tables (same IEEE expression tree,
+// no FMA — see util/simd.hpp); the ISA-dispatch differential tests pin it.
+#pragma once
+
+#include <cstddef>
+
+#include "util/simd.hpp"
+
+namespace insp::simdk {
+
+/// Arguments for the batched candidate-feasibility sweep (the SoA probe of
+/// core/placement_soa.hpp, flattened).  Per-pid arrays are indexed by the
+/// gathered candidate pids; the link matrices are COLUMN-major —
+/// `link_base[j * stride + i]` is the baseline usage of link
+/// (pids[i], ext_pid[j]) — so a vector block of candidates loads
+/// contiguously.  `stride` is normally `num`.
+struct ProbeBatchArgs {
+  // Per-pid gathered state (PlacementSoA), indexed by pids[i].
+  const double* speed_cap;
+  const double* bw_cap;
+  const double* work;
+  const double* nic;
+  const double* work0;  ///< pre-transaction baselines (relaxed verdicts)
+  const double* nic0;
+  const double* vol_to;
+
+  const int* pids;
+  std::size_t num;
+  const double* dl_add;  ///< per-candidate download-rate delta
+
+  const double* link_base;  ///< column-major [j * stride + i]
+  const double* link_pre;   ///< same layout; may be null in strict mode
+  std::size_t stride;
+
+  const int* ext_pid;  ///< external neighbor processors
+  const double* ext_vol;
+  std::size_t ext;
+
+  const unsigned char* skip;  ///< non-zero lanes left untouched; may be null
+
+  double rho;
+  double sum_w;
+  double ext_total;
+  double link_cap;
+  bool relaxed;
+
+  int others_failed;
+  int others_failed_pid;
+  bool base_links_ok;
+
+  unsigned char* verdicts;  ///< out: 0/1 per candidate
+};
+
+/// Arguments for the hypothetical-purchase sweep: candidate i is an empty
+/// processor with capacities (speed_caps[i], bw_caps[i]); everything
+/// candidate-independent has been folded into cpu/nic/shared_ok by the
+/// caller (same fold for every ISA, so it stays scalar).
+struct ProbeConfigsArgs {
+  const double* speed_caps;
+  const double* bw_caps;
+  std::size_t num;
+  double cpu;        ///< rho * sum_w
+  double nic;        ///< dl_all + ext_total
+  bool shared_ok;
+  unsigned char* verdicts;
+};
+
+/// Arguments for the event-sim per-period progress cap: for each op,
+///   caps[o] = min(period_cap,
+///                 cas[parent_clamped[o]] + bound + root_inf[o],
+///                 in_cap[o])
+/// where `parent_clamped[o]` is 0 for parentless ops and `root_inf[o]` is
+/// +inf for them (0.0 otherwise), so the backpressure term vanishes without
+/// a per-lane select; `in_cap` carries the inputs-ready bound the caller
+/// pre-folds over the CSR children (min over frozen start-of-period
+/// counters, +inf for leaves).
+struct SimReadyCapsArgs {
+  std::size_t n;
+  const int* parent_clamped;
+  const double* root_inf;
+  const double* cas;     ///< computed_at_start, frozen for the period
+  const double* in_cap;
+  double bound;
+  double period_cap;     ///< period + 1
+  double* caps;          ///< out
+};
+
+/// One entry per kernel; filled per-ISA.  All tables compute bit-identical
+/// results — wider tables are just faster.
+struct KernelTable {
+  simd::Isa isa;
+  void (*probe_candidates)(const ProbeBatchArgs&);
+  void (*probe_configs)(const ProbeConfigsArgs&);
+  void (*sim_ready_caps)(const SimReadyCapsArgs&);
+};
+
+/// Table for exactly `isa` if this build can target it, else the widest
+/// narrower table (avx2 → sse2 → scalar; scalar always exists).
+const KernelTable* kernels_for(simd::Isa isa);
+
+/// Shorthand: kernels_for(simd::active_isa()).
+const KernelTable* active_kernels();
+
+/// Per-ISA TU entry points; nullptr when the compiler can't emit that ISA.
+const KernelTable* sse2_table();
+const KernelTable* avx2_table();
+
+/// Scalar reference bodies over index sub-ranges [begin, end).  Non-inline,
+/// defined once in simd_kernels.cpp with baseline flags: the vector kernels
+/// call them for degenerate folds and tail lanes, which both keeps the
+/// per-ISA TUs free of shared inline definitions (ODR rule above) and
+/// guarantees the tails are byte-for-byte the scalar path.
+void probe_candidates_range(const ProbeBatchArgs& a, std::size_t begin,
+                            std::size_t end);
+void probe_configs_range(const ProbeConfigsArgs& a, std::size_t begin,
+                         std::size_t end);
+void sim_ready_caps_range(const SimReadyCapsArgs& a, std::size_t begin,
+                          std::size_t end);
+
+} // namespace insp::simdk

@@ -1,0 +1,42 @@
+// AVX2 kernel TU — the ONLY translation unit built with -mavx2 (CMake sets
+// it per-source when the compiler supports the flag; the guard below keeps
+// the file a stub otherwise).  The VAvx2 template instantiations live only
+// here, and nothing defined here is inline-shared with baseline TUs, so no
+// AVX2-encoded body can be linker-merged into code that runs before the
+// CPUID dispatch.  See the ODR rule in util/simd_kernels.hpp.
+#include "util/simd_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include "util/simd_kernels_impl.hpp"
+
+namespace insp::simdk {
+
+namespace {
+
+void avx2_probe_candidates(const ProbeBatchArgs& a) {
+  probe_candidates_t<simd::VAvx2>(a);
+}
+void avx2_probe_configs(const ProbeConfigsArgs& a) {
+  probe_configs_t<simd::VAvx2>(a);
+}
+void avx2_sim_ready_caps(const SimReadyCapsArgs& a) {
+  sim_ready_caps_t<simd::VAvx2>(a);
+}
+
+constexpr KernelTable kAvx2Table{simd::Isa::kAvx2, &avx2_probe_candidates,
+                                 &avx2_probe_configs, &avx2_sim_ready_caps};
+
+} // namespace
+
+const KernelTable* avx2_table() { return &kAvx2Table; }
+
+} // namespace insp::simdk
+
+#else  // !__AVX2__
+
+namespace insp::simdk {
+const KernelTable* avx2_table() { return nullptr; }
+} // namespace insp::simdk
+
+#endif

@@ -1,0 +1,134 @@
+// Width-generic kernel bodies, instantiated once per lane wrapper inside the
+// per-ISA translation units (see the ODR rule in util/simd_kernels.hpp —
+// this header must ONLY be included by simd_kernels_{sse2,avx2}.cpp, never
+// by baseline code).
+//
+// Bit-identity discipline: every body mirrors the scalar reference in
+// util/simd_kernels.cpp operation-for-operation — same expression trees,
+// same fold order, tails and degenerate cases delegated to the extern
+// scalar range functions.  min/max tie handling matches the scalar
+// ternaries in value, and no FMA contraction is possible because -mfma is
+// never passed (util/simd.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "util/simd.hpp"
+#include "util/simd_kernels.hpp"
+#include "util/units.hpp"
+
+namespace insp::simdk {
+
+/// Vector twin of insp::fits_within (util/units.hpp):
+///   load <= cap + eps * (1 + (cap > 0 ? cap : 0))
+/// The ternary is max(cap, 0) for every value the ledgers produce (no NaNs;
+/// -0.0 folds to +0.0 under both forms before the add).
+template <class V>
+inline typename V::mask fits_v(typename V::reg load, typename V::reg cap) {
+  const typename V::reg eps = V::broadcast(kCapacityEpsilon);
+  const typename V::reg one = V::broadcast(1.0);
+  const typename V::reg zero = V::broadcast(0.0);
+  const typename V::reg tol =
+      V::add(cap, V::mul(eps, V::add(one, V::max(cap, zero))));
+  return V::le(load, tol);
+}
+
+template <class V>
+void probe_candidates_t(const ProbeBatchArgs& a) {
+  // The others-fold and baseline-link degenerate cases make at most one
+  // candidate passable; not worth lanes.  (Common case: both clean.)
+  if (a.others_failed != 0 || !a.base_links_ok) {
+    probe_candidates_range(a, 0, a.num);
+    return;
+  }
+  constexpr std::size_t L = static_cast<std::size_t>(V::kLanes);
+  const typename V::reg rho = V::broadcast(a.rho);
+  const typename V::reg sum_w = V::broadcast(a.sum_w);
+  const typename V::reg ext_total = V::broadcast(a.ext_total);
+  const typename V::reg link_cap = V::broadcast(a.link_cap);
+  std::size_t i = 0;
+  for (; i + L <= a.num; i += L) {
+    // CPU: the whole group lands on the candidate.
+    const typename V::reg cpu =
+        V::mul(rho, V::add(V::gather(a.work, a.pids + i), sum_w));
+    typename V::mask ok = fits_v<V>(cpu, V::gather(a.speed_cap, a.pids + i));
+    if (a.relaxed) {
+      ok = V::or_(ok, fits_v<V>(cpu, V::mul(rho, V::gather(a.work0,
+                                                           a.pids + i))));
+    }
+    // NIC: added downloads plus the external volume that actually crosses.
+    const typename V::reg nic =
+        V::add(V::add(V::gather(a.nic, a.pids + i), V::load(a.dl_add + i)),
+               V::sub(ext_total, V::gather(a.vol_to, a.pids + i)));
+    typename V::mask ok_nic = fits_v<V>(nic, V::gather(a.bw_cap, a.pids + i));
+    if (a.relaxed) {
+      ok_nic = V::or_(ok_nic, fits_v<V>(nic, V::gather(a.nic0, a.pids + i)));
+    }
+    ok = V::and_(ok, ok_nic);
+    // Pairwise links toward each external neighbor processor.  Column-major
+    // matrices: lane block i..i+L-1 of column j is one contiguous load.
+    for (std::size_t j = 0; j < a.ext && V::any(ok); ++j) {
+      const typename V::reg used =
+          V::add(V::load(a.link_base + j * a.stride + i),
+                 V::broadcast(a.ext_vol[j]));
+      typename V::mask pass = fits_v<V>(used, link_cap);
+      if (a.relaxed) {
+        pass = V::or_(pass,
+                      fits_v<V>(used, V::load(a.link_pre + j * a.stride + i)));
+      }
+      // Lanes whose candidate IS this neighbor keep the edge internal: the
+      // scalar loop `continue`s, i.e. the link check vacuously passes.
+      pass = V::or_(pass, V::eq_int(a.pids + i, a.ext_pid[j]));
+      ok = V::and_(ok, pass);
+    }
+    const unsigned bits = V::bits(ok);
+    for (std::size_t l = 0; l < L; ++l) {
+      if (a.skip != nullptr && a.skip[i + l] != 0) continue;
+      a.verdicts[i + l] = static_cast<unsigned char>((bits >> l) & 1u);
+    }
+  }
+  probe_candidates_range(a, i, a.num);
+}
+
+template <class V>
+void probe_configs_t(const ProbeConfigsArgs& a) {
+  if (!a.shared_ok) {
+    probe_configs_range(a, 0, a.num);
+    return;
+  }
+  constexpr std::size_t L = static_cast<std::size_t>(V::kLanes);
+  const typename V::reg cpu = V::broadcast(a.cpu);
+  const typename V::reg nic = V::broadcast(a.nic);
+  std::size_t i = 0;
+  for (; i + L <= a.num; i += L) {
+    const typename V::mask ok =
+        V::and_(fits_v<V>(cpu, V::load(a.speed_caps + i)),
+                fits_v<V>(nic, V::load(a.bw_caps + i)));
+    const unsigned bits = V::bits(ok);
+    for (std::size_t l = 0; l < L; ++l) {
+      a.verdicts[i + l] = static_cast<unsigned char>((bits >> l) & 1u);
+    }
+  }
+  probe_configs_range(a, i, a.num);
+}
+
+template <class V>
+void sim_ready_caps_t(const SimReadyCapsArgs& a) {
+  constexpr std::size_t L = static_cast<std::size_t>(V::kLanes);
+  const typename V::reg bound = V::broadcast(a.bound);
+  const typename V::reg period_cap = V::broadcast(a.period_cap);
+  std::size_t i = 0;
+  for (; i + L <= a.n; i += L) {
+    // Backpressure term: cas[parent] + bound, pushed to +inf for parentless
+    // ops via root_inf so no per-lane select is needed.
+    const typename V::reg bp =
+        V::add(V::add(V::gather(a.cas, a.parent_clamped + i), bound),
+               V::load(a.root_inf + i));
+    const typename V::reg caps =
+        V::min(period_cap, V::min(bp, V::load(a.in_cap + i)));
+    V::store(a.caps + i, caps);
+  }
+  sim_ready_caps_range(a, i, a.n);
+}
+
+} // namespace insp::simdk

@@ -1,0 +1,39 @@
+// SSE2 kernel TU.  Built with baseline flags (SSE2 is part of the x86-64
+// baseline, so no extra -m switches); the VSse2 template instantiations
+// live only here.  See the ODR rule in util/simd_kernels.hpp.
+#include "util/simd_kernels.hpp"
+
+#if defined(__SSE2__)
+
+#include "util/simd_kernels_impl.hpp"
+
+namespace insp::simdk {
+
+namespace {
+
+void sse2_probe_candidates(const ProbeBatchArgs& a) {
+  probe_candidates_t<simd::VSse2>(a);
+}
+void sse2_probe_configs(const ProbeConfigsArgs& a) {
+  probe_configs_t<simd::VSse2>(a);
+}
+void sse2_sim_ready_caps(const SimReadyCapsArgs& a) {
+  sim_ready_caps_t<simd::VSse2>(a);
+}
+
+constexpr KernelTable kSse2Table{simd::Isa::kSse2, &sse2_probe_candidates,
+                                 &sse2_probe_configs, &sse2_sim_ready_caps};
+
+} // namespace
+
+const KernelTable* sse2_table() { return &kSse2Table; }
+
+} // namespace insp::simdk
+
+#else  // !__SSE2__
+
+namespace insp::simdk {
+const KernelTable* sse2_table() { return nullptr; }
+} // namespace insp::simdk
+
+#endif

@@ -1,0 +1,194 @@
+// Cross-ISA differential suite (docs/DESIGN.md §11): every SIMD dispatch
+// path the host can execute — forced scalar, forced SSE2, forced AVX2 —
+// must be observationally indistinguishable.  The kernels share their IEEE
+// expression trees with the scalar range functions and the build disables
+// FP contraction, so the requirement is *bit-exact equality*, not
+// tolerance:
+//
+//   * batched probe verdicts over a seeded mutation walk are element-wise
+//     identical across ISAs, and the rollback fingerprint (every observable
+//     double of the state, compared EQUAL) matches after every batch;
+//   * full allocation runs (heuristic + batched probes + local search)
+//     produce operator==-identical Allocations under every ISA;
+//   * the event simulator's ready-caps kernel yields bit-identical results
+//     (throughput compared with ==, not near) under every ISA.
+//
+// The suite runs under the plain, ASan/UBSan and TSan CI jobs, so a lane
+// kernel that reads past a tail or races the dispatch cache fails here too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "core/allocator.hpp"
+#include "core/placement_state.hpp"
+#include "sim/event_sim.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::random_fixture;
+
+std::vector<simd::Isa> available_isas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::detected_isa() >= simd::Isa::kSse2) isas.push_back(simd::Isa::kSse2);
+  if (simd::detected_isa() >= simd::Isa::kAvx2) isas.push_back(simd::Isa::kAvx2);
+  return isas;
+}
+
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::Isa isa) { simd::set_forced_isa(isa); }
+  ~ScopedIsa() { simd::clear_forced_isa(); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+};
+
+/// Every observable double of a PlacementState, for exact comparison.
+struct StateFingerprint {
+  std::vector<int> assignment;
+  std::vector<int> live;
+  std::vector<double> loads;
+  double cost = 0.0;
+  bool operator==(const StateFingerprint&) const = default;
+};
+
+StateFingerprint fingerprint(const PlacementState& state, int n_ops) {
+  StateFingerprint f;
+  for (int op = 0; op < n_ops; ++op) f.assignment.push_back(state.proc_of(op));
+  f.live = state.live_processors();
+  for (int pid : f.live) {
+    f.loads.push_back(state.cpu_demand(pid));
+    f.loads.push_back(state.download_load(pid));
+    f.loads.push_back(state.comm_load(pid));
+    f.loads.push_back(state.nic_load(pid));
+  }
+  f.cost = state.total_cost();
+  return f;
+}
+
+/// One deterministic probe walk: buys, committed moves, and batch probes
+/// whose verdict bytes and post-rollback fingerprints are recorded.  The
+/// same seed must record the same transcript under every ISA.
+struct WalkTranscript {
+  std::vector<unsigned char> verdicts;
+  std::vector<StateFingerprint> fingerprints;
+  bool operator==(const WalkTranscript&) const = default;
+};
+
+WalkTranscript run_probe_walk(const Fixture& f, std::uint64_t seed) {
+  WalkTranscript t;
+  PlacementState state(f.problem());
+  Rng rng(seed);
+  const int n_ops = f.tree.num_operators();
+  const auto& configs = f.catalog.by_cost();
+  std::vector<unsigned char> batch;
+  for (int step = 0; step < 400; ++step) {
+    const std::vector<int> live = state.live_processors();
+    const int action = static_cast<int>(rng.index(10));
+    if (action < 2 || live.empty()) {
+      state.buy(configs[rng.index(configs.size())]);
+      continue;
+    }
+    const int op = static_cast<int>(rng.index(static_cast<std::size_t>(n_ops)));
+    const int pid = live[rng.index(live.size())];
+    if (action < 5) {
+      if (rng.bernoulli(0.5)) {
+        state.try_place(op, pid);
+      } else {
+        state.try_place_relaxed(op, pid);
+      }
+    } else {
+      if (rng.bernoulli(0.5)) {
+        state.can_place_batch({op}, live, batch);
+      } else {
+        state.can_place_batch_relaxed({op}, live, batch);
+      }
+      t.verdicts.insert(t.verdicts.end(), batch.begin(), batch.end());
+      t.fingerprints.push_back(fingerprint(state, n_ops));
+    }
+  }
+  t.fingerprints.push_back(fingerprint(state, n_ops));
+  return t;
+}
+
+TEST(IsaDispatchDiff, ProbeWalkTranscriptsAreBitIdenticalAcrossIsas) {
+  const std::vector<simd::Isa> isas = available_isas();
+  ASSERT_FALSE(isas.empty());
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Fixture f = random_fixture(seed, 22, 1.2);
+    ScopedIsa scalar(simd::Isa::kScalar);
+    const WalkTranscript reference = run_probe_walk(f, seed);
+    ASSERT_FALSE(reference.verdicts.empty());
+    for (simd::Isa isa : isas) {
+      ScopedIsa forced(isa);
+      const WalkTranscript got = run_probe_walk(f, seed);
+      EXPECT_EQ(got, reference)
+          << "seed " << seed << " under ISA " << simd::to_string(isa);
+    }
+  }
+}
+
+TEST(IsaDispatchDiff, FullAllocationsAreIdenticalAcrossIsas) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Fixture f = random_fixture(seed, 24, 1.2);
+    for (const HeuristicKind kind :
+         {HeuristicKind::CommGreedy, HeuristicKind::SubtreeBottomUp}) {
+      ScopedIsa scalar(simd::Isa::kScalar);
+      Rng rng_ref(seed);
+      const AllocationOutcome reference = allocate(f.problem(), kind, rng_ref);
+      for (simd::Isa isa : available_isas()) {
+        ScopedIsa forced(isa);
+        Rng rng(seed);
+        const AllocationOutcome got = allocate(f.problem(), kind, rng);
+        ASSERT_EQ(got.success, reference.success)
+            << "seed " << seed << " under ISA " << simd::to_string(isa);
+        if (!reference.success) continue;
+        EXPECT_EQ(got.allocation, reference.allocation)
+            << "seed " << seed << " under ISA " << simd::to_string(isa);
+      }
+    }
+  }
+}
+
+TEST(IsaDispatchDiff, SimulatorResultsAreBitIdenticalAcrossIsas) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Fixture f = random_fixture(seed, 24, 1.2);
+    Rng rng(seed);
+    const AllocationOutcome out =
+        allocate(f.problem(), HeuristicKind::SubtreeBottomUp, rng);
+    if (!out.success) continue;
+    const SimPlatformView view = SimPlatformView::uniform(f.platform);
+
+    ScopedIsa scalar(simd::Isa::kScalar);
+    const EventSimResult reference =
+        simulate_allocation(f.problem(), out.allocation, view, {});
+    for (simd::Isa isa : available_isas()) {
+      ScopedIsa forced(isa);
+      const EventSimResult got =
+          simulate_allocation(f.problem(), out.allocation, view, {});
+      const std::string label =
+          "seed " + std::to_string(seed) + " under ISA " +
+          std::string(simd::to_string(isa));
+      EXPECT_EQ(got.results_produced, reference.results_produced) << label;
+      EXPECT_EQ(got.first_output_period, reference.first_output_period)
+          << label;
+      EXPECT_EQ(got.sustained, reference.sustained) << label;
+      EXPECT_EQ(got.warmup_periods_used, reference.warmup_periods_used)
+          << label;
+      EXPECT_EQ(got.max_results_ahead_used, reference.max_results_ahead_used)
+          << label;
+      // Bit-exact: the caps kernel must execute the same IEEE arithmetic.
+      EXPECT_EQ(got.achieved_throughput, reference.achieved_throughput)
+          << label;
+    }
+  }
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,164 @@
+// Zero-allocation contract for the steady-state hot paths (docs/DESIGN.md
+// §11): after one warmup pass has sized every persistent scratch buffer —
+// the PlacementState batch arenas, the journal vectors, the flat link
+// ledger, the thread-local repair scratch — further probes, batch probes,
+// committed move ping-pongs and repair-style scans must perform ZERO heap
+// allocations.  The test compiles in the global counting operator new
+// (util/alloc_counter.hpp) and fails on any non-zero delta, so a
+// reintroduced per-call temporary anywhere under these paths is caught
+// exactly, not statistically.
+#define INSP_DEFINE_COUNTING_ALLOCATOR
+#include "util/alloc_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "core/placement_state.hpp"
+#include "util/rng.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::Fixture;
+using testhelpers::random_fixture;
+
+/// Seats every operator somewhere (relaxed, so even tight instances end up
+/// fully assigned) and returns the state ready for steady-state probing.
+PlacementState seated_state(const Fixture& f, int procs_to_buy) {
+  PlacementState state(f.problem());
+  const auto& configs = f.catalog.by_cost();
+  for (int i = 0; i < procs_to_buy; ++i) {
+    state.buy(configs[configs.size() - 1 - (i % 2)]);
+  }
+  const std::vector<int> live = state.live_processors();
+  const int n_ops = f.tree.num_operators();
+  for (int op = 0; op < n_ops; ++op) {
+    if (!state.try_place_relaxed(op, live[op % live.size()])) {
+      state.search_place(op, live[op % live.size()]);
+    }
+  }
+  return state;
+}
+
+template <typename Fn>
+long long alloc_delta_over(Fn&& body) {
+  const long long before = alloc_counter::allocations();
+  body();
+  return alloc_counter::allocations() - before;
+}
+
+TEST(ZeroAllocProbe, SteadyStateBatchAndScalarProbesDoNotAllocate) {
+  const Fixture f = random_fixture(7, 24, 1.2);
+  PlacementState state = seated_state(f, 4);
+  const std::vector<int> live = state.live_processors();
+  const int n_ops = f.tree.num_operators();
+
+  std::vector<unsigned char> verdicts;
+  std::vector<int> group = {0, 1, 2};
+  auto probe_round = [&] {
+    for (int op = 0; op < n_ops; ++op) {
+      group[0] = op;
+      state.can_place_batch(group, live, verdicts);
+      state.can_place_batch_relaxed(group, live, verdicts);
+      for (int pid : live) {
+        (void)state.can_place(op, pid);
+        (void)state.can_place_relaxed(op, pid);
+      }
+      (void)state.first_feasible_target(op, live);
+      (void)state.first_feasible_target(op, live, /*relaxed=*/true);
+    }
+  };
+
+  // Warmup sizes every arena, journal and verdict buffer.
+  probe_round();
+  probe_round();
+
+  const long long delta = alloc_delta_over(probe_round);
+  EXPECT_EQ(delta, 0)
+      << "steady-state probes allocated " << delta << " times";
+}
+
+TEST(ZeroAllocProbe, CommittedMovePingPongDoesNotAllocate) {
+  const Fixture f = random_fixture(11, 20, 1.1);
+  PlacementState state = seated_state(f, 4);
+  const std::vector<int> live = state.live_processors();
+  ASSERT_GE(live.size(), 2u);
+  const int n_ops = f.tree.num_operators();
+
+  // Find an operator that can actually bounce between two processors.
+  int op = -1, a = -1, b = -1;
+  for (int cand = 0; cand < n_ops && op < 0; ++cand) {
+    for (std::size_t i = 0; i < live.size() && op < 0; ++i) {
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        if (i == j) continue;
+        if (state.try_place_relaxed(cand, live[i]) &&
+            state.try_place_relaxed(cand, live[j])) {
+          op = cand;
+          a = live[i];
+          b = live[j];
+          break;
+        }
+      }
+    }
+  }
+  if (op < 0) GTEST_SKIP() << "instance too tight for a movable operator";
+
+  auto ping_pong = [&] {
+    for (int r = 0; r < 50; ++r) {
+      ASSERT_TRUE(state.try_place_relaxed(op, a));
+      ASSERT_TRUE(state.try_place_relaxed(op, b));
+    }
+  };
+  ping_pong();  // warmup: ledger capacity, journals, scratch
+  const long long delta = alloc_delta_over(ping_pong);
+  EXPECT_EQ(delta, 0)
+      << "committed move ping-pong allocated " << delta << " times";
+}
+
+TEST(ZeroAllocProbe, RepairStyleScanDoesNotAllocate) {
+  const Fixture f = random_fixture(13, 24, 1.3);
+  PlacementState state = seated_state(f, 3);
+  const std::vector<int> live = state.live_processors();
+  const int n_ops = f.tree.num_operators();
+
+  std::vector<int> over_procs;
+  std::vector<std::pair<int, int>> over_links;
+  std::vector<int> cands;
+  auto repair_scan = [&] {
+    state.overloaded_processors(over_procs);
+    state.overloaded_links(over_links);
+    for (int pid : over_procs) {
+      for (int op : state.ops_on(pid)) {
+        double crossing = 0.0;
+        state.visit_neighbors(op, [&](int nb, MBps volume) {
+          const int q = state.proc_of(nb);
+          if (q != kNoNode && q != pid) crossing += volume;
+        });
+        (void)crossing;
+        cands.clear();
+        for (int q : live) {
+          if (q != pid) cands.push_back(q);
+        }
+        (void)state.first_feasible_target(op, cands, /*relaxed=*/true);
+      }
+    }
+    // The scan is only interesting if the instance is actually overloaded.
+    for (int op = 0; op < n_ops; ++op) {
+      cands.clear();
+      for (int q : live) cands.push_back(q);
+      (void)state.first_feasible_target(op, cands, /*relaxed=*/true);
+    }
+  };
+
+  repair_scan();
+  repair_scan();
+  const long long delta = alloc_delta_over(repair_scan);
+  EXPECT_EQ(delta, 0)
+      << "repair-style scan allocated " << delta << " times";
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,66 @@
+// ScratchArena unit tests: pointer stability across growth, capacity reuse
+// after reset(), and alignment of every allocation.
+#include "util/scratch_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace insp {
+namespace {
+
+TEST(ScratchArena, PointersStayValidWhileArenaGrows) {
+  ScratchArena arena;
+  // Force many growth steps; earlier blocks must remain intact (chunked
+  // storage, never realloc).
+  std::vector<double*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    double* p = arena.alloc<double>(97);
+    for (int j = 0; j < 97; ++j) p[j] = i * 1000.0 + j;
+    blocks.push_back(p);
+  }
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 97; ++j) {
+      ASSERT_EQ(blocks[static_cast<std::size_t>(i)][j], i * 1000.0 + j);
+    }
+  }
+}
+
+TEST(ScratchArena, ResetReusesCapacityWithoutShrinking) {
+  ScratchArena arena;
+  for (int i = 0; i < 16; ++i) arena.alloc<int>(1000);
+  const std::size_t grown = arena.capacity_bytes();
+  ASSERT_GT(grown, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.capacity_bytes(), grown);
+  // A same-shape second pass fits inside the retained chunks.
+  for (int i = 0; i < 16; ++i) arena.alloc<int>(1000);
+  EXPECT_EQ(arena.capacity_bytes(), grown);
+}
+
+TEST(ScratchArena, AllocationsAreAlignedPerType) {
+  ScratchArena arena;
+  for (int i = 0; i < 100; ++i) {
+    // Interleave widths so the cursor lands on odd offsets.
+    auto* c = arena.alloc<unsigned char>(1 + i % 3);
+    (void)c;
+    auto* d = arena.alloc<double>(3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    auto* ll = arena.alloc<long long>(2);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ll) % alignof(long long), 0u);
+  }
+}
+
+TEST(ScratchArena, ZeroSizedAllocIsHarmless) {
+  ScratchArena arena;
+  double* p = arena.alloc<double>(0);
+  (void)p;
+  int* q = arena.alloc<int>(4);
+  q[0] = 1;
+  q[3] = 4;
+  EXPECT_EQ(q[0] + q[3], 5);
+}
+
+} // namespace
+} // namespace insp

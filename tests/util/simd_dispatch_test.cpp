@@ -1,0 +1,68 @@
+// Dispatch-model semantics (docs/DESIGN.md §11): parsing, detection
+// ordering, the never-widen clamp, and the kernel-table fallback chain.
+#include "util/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/simd_kernels.hpp"
+
+namespace insp {
+namespace {
+
+TEST(SimdDispatch, ParseRoundTripsEveryTier) {
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kSse2, simd::Isa::kAvx2}) {
+    simd::Isa parsed;
+    ASSERT_TRUE(simd::parse_isa(simd::to_string(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+}
+
+TEST(SimdDispatch, ParseIsCaseInsensitiveAndRejectsJunk) {
+  simd::Isa parsed;
+  EXPECT_TRUE(simd::parse_isa("AVX2", &parsed));
+  EXPECT_EQ(parsed, simd::Isa::kAvx2);
+  EXPECT_TRUE(simd::parse_isa("Scalar", &parsed));
+  EXPECT_EQ(parsed, simd::Isa::kScalar);
+  EXPECT_FALSE(simd::parse_isa("avx512", &parsed));
+  EXPECT_FALSE(simd::parse_isa("", &parsed));
+  EXPECT_FALSE(simd::parse_isa("sse", &parsed));
+  EXPECT_FALSE(simd::parse_isa(nullptr, &parsed));
+}
+
+TEST(SimdDispatch, ForcingNeverWidensPastDetection) {
+  const simd::Isa detected = simd::detected_isa();
+  // Ask for the widest tier: active must clamp to what the host has.
+  simd::set_forced_isa(simd::Isa::kAvx2);
+  EXPECT_LE(simd::active_isa(), detected);
+  // Narrowing is always honored exactly.
+  simd::set_forced_isa(simd::Isa::kScalar);
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  simd::clear_forced_isa();
+  EXPECT_EQ(simd::active_isa(), detected);
+}
+
+TEST(SimdDispatch, KernelTableFallbackNeverReturnsMissingTier) {
+  // kernels_for() must hand back a table for a tier the binary actually
+  // compiled; asking for a tier the build lacks falls back down the chain
+  // (avx2 -> sse2 -> scalar) instead of returning null.  Host clamping is
+  // the caller's job: active_kernels() resolves through active_isa().
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kSse2, simd::Isa::kAvx2}) {
+    const simdk::KernelTable* table = simdk::kernels_for(isa);
+    ASSERT_NE(table, nullptr);
+    EXPECT_LE(table->isa, isa);
+    EXPECT_NE(table->probe_candidates, nullptr);
+    EXPECT_NE(table->probe_configs, nullptr);
+    EXPECT_NE(table->sim_ready_caps, nullptr);
+  }
+  // The active table always matches the active ISA's resolution.
+  simd::set_forced_isa(simd::Isa::kScalar);
+  EXPECT_EQ(simdk::active_kernels()->isa, simd::Isa::kScalar);
+  simd::clear_forced_isa();
+}
+
+} // namespace
+} // namespace insp
