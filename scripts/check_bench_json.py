@@ -49,6 +49,11 @@ REQUIRED_ROW_KEYS = {
         "sim_caps_throughput", "speedup_vs_scalar", "verdicts_match",
         "allocations_per_probe",
     },
+    "chaos": {
+        "chaos_class", "faults", "truth_down", "detected", "detection_rate",
+        "mean_detection_beats", "median_repair_ms", "mean_recovery_beats",
+        "events_simulated", "events_sustained", "signature",
+    },
 }
 
 

@@ -1,0 +1,43 @@
+// Deterministic worlds + chaos traces for bench_chaos and the health-layer
+// test subsystem.  Same construction discipline as dynamic_world.hpp — the
+// seeded world is part of the determinism contract and the pinned chaos
+// signatures in tests/golden/replay_signatures.txt depend on it — with one
+// extra hardening step: chaos faults take down up to two servers *at once*
+// (rack, partition), so every object type is patched onto >= 3 servers;
+// any single fault always leaves a live replica of everything.
+#pragma once
+
+#include <cstdint>
+
+#include "dynamic/chaos_generator.hpp"
+#include "multi/multi_app.hpp"
+
+namespace insp::benchx {
+
+struct ChaosWorldScale {
+  int n = 0;     ///< total operators across all applications
+  int apps = 0;  ///< concurrent applications
+};
+
+struct ChaosWorld {
+  std::vector<ApplicationSpec> apps;
+  Platform platform;
+  PriceCatalog catalog;
+  ChaosTrace trace;
+};
+
+/// Deterministic world + chaos trace for one scale row.  `chaos` carries
+/// the class mix and the detector parameters the trace must be detectable
+/// under (ChaosGenConfig::timeout_beats / recovery_beats); pass the same
+/// values to FailureDetectorConfig when monitoring the returned trace.
+ChaosWorld make_chaos_world(std::uint64_t seed, const ChaosWorldScale& scale,
+                            const ChaosGenConfig& chaos);
+
+/// Canonical smoke row: one chaos class isolated (the other weights
+/// zeroed), four faults, detector-default timings.  Shared by
+/// bench_chaos --smoke and the golden-signature regression test, so the
+/// pinned bench_chaos_smoke_* signatures name one exact construction.
+ChaosGenConfig chaos_smoke_config(ChaosClass cls);
+ChaosWorldScale chaos_smoke_scale();
+
+} // namespace insp::benchx

@@ -1,0 +1,253 @@
+#include "dynamic/chaos_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace insp {
+
+const char* to_string(ChaosClass cls) {
+  switch (cls) {
+    case ChaosClass::RackFailure: return "rack-failure";
+    case ChaosClass::Flapping: return "flapping";
+    case ChaosClass::Brownout: return "brownout";
+    case ChaosClass::Partition: return "partition";
+  }
+  return "unknown";
+}
+
+const std::vector<ChaosClass>& all_chaos_classes() {
+  static const std::vector<ChaosClass> classes{
+      ChaosClass::RackFailure, ChaosClass::Flapping, ChaosClass::Brownout,
+      ChaosClass::Partition};
+  return classes;
+}
+
+bool is_beat_loss(ChaosClass cls) { return cls != ChaosClass::Brownout; }
+
+namespace {
+
+bool affects(const ChaosFault& fault, int server) {
+  return std::binary_search(fault.servers.begin(), fault.servers.end(),
+                            server);
+}
+
+/// Visits the down phases [start, end) of a fault.  Brownout has none.
+template <typename Fn>
+void visit_down_phases(const ChaosFault& fault, Fn&& fn) {
+  if (fault.cls == ChaosClass::Brownout) return;
+  for (int i = 0; i < fault.flaps; ++i) {
+    const double start =
+        fault.start_s + i * (fault.down_s + fault.up_gap_s);
+    fn(start, start + fault.down_s);
+  }
+}
+
+} // namespace
+
+ChaosTrace generate_chaos(Rng& rng, const ChaosGenConfig& cfg,
+                          int num_servers) {
+  assert(num_servers >= 2);
+  const double interval = cfg.beat_interval_s;
+  assert(interval > 0.0);
+  ChaosTrace trace;
+  trace.num_servers = num_servers;
+  trace.beat_interval_s = interval;
+
+  // Detectability floors, in beats.  A down phase must outlive the
+  // detection timeout, an up gap must outlive the recovery confirmation
+  // window, and consecutive faults are spaced so the recovery inference of
+  // one fault always precedes the failure inference of the next — the
+  // invariant behind the inferred-vs-oracle equivalence rule (DESIGN §12).
+  const int down_floor = static_cast<int>(std::ceil(cfg.timeout_beats)) + 2;
+  const int up_floor = cfg.recovery_beats + 2;
+  const int gap_floor = static_cast<int>(std::ceil(cfg.timeout_beats)) +
+                        cfg.recovery_beats + 3;
+
+  const double weights[] = {cfg.w_rack, cfg.w_flap, cfg.w_brownout,
+                            cfg.w_partition};
+  double total_weight = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total_weight += w;
+  }
+  assert(total_weight > 0.0);
+
+  // All scheduling happens in whole beats; seconds are produced by one
+  // final multiply, so every fault instant is an exact beat multiple.
+  long long cursor = cfg.start_beats;
+  for (int k = 0; k < cfg.num_faults; ++k) {
+    double draw = rng.uniform_real(0.0, total_weight);
+    std::size_t ci = 0;
+    while (ci + 1 < std::size(weights) && draw >= weights[ci]) {
+      draw -= weights[ci];
+      ++ci;
+    }
+    ChaosFault f;
+    f.cls = all_chaos_classes()[ci];
+    const long long down_beats =
+        down_floor + rng.uniform_int(0, cfg.extra_down_beats);
+    long long total_beats = down_beats;
+    f.start_s = static_cast<double>(cursor) * interval;
+    switch (f.cls) {
+      case ChaosClass::RackFailure: {
+        const int size =
+            std::clamp(cfg.rack_size, 1, num_servers - 1);
+        const int first =
+            static_cast<int>(rng.index(static_cast<std::size_t>(
+                num_servers - size + 1)));
+        for (int s = 0; s < size; ++s) f.servers.push_back(first + s);
+        f.down_s = static_cast<double>(down_beats) * interval;
+        break;
+      }
+      case ChaosClass::Flapping: {
+        f.servers.push_back(
+            static_cast<int>(rng.index(static_cast<std::size_t>(num_servers))));
+        f.flaps = static_cast<int>(rng.uniform_int(cfg.flaps_lo, cfg.flaps_hi));
+        const long long up_beats =
+            up_floor + rng.uniform_int(0, cfg.extra_down_beats);
+        f.down_s = static_cast<double>(down_beats) * interval;
+        f.up_gap_s = static_cast<double>(up_beats) * interval;
+        total_beats = f.flaps * down_beats + (f.flaps - 1) * up_beats;
+        break;
+      }
+      case ChaosClass::Brownout: {
+        f.servers.push_back(
+            static_cast<int>(rng.index(static_cast<std::size_t>(num_servers))));
+        const long long delay_beats =
+            static_cast<long long>(std::ceil(cfg.timeout_beats)) + 1 +
+            rng.uniform_int(0, 2);
+        f.beat_delay_s = static_cast<double>(delay_beats) * interval;
+        // The window holds the full false-positive round trip: the delayed
+        // silence, the recovery chain over delayed beats, and slack.
+        total_beats = delay_beats + cfg.recovery_beats + 2 + down_beats;
+        break;
+      }
+      case ChaosClass::Partition: {
+        const int size =
+            std::clamp(cfg.partition_size, 1, num_servers - 1);
+        std::vector<int> ids(static_cast<std::size_t>(num_servers));
+        for (int s = 0; s < num_servers; ++s)
+          ids[static_cast<std::size_t>(s)] = s;
+        rng.shuffle(ids);
+        ids.resize(static_cast<std::size_t>(size));
+        f.servers = std::move(ids);
+        f.down_s = static_cast<double>(down_beats) * interval;
+        break;
+      }
+    }
+    std::sort(f.servers.begin(), f.servers.end());
+    f.end_s = static_cast<double>(cursor + total_beats) * interval;
+    trace.faults.push_back(std::move(f));
+    cursor += total_beats + gap_floor + rng.uniform_int(0, cfg.extra_gap_beats);
+  }
+  // Enough trailing beats for the last recovery inference to complete.
+  trace.horizon_s = static_cast<double>(
+                        cursor + static_cast<long long>(
+                                     std::ceil(cfg.timeout_beats)) +
+                        cfg.recovery_beats + 4) *
+                    interval;
+  return trace;
+}
+
+std::vector<BeatObservation> chaos_beats(const ChaosTrace& trace) {
+  const double interval = trace.beat_interval_s;
+  const long long n_beats =
+      static_cast<long long>(std::floor(trace.horizon_s / interval + 1e-9));
+  std::vector<BeatObservation> beats;
+  beats.reserve(static_cast<std::size_t>(n_beats) *
+                static_cast<std::size_t>(trace.num_servers));
+  for (int s = 0; s < trace.num_servers; ++s) {
+    for (long long k = 1; k <= n_beats; ++k) {
+      const double t = static_cast<double>(k) * interval;
+      bool dropped = false;
+      double delay = 0.0;
+      for (const ChaosFault& f : trace.faults) {
+        if (t < f.start_s || t >= f.end_s || !affects(f, s)) continue;
+        if (f.cls == ChaosClass::Brownout) {
+          delay = f.beat_delay_s;
+        } else {
+          visit_down_phases(f, [&](double start, double end) {
+            if (t >= start && t < end) dropped = true;
+          });
+        }
+      }
+      if (!dropped) beats.push_back({t + delay, s});
+    }
+  }
+  std::sort(beats.begin(), beats.end(),
+            [](const BeatObservation& a, const BeatObservation& b) {
+              return a.time != b.time ? a.time < b.time
+                                      : a.server < b.server;
+            });
+  return beats;
+}
+
+EventTrace chaos_oracle_trace(const ChaosTrace& trace) {
+  EventTrace oracle;
+  for (const ChaosFault& f : trace.faults) {
+    visit_down_phases(f, [&](double start, double end) {
+      for (int s : f.servers) {
+        WorkloadEvent down;
+        down.time = start;
+        down.kind = EventKind::ServerFailure;
+        down.server = s;
+        oracle.events.push_back(down);
+        WorkloadEvent up;
+        up.time = end;
+        up.kind = EventKind::ServerRecovery;
+        up.server = s;
+        oracle.events.push_back(up);
+      }
+    });
+  }
+  std::sort(oracle.events.begin(), oracle.events.end(),
+            [](const WorkloadEvent& a, const WorkloadEvent& b) {
+              return a.time != b.time ? a.time < b.time
+                                      : a.server < b.server;
+            });
+  return oracle;
+}
+
+std::vector<TruthTransition> chaos_transitions(const ChaosTrace& trace) {
+  std::vector<TruthTransition> out;
+  for (std::size_t fi = 0; fi < trace.faults.size(); ++fi) {
+    const ChaosFault& f = trace.faults[fi];
+    if (f.cls == ChaosClass::Brownout) {
+      for (int s : f.servers) {
+        out.push_back({f.start_s, s, true, static_cast<int>(fi)});
+        out.push_back(
+            {f.start_s + f.beat_delay_s, s, false, static_cast<int>(fi)});
+      }
+      continue;
+    }
+    visit_down_phases(f, [&](double start, double end) {
+      for (int s : f.servers) {
+        out.push_back({start, s, true, static_cast<int>(fi)});
+        out.push_back({end, s, false, static_cast<int>(fi)});
+      }
+    });
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TruthTransition& a, const TruthTransition& b) {
+              return a.time != b.time ? a.time < b.time
+                                      : a.server < b.server;
+            });
+  return out;
+}
+
+std::vector<bool> servers_up_at(const ChaosTrace& trace, double time_s) {
+  std::vector<bool> up(static_cast<std::size_t>(trace.num_servers), true);
+  for (const ChaosFault& f : trace.faults) {
+    visit_down_phases(f, [&](double start, double end) {
+      if (time_s >= start && time_s < end) {
+        for (int s : f.servers) up[static_cast<std::size_t>(s)] = false;
+      }
+    });
+  }
+  return up;
+}
+
+} // namespace insp

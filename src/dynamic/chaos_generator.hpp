@@ -1,0 +1,146 @@
+// Seeded chaos scenario engine (docs/DESIGN.md §12).  The workload-event
+// layer (workload_events.hpp) models failures as *oracle* trace events: the
+// allocator is told `ServerFailure` the instant it happens.  The chaos layer
+// drops that oracle: a ChaosTrace is a ground-truth fault schedule over the
+// data servers, and everything the system may observe about it is the
+// per-server heartbeat stream derived by chaos_beats() — the failure
+// detector (src/health/) must *infer* the transitions from missed or
+// delayed beats.
+//
+// Four fault classes, the taxonomy production stream platforms actually
+// see (correlated loss, churn, gray failure, reachability):
+//
+//   RackFailure  a contiguous rack of servers fails at one instant and
+//                recovers together (correlated beat loss);
+//   Flapping     one server cycles down/up several times (churn at the
+//                detection boundary);
+//   Brownout     a slow node: beats are *delayed* past the detection
+//                timeout, not lost — the server never actually goes down,
+//                so every inference the detector makes about it is a
+//                (deliberate, measured) false positive it must also undo;
+//   Partition    a set of servers becomes unreachable — links down,
+//                servers up — which is observationally identical to
+//                failure (beats lost) but heals instantaneously.
+//
+// Everything is scheduled on the virtual clock in whole-beat units, faults
+// are disjoint in time, and the generator enforces detectability floors
+// (every down phase outlives the detection timeout, every up gap outlives
+// the recovery confirmation window, faults are spaced so inferred
+// transitions never reorder against ground truth).  Those floors are what
+// make the inferred-vs-oracle differential test subsystem possible:
+// chaos_oracle_trace() renders the same ground truth as a classic oracle
+// EventTrace, and for beat-loss classes the detector-driven replay must
+// reach the same final allocation and replay signature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/workload_events.hpp"
+
+namespace insp {
+
+enum class ChaosClass {
+  RackFailure,
+  Flapping,
+  Brownout,
+  Partition,
+};
+
+const char* to_string(ChaosClass cls);
+/// All four classes, in declaration order (bench/test sweeps).
+const std::vector<ChaosClass>& all_chaos_classes();
+/// True for the classes whose beats are lost outright (RackFailure,
+/// Flapping, Partition) — the classes covered by the oracle-equivalence
+/// rule.  Brownout delays beats instead and has no oracle transitions.
+bool is_beat_loss(ChaosClass cls);
+
+struct ChaosFault {
+  ChaosClass cls = ChaosClass::RackFailure;
+  std::vector<int> servers;  ///< affected servers, ascending
+  double start_s = 0.0;      ///< first down-phase (or brownout) onset
+  double end_s = 0.0;        ///< end of the last down phase / brownout window
+  int flaps = 1;             ///< down phases (> 1 only for Flapping)
+  double down_s = 0.0;       ///< length of each down phase (beat-loss classes)
+  double up_gap_s = 0.0;     ///< up time between flap phases
+  double beat_delay_s = 0.0; ///< Brownout: per-beat arrival delay
+};
+
+struct ChaosTrace {
+  int num_servers = 0;
+  double beat_interval_s = 1.0;
+  double horizon_s = 0.0;  ///< beats are scheduled over (0, horizon]
+  std::vector<ChaosFault> faults;  ///< disjoint in time, sorted by start
+};
+
+/// Durations below are in *beats* (multiples of beat_interval_s); the
+/// generator adds them on top of the detectability floors derived from the
+/// detector parameters, so any generated trace is fully detectable by a
+/// detector configured with the same (timeout_beats, recovery_beats).
+struct ChaosGenConfig {
+  int num_faults = 6;
+  double beat_interval_s = 1.0;
+  double timeout_beats = 3.0;  ///< must match FailureDetectorConfig
+  int recovery_beats = 2;      ///< ditto
+
+  /// Relative class weights; a weight of 0 removes the class (the
+  /// differential tests zero w_brownout to stay in the beat-loss family).
+  double w_rack = 1.0;
+  double w_flap = 1.0;
+  double w_brownout = 1.0;
+  double w_partition = 1.0;
+
+  int rack_size = 2;       ///< servers per rack (clamped to num_servers - 1)
+  int partition_size = 2;  ///< unreachable set size (ditto)
+  int flaps_lo = 2;
+  int flaps_hi = 3;
+  int extra_down_beats = 4;  ///< uniform extra down time over the floor
+  int extra_gap_beats = 6;   ///< uniform extra gap between faults
+  int start_beats = 4;       ///< quiet beats before the first fault
+};
+
+/// Deterministic given the Rng state.  Requires num_servers >= 2; affected
+/// sets never cover the whole platform, so a fully replicated world stays
+/// feasible through any single fault.
+ChaosTrace generate_chaos(Rng& rng, const ChaosGenConfig& config,
+                          int num_servers);
+
+/// One heartbeat as the monitor observes it: server `server`'s beat
+/// arriving at `time` on the virtual clock.  Beats scheduled inside a down
+/// phase are absent from the stream; brownout beats carry their delay.
+struct BeatObservation {
+  double time = 0.0;
+  int server = -1;
+};
+
+/// The beat stream of a chaos trace, sorted by (arrival time, server).
+std::vector<BeatObservation> chaos_beats(const ChaosTrace& trace);
+
+/// Ground-truth availability rendered as a classic oracle EventTrace:
+/// ServerFailure at every down-phase start and ServerRecovery at its end,
+/// sorted by (time, server).  Brownout faults contribute nothing (the
+/// server never goes down).  This is the yardstick of the differential
+/// test subsystem: replaying it must land where the detector-driven
+/// monitor lands.
+EventTrace chaos_oracle_trace(const ChaosTrace& trace);
+
+/// One ground-truth availability transition, for detection-latency scoring.
+/// Brownout faults contribute a `down` transition at onset (the node goes
+/// gray — a detector *should* flag it) and an `up` transition at onset +
+/// beat_delay (the earliest instant a delayed beat can prove life).
+struct TruthTransition {
+  double time = 0.0;
+  int server = -1;
+  bool down = false;
+  int fault = -1;  ///< index into ChaosTrace::faults
+};
+
+/// All transitions, sorted by (time, server).
+std::vector<TruthTransition> chaos_transitions(const ChaosTrace& trace);
+
+/// Ground-truth server availability at an instant (brownout servers are
+/// up: slow, not dead).  Feeds SimPlatformView::degraded for validating
+/// repaired allocations against the world as it actually is.
+std::vector<bool> servers_up_at(const ChaosTrace& trace, double time_s);
+
+} // namespace insp

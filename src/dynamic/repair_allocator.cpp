@@ -16,8 +16,6 @@ const char* to_string(EventError error) {
     case EventError::kNone: return "none";
     case EventError::kUnknownApp: return "unknown-app";
     case EventError::kDuplicateArrival: return "duplicate-arrival";
-    case EventError::kServerAlreadyDown: return "server-already-down";
-    case EventError::kServerAlreadyUp: return "server-already-up";
     case EventError::kServerOutOfRange: return "server-out-of-range";
     case EventError::kObjectOutOfRange: return "object-out-of-range";
     case EventError::kBadRate: return "bad-rate";
@@ -494,11 +492,12 @@ RepairReport DynamicAllocator::apply(const WorkloadEvent& event,
   // Precondition checks (traces are external artifacts; the text loader can
   // only check what the trace itself knows, and the allocation service
   // forwards arbitrary tenant requests here).  A rejected event changes
-  // nothing and reports a structured EventError.  One deliberate exception:
-  // RhoChange for an app that already departed stays a benign no-op — a
-  // tenant's in-flight rate update racing its own departure is normal
-  // stream behavior, while departing a tenant that was never admitted or
-  // double-failing a server signals a corrupted request stream.
+  // nothing and reports a structured EventError.  Two deliberate
+  // exceptions: RhoChange for an app that already departed stays a benign
+  // no-op (a tenant's in-flight rate update racing its own departure is
+  // normal stream behavior), and duplicate server failure/recovery takes
+  // the idempotent already-known path below — while departing a tenant
+  // that was never admitted signals a corrupted request stream.
   const auto reject = [&rep](EventError error, std::string reason) {
     rep.error = error;
     rep.failure_reason = std::move(reason);
@@ -522,18 +521,15 @@ RepairReport DynamicAllocator::apply(const WorkloadEvent& event,
         reject(EventError::kServerOutOfRange, "event: server out of range");
         return rep;
       }
-      if (event.kind == EventKind::ServerFailure &&
-          !server_up_[static_cast<std::size_t>(event.server)]) {
-        reject(EventError::kServerAlreadyDown,
-               "event: duplicate failure of server " +
-                   std::to_string(event.server));
-        return rep;
-      }
-      if (event.kind == EventKind::ServerRecovery &&
-          server_up_[static_cast<std::size_t>(event.server)]) {
-        reject(EventError::kServerAlreadyUp,
-               "event: recovery of healthy server " +
-                   std::to_string(event.server));
+      // Idempotent "already known" path: a duplicate failure (or a recovery
+      // of a healthy server) re-asserts state the allocator already holds.
+      // Failure detectors re-infer failure during in-flight recoveries as a
+      // matter of course, so this is a no-op success, not a stream error.
+      if (server_up_[static_cast<std::size_t>(event.server)] ==
+          (event.kind == EventKind::ServerRecovery)) {
+        rep.already_known = true;
+        rep.success = true;
+        rep.cost_after = rep.cost_before;
         return rep;
       }
       break;

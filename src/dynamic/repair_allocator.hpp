@@ -78,8 +78,6 @@ enum class EventError {
   kNone = 0,
   kUnknownApp,        ///< AppDeparture for an app never admitted / already gone
   kDuplicateArrival,  ///< AppArrival with an id that is already live
-  kServerAlreadyDown, ///< duplicate ServerFailure
-  kServerAlreadyUp,   ///< ServerRecovery for a healthy server
   kServerOutOfRange,
   kObjectOutOfRange,
   kBadRate,           ///< ObjectRateChange with freq <= 0
@@ -92,6 +90,13 @@ const char* to_string(EventError error);
 struct RepairReport {
   bool success = false;
   EventError error = EventError::kNone;  ///< precondition verdict (see above)
+  /// The event re-asserted platform state the allocator already holds: a
+  /// ServerFailure for a server already down, or a ServerRecovery for a
+  /// healthy server.  A failure detector legitimately re-infers failure
+  /// while an earlier inference is still being repaired (flapping at the
+  /// detection boundary), so these are idempotent successes — nothing is
+  /// re-applied, no repair pass runs — not corrupted-stream errors.
+  bool already_known = false;
   std::string failure_reason;   ///< set when the event left no valid plan
   bool used_fallback = false;   ///< targeted repair failed or was bypassed
   int violations_before = 0;    ///< overloaded processors+links post-event

@@ -27,12 +27,7 @@ struct SimSnapshot {
 };
 
 SimPlatformView degraded_view(const DynamicAllocator& engine) {
-  SimPlatformView view = SimPlatformView::uniform(engine.platform());
-  const std::vector<bool>& up = engine.servers_up();
-  for (std::size_t s = 0; s < up.size(); ++s) {
-    if (!up[s]) view.set_server_up(static_cast<int>(s), false);
-  }
-  return view;
+  return SimPlatformView::degraded(engine.platform(), engine.servers_up());
 }
 
 } // namespace

@@ -1,0 +1,72 @@
+#include "health/failure_detector.hpp"
+
+#include <algorithm>
+
+namespace insp {
+
+FailureDetector::FailureDetector(const FailureDetectorConfig& config,
+                                 int num_servers, double start_time)
+    : config_(config), now_(start_time) {
+  assert(num_servers > 0);
+  assert(config.beat_interval_s > 0.0);
+  assert(config.timeout_beats > 0.0);
+  assert(config.recovery_beats >= 1);
+  state_.resize(static_cast<std::size_t>(num_servers));
+  for (ServerState& s : state_) s.last_beat = start_time;
+}
+
+std::vector<InferredTransition> FailureDetector::advance_to(double now) {
+  assert(now >= now_);
+  std::vector<InferredTransition> out;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    ServerState& s = state_[i];
+    if (!s.up) continue;
+    const double deadline = config_.deadline_after(s.last_beat);
+    if (deadline < now) {
+      s.up = false;
+      s.chain = 0;
+      out.push_back({deadline, static_cast<int>(i), true});
+    }
+  }
+  now_ = now;
+  std::sort(out.begin(), out.end(),
+            [](const InferredTransition& a, const InferredTransition& b) {
+              return a.time != b.time ? a.time < b.time
+                                      : a.server < b.server;
+            });
+  return out;
+}
+
+std::vector<InferredTransition> FailureDetector::beat(double time,
+                                                      int server) {
+  // Expire first: anything whose deadline lies strictly before this beat's
+  // arrival — possibly the sender itself — is conclusive by now.  A beat
+  // landing exactly on its deadline is timely and expires nothing.
+  std::vector<InferredTransition> out = advance_to(time);
+  ServerState& s = state_[static_cast<std::size_t>(server)];
+  if (s.up) {
+    // After the advance every surviving up server has deadline >= time,
+    // so this beat is timely by construction: just move the deadline.
+    s.last_beat = time;
+    return out;
+  }
+  // Down: grow or restart the recovery chain.  The beat is consecutive
+  // with the previous one iff it arrived within the previous beat's
+  // tolerance window — the same canonical deadline expression.
+  s.chain = time <= config_.deadline_after(s.last_beat) ? s.chain + 1 : 1;
+  s.last_beat = time;
+  if (s.chain >= config_.recovery_beats) {
+    s.up = true;
+    s.chain = 0;
+    out.push_back({time, server, false});
+  }
+  return out;
+}
+
+std::vector<bool> FailureDetector::servers_up() const {
+  std::vector<bool> up(state_.size());
+  for (std::size_t i = 0; i < state_.size(); ++i) up[i] = state_[i].up;
+  return up;
+}
+
+} // namespace insp

@@ -1,0 +1,105 @@
+// Deterministic heartbeat failure detector (docs/DESIGN.md §12).  Every
+// data server beats on the virtual clock; the detector owns one tiny state
+// machine per server and turns the beat stream into *inferred* availability
+// transitions — the only failure/recovery knowledge the self-healing
+// control loop (health_monitor.hpp) is allowed to act on.  No oracle.
+//
+// Per-server state machine:
+//
+//        beat (t <= deadline)                     poll past deadline
+//   UP ────────────────────────▶ UP          UP ────────────────────▶ DOWN
+//        last_beat = t, deadline moves            transition at `deadline`
+//
+//        beat                                   chain == recovery_beats
+//   DOWN ───────────▶ DOWN (chain grows)    DOWN ──────────────────▶ UP
+//        chain = consecutive timely beats         transition at beat time
+//
+// Determinism contract:
+//
+//   - the expiry deadline is one canonical fp expression,
+//     FailureDetectorConfig::deadline_after(last_beat); a beat is timely
+//     iff t <= deadline.  The fuzz test's naive recompute-from-history
+//     oracle evaluates the *same* expression, so timeout-boundary cases
+//     compare exactly, not approximately;
+//   - a failure is reported the first time the clock is polled strictly
+//     past the deadline, but the transition carries time = deadline — the
+//     instant the silence became conclusive — so the inferred stream is
+//     independent of poll granularity;
+//   - advance_to() emits expiries sorted by (deadline, server), and the
+//     overall emission sequence is nondecreasing in transition time.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+namespace insp {
+
+struct FailureDetectorConfig {
+  double beat_interval_s = 1.0;
+  /// Silence tolerated before a server is declared down, in beats.
+  double timeout_beats = 3.0;
+  /// Consecutive timely beats required before a down server is trusted
+  /// again (flap damping).
+  int recovery_beats = 2;
+
+  /// The canonical expiry instant after a beat at `last_beat`.  Detector
+  /// and differential oracles must all call this — one expression, one
+  /// rounding — so boundary beats land on the same side everywhere.
+  double deadline_after(double last_beat) const {
+    return last_beat + timeout_beats * beat_interval_s;
+  }
+};
+
+/// One inferred availability transition on the virtual clock.
+struct InferredTransition {
+  double time = 0.0;
+  int server = -1;
+  bool down = false;
+};
+
+class FailureDetector {
+ public:
+  /// All servers start trusted, as if each had beaten at `start_time`.
+  FailureDetector(const FailureDetectorConfig& config, int num_servers,
+                  double start_time = 0.0);
+
+  /// Advances the clock to `now`, expiring every up server whose deadline
+  /// lies strictly in the past.  Transitions are sorted by
+  /// (deadline, server) and carry the deadline as their time.
+  std::vector<InferredTransition> advance_to(double now);
+
+  /// Observes a beat from `server` arriving at `time` (nondecreasing
+  /// across calls).  Internally advances the clock to `time` first, so the
+  /// returned transitions may include expiries of *other* servers — and of
+  /// this server itself when the beat arrives past its own deadline (a
+  /// brownout beat both convicts and begins to pardon its sender).
+  std::vector<InferredTransition> beat(double time, int server);
+
+  int num_servers() const { return static_cast<int>(state_.size()); }
+  bool is_up(int server) const {
+    return state_[static_cast<std::size_t>(server)].up;
+  }
+  /// Detector's current belief, densely indexed by server id.
+  std::vector<bool> servers_up() const;
+  /// Phi-accrual-style suspicion level: silence since the last beat in
+  /// beat intervals.  Crosses timeout_beats exactly when the server
+  /// expires; the bench reports it, the state machine thresholds on it.
+  double suspicion(int server, double now) const {
+    return (now - state_[static_cast<std::size_t>(server)].last_beat) /
+           config_.beat_interval_s;
+  }
+  const FailureDetectorConfig& config() const { return config_; }
+
+ private:
+  struct ServerState {
+    bool up = true;
+    double last_beat = 0.0;
+    int chain = 0;  ///< consecutive timely beats while down
+  };
+
+  FailureDetectorConfig config_;
+  std::vector<ServerState> state_;
+  double now_ = 0.0;
+};
+
+} // namespace insp

@@ -13,6 +13,10 @@ bool is_rate_event(EventKind kind) {
   return kind == EventKind::RhoChange || kind == EventKind::ObjectRateChange;
 }
 
+bool is_server_event(EventKind kind) {
+  return kind == EventKind::ServerFailure || kind == EventKind::ServerRecovery;
+}
+
 namespace {
 
 /// Coalescing key: two rate events collide iff they update the same knob.
@@ -29,9 +33,24 @@ CoalescedBatch coalesce_batch(const std::vector<WorkloadEvent>& batch) {
   out.applied.reserve(batch.size());
   std::size_t i = 0;
   while (i < batch.size()) {
-    if (!is_rate_event(batch[i].kind)) {  // barrier: applied verbatim
-      out.applied.push_back(batch[i]);
-      ++i;
+    if (!is_rate_event(batch[i].kind)) {  // barrier
+      // A consecutive run of identical server events collapses to one
+      // application (idempotent re-inference by the failure detector);
+      // the survivor keeps the last occurrence's position, matching the
+      // rate events' last-write-wins convention.
+      if (is_server_event(batch[i].kind)) {
+        std::size_t j = i + 1;
+        while (j < batch.size() && batch[j].kind == batch[i].kind &&
+               batch[j].server == batch[i].server) {
+          ++j;
+        }
+        out.coalesced += static_cast<int>(j - i - 1);
+        out.applied.push_back(batch[j - 1]);
+        i = j;
+      } else {  // structural barrier: applied verbatim
+        out.applied.push_back(batch[i]);
+        ++i;
+      }
       continue;
     }
     // Maximal run of rate events [i, j): keep the last update per knob.

@@ -16,8 +16,14 @@
 //     per object type; earlier ones are acknowledged without a repair pass
 //     (last-write-wins, exactly what the tenant observes from a sequential
 //     application of the run).  Structural and server events
-//     (arrival/departure/failure/recovery) are barriers: they never
-//     coalesce, and rate updates never reorder across them.
+//     (arrival/departure/failure/recovery) are barriers: rate updates never
+//     reorder across them.  One refinement for the health layer, whose
+//     failure detector may re-assert a failure it already reported while
+//     the repair is in flight: a consecutive run of *identical* server
+//     events (same kind, same server) collapses to a single application —
+//     DynamicAllocator::apply treats the duplicates as idempotent no-ops
+//     anyway, so collapsing them saves the shard a repair pass per
+//     duplicate without changing what any tenant observes.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +39,10 @@ std::int64_t batch_epoch(double time_s, double window_s);
 
 /// True for the event kinds that participate in last-write-wins coalescing.
 bool is_rate_event(EventKind kind);
+
+/// True for ServerFailure / ServerRecovery — the kinds whose identical
+/// consecutive repeats collapse to one application (see above).
+bool is_server_event(EventKind kind);
 
 struct CoalescedBatch {
   /// Surviving events, in their original relative order (a survivor keeps

@@ -12,6 +12,15 @@ SimPlatformView SimPlatformView::uniform(const Platform& platform) {
   return view;
 }
 
+SimPlatformView SimPlatformView::degraded(const Platform& platform,
+                                          const std::vector<bool>& server_up) {
+  SimPlatformView view = uniform(platform);
+  for (std::size_t s = 0; s < server_up.size(); ++s) {
+    if (!server_up[s]) view.set_server_up(static_cast<int>(s), false);
+  }
+  return view;
+}
+
 void SimPlatformView::set_server_up(int server, bool up) {
   assert(server >= 0);
   const auto s = static_cast<std::size_t>(server);
@@ -31,6 +40,12 @@ void SimPlatformView::set_link_bandwidth(int proc_u, int proc_v, MBps bw) {
   } else {
     link_overrides_.insert(it, {key, bw});
   }
+}
+
+void SimPlatformView::scale_links(double factor) {
+  assert(factor > 0.0);
+  default_link_pp_ *= factor;
+  for (auto& entry : link_overrides_) entry.second *= factor;
 }
 
 MBps SimPlatformView::link_bandwidth(int proc_u, int proc_v) const {

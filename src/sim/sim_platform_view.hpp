@@ -31,6 +31,16 @@ class SimPlatformView {
   /// the uniform link_proc_proc() bandwidth.
   static SimPlatformView uniform(const Platform& platform);
 
+  /// Degraded view: uniform() with the servers whose `server_up` flag is
+  /// false marked down.  Flags are indexed by server id; ids beyond the
+  /// vector are up.  This covers both true failures and partitions ("links
+  /// down, servers up"): an unreachable server delivers nothing to any
+  /// processor, which is all the simulator can observe about it.  Shared by
+  /// the scenario engine and the health monitor so oracle-driven and
+  /// detector-driven replays validate against identical views.
+  static SimPlatformView degraded(const Platform& platform,
+                                  const std::vector<bool>& server_up);
+
   MBps default_link_bandwidth() const { return default_link_pp_; }
 
   /// Marks a server up/down.  Grows the flag set on demand, so a view built
@@ -46,6 +56,11 @@ class SimPlatformView {
   void set_link_bandwidth(int proc_u, int proc_v, MBps bw);
   /// Pair bandwidth: the override if one was set, else the uniform default.
   MBps link_bandwidth(int proc_u, int proc_v) const;
+
+  /// Brownout view: scales the uniform default and every per-pair override
+  /// by `factor` (factor < 1 slows the interconnect, e.g. a congested
+  /// fabric during a slow-node brownout).  Requires factor > 0.
+  void scale_links(double factor);
 
  private:
   MBps default_link_pp_ = 0.0;

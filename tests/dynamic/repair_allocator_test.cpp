@@ -305,7 +305,7 @@ TEST(DynamicAllocator, DepartureOfUnknownAppIsRejected) {
   EXPECT_EQ(engine.num_live_apps(), 1);
 }
 
-TEST(DynamicAllocator, DuplicateServerFailureAndRecoveryAreRejected) {
+TEST(DynamicAllocator, DuplicateServerFailureAndRecoveryAreIdempotent) {
   auto w = make_world(32);
   DynamicAllocator engine(w.apps, w.platform, w.catalog);
   ASSERT_TRUE(engine.initialize(42).success);
@@ -314,30 +314,45 @@ TEST(DynamicAllocator, DuplicateServerFailureAndRecoveryAreRejected) {
   WorkloadEvent fail;
   fail.kind = EventKind::ServerFailure;
   fail.server = 0;
-  ASSERT_TRUE(engine.apply(fail, no_trace).success);
-  ASSERT_EQ(engine.num_servers_down(), 1);
-
-  // Failing the same server again is a corrupted stream, not a no-op.
   RepairReport rep = engine.apply(fail, no_trace);
-  EXPECT_FALSE(rep.success);
-  EXPECT_EQ(rep.error, EventError::kServerAlreadyDown);
+  ASSERT_TRUE(rep.success);
+  EXPECT_FALSE(rep.already_known);
+  ASSERT_EQ(engine.num_servers_down(), 1);
+  const Allocation after_failure = engine.allocation();
+
+  // A detector re-inferring an in-flight failure is a no-op success: the
+  // allocation is untouched, no repair pass runs, nothing is double-applied.
+  rep = engine.apply(fail, no_trace);
+  EXPECT_TRUE(rep.success);
+  EXPECT_TRUE(rep.already_known);
+  EXPECT_EQ(rep.error, EventError::kNone);
+  EXPECT_EQ(rep.ops_moved, 0);
+  EXPECT_EQ(rep.procs_bought, 0);
+  EXPECT_EQ(rep.reconfigures, 0);
+  EXPECT_EQ(rep.cost_after, rep.cost_before);
   EXPECT_EQ(engine.num_servers_down(), 1);
+  EXPECT_TRUE(engine.allocation() == after_failure);
 
   WorkloadEvent recover;
   recover.kind = EventKind::ServerRecovery;
   recover.server = 0;
-  ASSERT_TRUE(engine.apply(recover, no_trace).success);
-  EXPECT_EQ(engine.num_servers_down(), 0);
-
-  // Recovering a healthy server likewise.
   rep = engine.apply(recover, no_trace);
-  EXPECT_FALSE(rep.success);
-  EXPECT_EQ(rep.error, EventError::kServerAlreadyUp);
+  ASSERT_TRUE(rep.success);
+  EXPECT_FALSE(rep.already_known);
   EXPECT_EQ(engine.num_servers_down(), 0);
 
-  // Successful events report kNone.
-  ASSERT_TRUE(engine.apply(fail, no_trace).success);
-  EXPECT_EQ(engine.apply(recover, no_trace).error, EventError::kNone);
+  // Recovering a healthy server is likewise already known.
+  rep = engine.apply(recover, no_trace);
+  EXPECT_TRUE(rep.success);
+  EXPECT_TRUE(rep.already_known);
+  EXPECT_EQ(engine.num_servers_down(), 0);
+
+  // Fresh transitions keep reporting kNone and already_known == false.
+  rep = engine.apply(fail, no_trace);
+  EXPECT_FALSE(rep.already_known);
+  rep = engine.apply(recover, no_trace);
+  EXPECT_EQ(rep.error, EventError::kNone);
+  EXPECT_FALSE(rep.already_known);
 }
 
 TEST(DynamicAllocator, AlwaysFallbackModeMatchesScratchPipeline) {

@@ -1,0 +1,92 @@
+// Determinism of the chaos control loop (docs/DESIGN.md §12): the health
+// monitor's replay signature, summary, and final allocation must be
+// bit-identical for every validation thread count and under every forced
+// SIMD dispatch tier the host can execute — the same contract the sweep
+// engine, the scenario engine, and the allocation service uphold.  Runs
+// under the plain, ASan/UBSan, and TSan CI jobs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_support/chaos_world.hpp"
+#include "health/health_monitor.hpp"
+#include "util/simd.hpp"
+
+namespace insp {
+namespace {
+
+using benchx::ChaosWorld;
+using benchx::make_chaos_world;
+
+std::vector<simd::Isa> available_isas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::detected_isa() >= simd::Isa::kSse2) isas.push_back(simd::Isa::kSse2);
+  if (simd::detected_isa() >= simd::Isa::kAvx2) isas.push_back(simd::Isa::kAvx2);
+  return isas;
+}
+
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::Isa isa) { simd::set_forced_isa(isa); }
+  ~ScopedIsa() { simd::clear_forced_isa(); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+};
+
+ChaosWorld mixed_world() {
+  ChaosGenConfig cfg;  // all four classes in one trace
+  cfg.num_faults = 5;
+  return make_chaos_world(42, {40, 2}, cfg);
+}
+
+HealthMonitorResult run(const ChaosWorld& world, int num_threads) {
+  HealthMonitorOptions opts;
+  opts.seed = 42;
+  opts.simulate = true;  // the parallel validation pass is what threads touch
+  opts.num_threads = num_threads;
+  return run_health_monitor(world.apps, world.platform, world.catalog,
+                            world.trace, opts);
+}
+
+void expect_identical(const HealthMonitorResult& a,
+                      const HealthMonitorResult& b, const char* label) {
+  EXPECT_EQ(a.signature, b.signature) << label;
+  EXPECT_TRUE(a.final_allocation == b.final_allocation) << label;
+  EXPECT_EQ(a.summary.events, b.summary.events) << label;
+  EXPECT_EQ(a.summary.failures, b.summary.failures) << label;
+  EXPECT_EQ(a.summary.simulated, b.summary.simulated) << label;
+  EXPECT_EQ(a.summary.sustained, b.summary.sustained) << label;
+  ASSERT_EQ(a.inferred.size(), b.inferred.size()) << label;
+  for (std::size_t i = 0; i < a.inferred.size(); ++i) {
+    EXPECT_EQ(a.inferred[i].time, b.inferred[i].time) << label;
+    EXPECT_EQ(a.inferred[i].server, b.inferred[i].server) << label;
+    EXPECT_EQ(a.inferred[i].down, b.inferred[i].down) << label;
+  }
+}
+
+TEST(ChaosDeterminism, SignatureIsIdenticalAcrossThreadCounts) {
+  const ChaosWorld world = mixed_world();
+  const HealthMonitorResult serial = run(world, 1);
+  ASSERT_GT(serial.summary.events, 0);
+  ASSERT_GT(serial.summary.simulated, 0);
+  for (int threads : {2, 8}) {
+    expect_identical(serial, run(world, threads),
+                     ("threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(ChaosDeterminism, SignatureIsIdenticalAcrossForcedIsaTiers) {
+  const ChaosWorld world = mixed_world();
+  HealthMonitorResult baseline;
+  {
+    ScopedIsa forced(simd::Isa::kScalar);
+    baseline = run(world, 2);
+  }
+  for (simd::Isa isa : available_isas()) {
+    ScopedIsa forced(isa);
+    expect_identical(baseline, run(world, 2), simd::to_string(isa));
+  }
+}
+
+} // namespace
+} // namespace insp

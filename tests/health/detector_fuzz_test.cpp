@@ -1,0 +1,116 @@
+// Detector fuzz (docs/DESIGN.md §12): a seeded 1000-step walk over beat
+// schedules — beats dropped, delayed (including landing *exactly* on the
+// timeout boundary), restored, flapping at the detection threshold, mixed
+// with polls of random granularity — checked after every step against a
+// naive oracle that recomputes each server's state from its full beat
+// history from scratch.  The incremental state machine and the naive
+// recompute share only the canonical deadline expression
+// (FailureDetectorConfig::deadline_after), so boundary cases compare
+// exactly, not approximately.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "health/failure_detector.hpp"
+#include "util/rng.hpp"
+
+namespace insp {
+namespace {
+
+/// Naive oracle: given a server's complete beat history (ascending arrival
+/// times) and the current poll time, replay the rules from scratch —
+/// O(history) per query, structured as a fold over history rather than an
+/// event-driven machine.
+bool naive_is_up(const FailureDetectorConfig& cfg,
+                 const std::vector<double>& history, double now) {
+  bool up = true;
+  double last = 0.0;  // servers start as if they beat at t = 0
+  int chain = 0;
+  for (double b : history) {
+    if (up && cfg.deadline_after(last) < b) {
+      up = false;
+      chain = 0;
+    }
+    if (up) {
+      last = b;
+      continue;
+    }
+    chain = b <= cfg.deadline_after(last) ? chain + 1 : 1;
+    last = b;
+    if (chain >= cfg.recovery_beats) {
+      up = true;
+      chain = 0;
+    }
+  }
+  if (up && cfg.deadline_after(last) < now) up = false;
+  return up;
+}
+
+TEST(DetectorFuzz, ThousandStepWalkMatchesNaiveRecomputeFromHistory) {
+  constexpr int kServers = 4;
+  constexpr int kSteps = 1000;
+  FailureDetectorConfig cfg;
+  cfg.beat_interval_s = 1.0;
+  cfg.timeout_beats = 3.0;
+  cfg.recovery_beats = 2;
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    FailureDetector det(cfg, kServers);
+    std::vector<std::vector<double>> history(kServers);
+    std::vector<double> last_beat(kServers, 0.0);
+    double now = 0.0;
+    double last_transition_time = 0.0;
+    std::vector<int> last_dir(kServers, -1);  // -1 none, 1 down, 0 up
+
+    Rng rng(seed * 0x9e3779b97f4a7c15ull);
+    for (int step = 0; step < kSteps; ++step) {
+      std::vector<InferredTransition> emitted;
+      const int action = static_cast<int>(rng.uniform_int(0, 9));
+      if (action < 7) {
+        // Beat from a random server.  Arrival time: usually a short hop
+        // forward (dropping / restoring beats arises from which servers
+        // the walk happens to pick), sometimes *exactly* the sender's
+        // timeout boundary, sometimes just past it — the flapping-at-the-
+        // threshold cases.
+        const int s = static_cast<int>(rng.index(kServers));
+        double t;
+        const int flavor = static_cast<int>(rng.uniform_int(0, 4));
+        const double boundary = cfg.deadline_after(last_beat[s]);
+        if (flavor == 0 && boundary >= now) {
+          t = boundary;  // timely by exactly zero margin
+        } else if (flavor == 1 && boundary + 0.25 >= now) {
+          t = boundary + 0.25;  // conclusively late
+        } else {
+          t = now + 0.25 * static_cast<double>(rng.uniform_int(0, 6));
+        }
+        emitted = det.beat(t, s);
+        history[static_cast<std::size_t>(s)].push_back(t);
+        last_beat[s] = t;
+        now = t;
+      } else {
+        // Poll of random granularity, including zero-width.
+        now += 0.25 * static_cast<double>(rng.uniform_int(0, 12));
+        emitted = det.advance_to(now);
+      }
+
+      // Emission sanity: nondecreasing times, per-server alternation.
+      for (const InferredTransition& tr : emitted) {
+        EXPECT_GE(tr.time, last_transition_time);
+        last_transition_time = tr.time;
+        EXPECT_NE(last_dir[tr.server], tr.down ? 1 : 0)
+            << "duplicate transition for server " << tr.server;
+        last_dir[tr.server] = tr.down ? 1 : 0;
+      }
+      // The oracle: every server's belief recomputed from scratch.
+      for (int s = 0; s < kServers; ++s) {
+        ASSERT_EQ(det.is_up(s),
+                  naive_is_up(cfg, history[static_cast<std::size_t>(s)], now))
+            << "seed " << seed << " step " << step << " server " << s
+            << " now " << now;
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,134 @@
+// Unit tests of the heartbeat failure detector's state machine (docs/
+// DESIGN.md §12): the canonical deadline expression, boundary beats,
+// poll-granularity independence, the recovery-confirmation chain, and the
+// brownout case where one delayed beat both convicts and begins to pardon
+// its sender.
+#include <gtest/gtest.h>
+
+#include "health/failure_detector.hpp"
+
+namespace insp {
+namespace {
+
+FailureDetectorConfig config(double timeout_beats = 3.0,
+                             int recovery_beats = 2) {
+  FailureDetectorConfig cfg;
+  cfg.beat_interval_s = 1.0;
+  cfg.timeout_beats = timeout_beats;
+  cfg.recovery_beats = recovery_beats;
+  return cfg;
+}
+
+TEST(FailureDetector, SilentServerExpiresAtItsDeadline) {
+  FailureDetector det(config(), /*num_servers=*/2);
+  // Server 0 beats; server 1 stays silent from its assumed beat at t=0.
+  EXPECT_TRUE(det.beat(1.0, 0).empty());
+  EXPECT_TRUE(det.beat(2.0, 0).empty());
+  // Polling far past both deadlines reports both expiries, each carrying
+  // its own deadline as the transition time, sorted by (time, server):
+  // server 1 died at 0 + 3, server 0 at 2 + 3.
+  const std::vector<InferredTransition> got = det.advance_to(10.0);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].time, 3.0);
+  EXPECT_EQ(got[0].server, 1);
+  EXPECT_TRUE(got[0].down);
+  EXPECT_EQ(got[1].time, 5.0);
+  EXPECT_EQ(got[1].server, 0);
+  EXPECT_TRUE(got[1].down);
+  EXPECT_FALSE(det.is_up(0));
+  EXPECT_FALSE(det.is_up(1));
+}
+
+TEST(FailureDetector, TransitionTimeIsIndependentOfPollGranularity) {
+  // Same silence, two poll schedules: one coarse jump vs many fine steps.
+  FailureDetector coarse(config(), 1);
+  const std::vector<InferredTransition> a = coarse.advance_to(9.0);
+  FailureDetector fine(config(), 1);
+  std::vector<InferredTransition> b;
+  for (double t = 0.25; t <= 9.0; t += 0.25) {
+    for (const InferredTransition& tr : fine.advance_to(t)) b.push_back(tr);
+  }
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].time, b[0].time);  // == the deadline, 3.0, both ways
+  EXPECT_EQ(a[0].time, 3.0);
+}
+
+TEST(FailureDetector, BoundaryBeatIsTimely) {
+  FailureDetector det(config(), 1);
+  // Deadline after the assumed beat at 0 is exactly 3.0; polling *to* the
+  // deadline expires nothing, and a beat landing exactly on it is timely.
+  EXPECT_TRUE(det.advance_to(3.0).empty());
+  EXPECT_TRUE(det.beat(3.0, 0).empty());
+  EXPECT_TRUE(det.is_up(0));
+  // One tick past the next deadline (6.0) is conclusive.
+  const std::vector<InferredTransition> got = det.advance_to(6.5);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].time, 6.0);
+}
+
+TEST(FailureDetector, RecoveryNeedsConsecutiveTimelyBeats) {
+  FailureDetector det(config(3.0, /*recovery_beats=*/3), 1);
+  ASSERT_EQ(det.advance_to(10.0).size(), 1u);  // down at 3.0
+  // Two timely beats, then a gap that breaks the chain.
+  EXPECT_TRUE(det.beat(10.0, 0).empty());
+  EXPECT_TRUE(det.beat(11.0, 0).empty());
+  EXPECT_TRUE(det.beat(20.0, 0).empty());  // late: chain restarts at 1
+  EXPECT_FALSE(det.is_up(0));
+  // Three consecutive timely beats from here: trusted again at the third.
+  EXPECT_TRUE(det.beat(21.0, 0).empty());
+  const std::vector<InferredTransition> got = det.beat(22.0, 0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].time, 22.0);
+  EXPECT_FALSE(got[0].down);
+  EXPECT_TRUE(det.is_up(0));
+}
+
+TEST(FailureDetector, DelayedBeatConvictsAndBeginsToPardonItsSender) {
+  // Brownout shape: beats at 1 and 2, then the beat scheduled at 3 arrives
+  // at 7.5 — past the deadline 2 + 3 = 5.  The single beat() call reports
+  // the expiry (at the deadline, not at arrival) and starts the recovery
+  // chain; the next delayed beat completes it (recovery_beats = 2).
+  FailureDetector det(config(), 1);
+  EXPECT_TRUE(det.beat(1.0, 0).empty());
+  EXPECT_TRUE(det.beat(2.0, 0).empty());
+  const std::vector<InferredTransition> conviction = det.beat(7.5, 0);
+  ASSERT_EQ(conviction.size(), 1u);
+  EXPECT_EQ(conviction[0].time, 5.0);
+  EXPECT_TRUE(conviction[0].down);
+  EXPECT_FALSE(det.is_up(0));
+  const std::vector<InferredTransition> pardon = det.beat(8.5, 0);
+  ASSERT_EQ(pardon.size(), 1u);
+  EXPECT_EQ(pardon[0].time, 8.5);
+  EXPECT_FALSE(pardon[0].down);
+  EXPECT_TRUE(det.is_up(0));
+}
+
+TEST(FailureDetector, SuspicionCrossesTimeoutExactlyAtExpiry) {
+  FailureDetector det(config(), 1);
+  det.beat(2.0, 0);
+  EXPECT_EQ(det.suspicion(0, 2.0), 0.0);
+  EXPECT_EQ(det.suspicion(0, 3.5), 1.5);
+  EXPECT_EQ(det.suspicion(0, 5.0), det.config().timeout_beats);
+  EXPECT_GT(det.suspicion(0, 5.25), det.config().timeout_beats);
+}
+
+TEST(FailureDetector, ServersUpTracksBeliefs) {
+  FailureDetector det(config(3.0, 1), 3);
+  det.beat(3.0, 0);
+  det.beat(3.0, 2);
+  det.advance_to(4.0);  // server 1 expired at 3.0
+  const std::vector<bool> up = det.servers_up();
+  ASSERT_EQ(up.size(), 3u);
+  EXPECT_TRUE(up[0]);
+  EXPECT_FALSE(up[1]);
+  EXPECT_TRUE(up[2]);
+  // recovery_beats == 1: a single beat restores trust immediately.
+  const std::vector<InferredTransition> got = det.beat(5.0, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_FALSE(got[0].down);
+  EXPECT_TRUE(det.is_up(1));
+}
+
+} // namespace
+} // namespace insp

@@ -14,8 +14,10 @@
 #include <sstream>
 #include <string>
 
+#include "bench_support/chaos_world.hpp"
 #include "bench_support/dynamic_world.hpp"
 #include "dynamic/scenario_engine.hpp"
+#include "health/health_monitor.hpp"
 #include "service/service_replay.hpp"
 
 namespace insp {
@@ -62,6 +64,27 @@ TEST(ReplaySignatureGolden, BenchDynamicSmokeSignatureIsPinned) {
       world.apps, world.platform, world.catalog, world.trace, opts);
   EXPECT_EQ(to_hex(result.signature),
             to_hex(golden.at("bench_dynamic_smoke")));
+}
+
+TEST(ReplaySignatureGolden, BenchChaosSmokeSignaturesArePinned) {
+  const auto golden = load_golden();
+  // Exactly bench_chaos --smoke --seed 42, one row per chaos class.  The
+  // signature covers the detector-inferred repair trajectory and the final
+  // allocation only, so the post-hoc simulation pass is skipped.
+  for (ChaosClass cls : all_chaos_classes()) {
+    const std::string key =
+        std::string("bench_chaos_smoke_") + to_string(cls);
+    ASSERT_TRUE(golden.count(key)) << key;
+    const benchx::ChaosWorld world = benchx::make_chaos_world(
+        42, benchx::chaos_smoke_scale(), benchx::chaos_smoke_config(cls));
+    HealthMonitorOptions opts;
+    opts.seed = 42;
+    opts.simulate = false;
+    const HealthMonitorResult run = run_health_monitor(
+        world.apps, world.platform, world.catalog, world.trace, opts);
+    EXPECT_EQ(to_hex(run.signature), to_hex(golden.at(key)))
+        << to_string(cls);
+  }
 }
 
 TEST(ReplaySignatureGolden, BenchServiceSmokeSignaturesArePinned) {

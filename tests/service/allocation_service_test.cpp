@@ -151,6 +151,47 @@ TEST(BatchPlanner, StructuralEventsAreCoalescingBarriers) {
   EXPECT_DOUBLE_EQ(out.applied[2].rho, 0.9);
 }
 
+TEST(BatchPlanner, IdenticalServerEventRunsCollapseToOne) {
+  const auto server_event = [](EventKind kind, int server) {
+    WorkloadEvent e;
+    e.kind = kind;
+    e.server = server;
+    return e;
+  };
+  // A detector re-asserting a failure mid-repair: three identical failures
+  // of server 2 collapse to one, but the interleaved failure of server 0
+  // and the later recovery of server 2 are distinct state transitions.
+  std::vector<WorkloadEvent> batch{
+      server_event(EventKind::ServerFailure, 2),
+      server_event(EventKind::ServerFailure, 2),
+      server_event(EventKind::ServerFailure, 0),
+      server_event(EventKind::ServerFailure, 2),
+      server_event(EventKind::ServerRecovery, 2),
+  };
+  const CoalescedBatch out = coalesce_batch(batch);
+  EXPECT_EQ(out.coalesced, 1);
+  ASSERT_EQ(out.applied.size(), 4u);
+  EXPECT_EQ(out.applied[0].kind, EventKind::ServerFailure);
+  EXPECT_EQ(out.applied[0].server, 2);
+  EXPECT_EQ(out.applied[1].server, 0);
+  EXPECT_EQ(out.applied[2].server, 2);
+  EXPECT_EQ(out.applied[3].kind, EventKind::ServerRecovery);
+
+  // Rate updates never reorder across a server event, even a collapsed run.
+  std::vector<WorkloadEvent> mixed{
+      rate_event(EventKind::RhoChange, 0, 0.4),
+      server_event(EventKind::ServerFailure, 1),
+      server_event(EventKind::ServerFailure, 1),
+      rate_event(EventKind::RhoChange, 0, 0.9),
+  };
+  const CoalescedBatch out2 = coalesce_batch(mixed);
+  EXPECT_EQ(out2.coalesced, 1);
+  ASSERT_EQ(out2.applied.size(), 3u);
+  EXPECT_DOUBLE_EQ(out2.applied[0].rho, 0.4);
+  EXPECT_EQ(out2.applied[1].kind, EventKind::ServerFailure);
+  EXPECT_DOUBLE_EQ(out2.applied[2].rho, 0.9);
+}
+
 // --- service vs sequential reference --------------------------------------
 
 std::vector<ShardSpec> small_shards(int count) {
