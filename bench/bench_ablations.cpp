@@ -1,13 +1,25 @@
 // Ablations of the documented design decisions (docs/DESIGN.md §3): how
 // much do (a) SBU's opportunistic sibling-processor coalescing and (b) the
-// iterated (transitive) grouping technique matter, and (c) how often does
-// the three-loop server selection succeed where random selection fails.
-// Every variant (default and ablation) is pulled from the strategy registry.
+// iterated (transitive) grouping technique matter, (c) how often does the
+// three-loop server selection succeed where random selection fails, and
+// (d) how much of the subexpression analysis' *predicted* sharing savings
+// the fold pass (multi/subexpression_fold) actually *realizes* as fleet
+// cost, sim-verified.  Section (d) emits machine-readable
+// BENCH_ablations.json (schema checked in CI by
+// scripts/check_bench_json.py); --gate makes an unrealized saving or an
+// unsustained plan a hard failure.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/downgrade.hpp"
 #include "core/server_selection.hpp"
+#include "multi/multi_app.hpp"
+#include "multi/subexpression.hpp"
+#include "multi/subexpression_fold.hpp"
+#include "platform/server_distribution.hpp"
+#include "sim/event_sim.hpp"
 
 using namespace insp;
 using namespace insp::benchx;
@@ -51,11 +63,144 @@ void print_stats(const char* name, const VariantStats& s) {
   }
 }
 
+// ---- (d) realized vs predicted subexpression sharing. ----------------------
+
+struct FoldRow {
+  int rep = 0;
+  int num_apps = 0;
+  int operators_forest = 0;
+  int operators_folded = 0;
+  int shared_nodes = 0;
+  double predicted_work_saved = 0.0;
+  double predicted_cost_bound = 0.0;
+  double realized_work_saved = 0.0;
+  double unfolded_cost = 0.0;
+  double folded_cost = 0.0;
+  double realized_cost_saving = 0.0;
+  bool both_allocated = false;
+  bool unfolded_sustained = false;
+  bool folded_sustained = false;
+};
+
+/// Seeded shared-subexpression workload: three applications, two of them
+/// identical (guaranteed maximal sharing), one independent, over one object
+/// catalog.  The duplicated pair is what the fold pass can merge; the
+/// third keeps the allocator honest about coexisting unshared work.
+FoldRow run_fold_rep(int rep, std::uint64_t seed) {
+  FoldRow row;
+  row.rep = rep;
+  Rng gen(seed);
+  ObjectCatalog objects = ObjectCatalog::random(gen, 15, 5.0, 30.0, 0.5);
+  TreeGenConfig tcfg;
+  tcfg.num_operators = 20;
+  tcfg.alpha = 1.0;
+  std::vector<ApplicationSpec> apps;
+  {
+    Rng t(seed * 3 + 1);
+    apps.push_back({generate_random_tree(t, tcfg, objects), 1.0});
+  }
+  {
+    Rng t(seed * 3 + 1);  // identical draw: shared subexpressions
+    apps.push_back({generate_random_tree(t, tcfg, objects), 1.0});
+  }
+  {
+    Rng t(seed * 3 + 2);
+    apps.push_back({generate_random_tree(t, tcfg, objects), 1.0});
+  }
+  row.num_apps = static_cast<int>(apps.size());
+
+  ServerDistConfig dist;
+  const Platform platform = make_paper_platform(gen, dist);
+  const PriceCatalog catalog = PriceCatalog::paper_default();
+
+  const SharingSavings predicted = estimate_sharing_savings(apps, catalog);
+  row.predicted_work_saved = predicted.work_saved;
+  row.predicted_cost_bound = predicted.cost_bound;
+
+  const CombinedApplication c = combine_applications(apps);
+  const FoldResult f = fold_shared_subexpressions(c.forest);
+  row.operators_forest = f.stats.operators_before;
+  row.operators_folded = f.stats.operators_after;
+  row.shared_nodes = f.stats.shared_nodes;
+  row.realized_work_saved = f.stats.work_saved;
+
+  Problem unfolded;
+  unfolded.tree = &c.forest;
+  unfolded.platform = &platform;
+  unfolded.catalog = &catalog;
+  Problem folded = unfolded;
+  folded.tree = &f.dag;
+
+  Rng r1(seed ^ 0x5bd1e995u), r2(seed ^ 0x5bd1e995u);
+  const AllocationOutcome before =
+      allocate(unfolded, HeuristicKind::SubtreeBottomUp, r1);
+  const AllocationOutcome after =
+      allocate(folded, HeuristicKind::SubtreeBottomUp, r2);
+  row.both_allocated = before.success && after.success;
+  if (!row.both_allocated) return row;
+
+  row.unfolded_cost = before.cost;
+  row.folded_cost = after.cost;
+  row.realized_cost_saving = before.cost - after.cost;
+  row.unfolded_sustained =
+      simulate_allocation(unfolded, before.allocation).sustained;
+  row.folded_sustained =
+      simulate_allocation(folded, after.allocation).sustained;
+  return row;
+}
+
+void write_fold_json(const std::string& path, std::uint64_t seed,
+                     const std::vector<FoldRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablations\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const FoldRow& r = rows[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"rep\": %d,\n", r.rep);
+    std::fprintf(f, "      \"num_apps\": %d,\n", r.num_apps);
+    std::fprintf(f, "      \"operators_forest\": %d,\n", r.operators_forest);
+    std::fprintf(f, "      \"operators_folded\": %d,\n", r.operators_folded);
+    std::fprintf(f, "      \"shared_nodes\": %d,\n", r.shared_nodes);
+    std::fprintf(f, "      \"predicted_work_saved\": %.4f,\n",
+                 r.predicted_work_saved);
+    std::fprintf(f, "      \"predicted_cost_bound\": %.4f,\n",
+                 r.predicted_cost_bound);
+    std::fprintf(f, "      \"realized_work_saved\": %.4f,\n",
+                 r.realized_work_saved);
+    std::fprintf(f, "      \"unfolded_cost\": %.2f,\n", r.unfolded_cost);
+    std::fprintf(f, "      \"folded_cost\": %.2f,\n", r.folded_cost);
+    std::fprintf(f, "      \"realized_cost_saving\": %.2f,\n",
+                 r.realized_cost_saving);
+    std::fprintf(f, "      \"both_allocated\": %s,\n",
+                 r.both_allocated ? "true" : "false");
+    std::fprintf(f, "      \"unfolded_sustained\": %s,\n",
+                 r.unfolded_sustained ? "true" : "false");
+    std::fprintf(f, "      \"folded_sustained\": %s\n",
+                 r.folded_sustained ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
   const BenchFlags flags =
       parse_flags(argc, argv, /*default_reps=*/20, /*accepts_heuristics=*/false);
+  const std::string json_path = args.get("json", "BENCH_ablations.json");
+  const bool smoke = args.get_bool("smoke", false);
+  const bool gate = args.get_bool("gate", false);
+  const int reps = smoke ? std::min(flags.repetitions, 5) : flags.repetitions;
 
   std::printf("Ablations of documented design decisions\n"
               "========================================\n\n");
@@ -64,7 +209,7 @@ int main(int argc, char** argv) {
   for (double alpha : {0.9, 1.5}) {
     for (int n : {40, 80}) {
       VariantStats with_coalesce, without_coalesce;
-      for (int rep = 0; rep < flags.repetitions; ++rep) {
+      for (int rep = 0; rep < reps; ++rep) {
         const Instance inst = make_instance(flags.seed + rep,
                                             paper_instance(n, alpha));
         const Problem prob = inst.problem();
@@ -84,7 +229,7 @@ int main(int argc, char** argv) {
               "N=30, alpha=0.9):\n");
   {
     VariantStats iterated, pair_only;
-    for (int rep = 0; rep < flags.repetitions; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
       InstanceConfig cfg = paper_instance(30, 0.9);
       cfg.tree.object_size_lo = 450.0;
       cfg.tree.object_size_hi = 530.0;
@@ -104,7 +249,7 @@ int main(int argc, char** argv) {
               "N=30, alpha=0.9):\n");
   {
     VariantStats three_loop, random_sel;
-    for (int rep = 0; rep < flags.repetitions; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
       InstanceConfig cfg = paper_instance(30, 0.9);
       cfg.tree.object_size_lo = 450.0;
       cfg.tree.object_size_hi = 530.0;
@@ -117,6 +262,57 @@ int main(int argc, char** argv) {
     }
     print_stats("three-loop selection (default)", three_loop);
     print_stats("random selection", random_sel);
+  }
+
+  // ---- (d) subexpression folding: realized vs predicted savings. -----------
+  std::printf("\nSubexpression folding (SBU, 3 apps with one duplicated "
+              "pair, N=20):\n");
+  std::printf("  %-4s %-11s %-10s %-10s %-10s %-10s %-9s %s\n", "rep",
+              "pred Mops", "real Mops", "unfolded$", "folded$", "saved$",
+              "sustained", "ops");
+  std::vector<FoldRow> fold_rows;
+  int compared = 0, saved = 0, unsustained = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const FoldRow row = run_fold_rep(rep, flags.seed + static_cast<std::uint64_t>(rep));
+    fold_rows.push_back(row);
+    if (!row.both_allocated) {
+      std::printf("  %-4d allocation failed on one side\n", rep);
+      continue;
+    }
+    ++compared;
+    if (row.realized_cost_saving > 0.0) ++saved;
+    if (!row.unfolded_sustained || !row.folded_sustained) ++unsustained;
+    std::printf("  %-4d %-11.0f %-10.0f %-10.0f %-10.0f %-10.0f %d/%d       "
+                "%d->%d\n",
+                rep, row.predicted_work_saved, row.realized_work_saved,
+                row.unfolded_cost, row.folded_cost, row.realized_cost_saving,
+                row.unfolded_sustained ? 1 : 0, row.folded_sustained ? 1 : 0,
+                row.operators_forest, row.operators_folded);
+  }
+  std::printf("  folding lowered fleet cost in %d/%d comparable runs\n",
+              saved, compared);
+
+  write_fold_json(json_path, flags.seed, fold_rows);
+  std::printf("\njson written to %s\n", json_path.c_str());
+
+  if (gate) {
+    // The fold pass must realize savings, not just predict them: every
+    // comparable run sim-sustained on both sides, never a cost regression,
+    // and a strict improvement in at least one run.
+    bool regressed = false;
+    for (const FoldRow& r : fold_rows) {
+      if (r.both_allocated && r.realized_cost_saving < 0.0) regressed = true;
+    }
+    if (compared == 0 || unsustained > 0 || regressed || saved == 0) {
+      std::fprintf(stderr,
+                   "GATE FAILED: compared=%d unsustained=%d regressed=%d "
+                   "saved=%d\n",
+                   compared, unsustained, regressed ? 1 : 0, saved);
+      return 1;
+    }
+    std::printf("gate passed: %d comparable runs, all sustained, "
+                "%d with strictly lower cost\n",
+                compared, saved);
   }
   return 0;
 }

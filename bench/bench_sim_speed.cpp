@@ -104,13 +104,14 @@ SimWorld make_world(std::uint64_t seed, int n_operators) {
   {
     std::vector<std::pair<long long, double>> acc;  // (pair key, edge MB)
     for (const auto& n : tree.operators()) {
-      if (n.parent == kNoNode) continue;
       const int u = alloc.op_to_proc[static_cast<std::size_t>(n.id)];
-      const int v = alloc.op_to_proc[static_cast<std::size_t>(n.parent)];
-      if (u == v) continue;
-      acc.push_back({static_cast<long long>(std::min(u, v)) * n_procs +
-                         std::max(u, v),
-                     n.output_mb});
+      for (const OutEdge& e : n.out) {
+        const int v = alloc.op_to_proc[static_cast<std::size_t>(e.dst)];
+        if (u == v) continue;
+        acc.push_back({static_cast<long long>(std::min(u, v)) * n_procs +
+                           std::max(u, v),
+                       e.delta});
+      }
     }
     std::sort(acc.begin(), acc.end());
     double run = 0.0;
@@ -130,10 +131,11 @@ SimWorld make_world(std::uint64_t seed, int n_operators) {
       PriceCatalog(10.0, {{max_cpu * 1.01, 0.0}}, {{max_nic * 1.01, 0.0}}),
       std::move(alloc)};
   for (const auto& n : world.tree.operators()) {
-    if (n.parent == kNoNode) continue;
-    if (world.alloc.op_to_proc[static_cast<std::size_t>(n.id)] !=
-        world.alloc.op_to_proc[static_cast<std::size_t>(n.parent)]) {
-      ++world.crossing_edges;
+    const int u = world.alloc.op_to_proc[static_cast<std::size_t>(n.id)];
+    for (const OutEdge& e : n.out) {
+      if (world.alloc.op_to_proc[static_cast<std::size_t>(e.dst)] != u) {
+        ++world.crossing_edges;
+      }
     }
   }
   return world;

@@ -49,6 +49,13 @@ REQUIRED_ROW_KEYS = {
         "sim_caps_throughput", "speedup_vs_scalar", "verdicts_match",
         "allocations_per_probe",
     },
+    "ablations": {
+        "rep", "num_apps", "operators_forest", "operators_folded",
+        "shared_nodes", "predicted_work_saved", "predicted_cost_bound",
+        "realized_work_saved", "unfolded_cost", "folded_cost",
+        "realized_cost_saving", "both_allocated", "unfolded_sustained",
+        "folded_sustained",
+    },
     "chaos": {
         "chaos_class", "faults", "truth_down", "detected", "detection_rate",
         "mean_detection_beats", "median_repair_ms", "mean_recovery_beats",

@@ -59,15 +59,34 @@ std::vector<ProcessorLoads> compute_processor_loads(const Problem& problem,
     }
   }
 
-  // Crossing tree edges.
+  // Crossing edges: one shipment per (producer, distinct destination
+  // processor) at the max out-edge delta into it (multicast dedup,
+  // docs/DESIGN.md §13) — the single child->parent edge on trees.
   for (const auto& n : tree.operators()) {
-    if (n.parent == kNoNode) continue;
     const int uc = alloc.op_to_proc[static_cast<std::size_t>(n.id)];
-    const int up = alloc.op_to_proc[static_cast<std::size_t>(n.parent)];
-    if (uc == kNoNode || up == kNoNode || uc == up) continue;
-    const MBps v = problem.rho * n.output_mb;
-    loads[static_cast<std::size_t>(uc)].comm_out += v;
-    loads[static_cast<std::size_t>(up)].comm_in += v;
+    if (uc == kNoNode) continue;
+    const auto& out = n.out;
+    for (std::size_t a = 0; a < out.size(); ++a) {
+      const int up = alloc.op_to_proc[static_cast<std::size_t>(out[a].dst)];
+      if (up == kNoNode || up == uc) continue;
+      bool first = true;
+      for (std::size_t b = 0; b < a; ++b) {
+        if (alloc.op_to_proc[static_cast<std::size_t>(out[b].dst)] == up) {
+          first = false;
+          break;
+        }
+      }
+      if (!first) continue;
+      MegaBytes mx = out[a].delta;
+      for (std::size_t b = a + 1; b < out.size(); ++b) {
+        if (alloc.op_to_proc[static_cast<std::size_t>(out[b].dst)] == up) {
+          mx = std::max(mx, out[b].delta);
+        }
+      }
+      const MBps v = problem.rho * mx;
+      loads[static_cast<std::size_t>(uc)].comm_out += v;
+      loads[static_cast<std::size_t>(up)].comm_in += v;
+    }
   }
   return loads;
 }

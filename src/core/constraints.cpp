@@ -1,5 +1,6 @@
 #include "core/constraints.hpp"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -188,14 +189,34 @@ class Checker {
         fail(ViolationKind::ServerProcLink, ss.str());
       }
     }
-    // (5) processor<->processor links.
+    // (5) processor<->processor links.  A producer ships its result once
+    // per distinct destination processor, at the max out-edge delta into it
+    // (multicast dedup, docs/DESIGN.md §13); on trees this is the single
+    // child->parent edge at rho * output_mb, as before.
     std::map<std::pair<int, int>, MBps> pp_link;
     for (const auto& n : tree.operators()) {
-      if (n.parent == kNoNode) continue;
       const int uc = a_.op_to_proc[static_cast<std::size_t>(n.id)];
-      const int up = a_.op_to_proc[static_cast<std::size_t>(n.parent)];
-      if (uc == kNoNode || up == kNoNode || uc == up) continue;
-      pp_link[{std::min(uc, up), std::max(uc, up)}] += p_.rho * n.output_mb;
+      if (uc == kNoNode) continue;
+      const auto& out = n.out;
+      for (std::size_t a = 0; a < out.size(); ++a) {
+        const int up = a_.op_to_proc[static_cast<std::size_t>(out[a].dst)];
+        if (up == kNoNode || up == uc) continue;
+        bool first = true;
+        for (std::size_t b = 0; b < a; ++b) {
+          if (a_.op_to_proc[static_cast<std::size_t>(out[b].dst)] == up) {
+            first = false;
+            break;
+          }
+        }
+        if (!first) continue;
+        MegaBytes mx = out[a].delta;
+        for (std::size_t b = a + 1; b < out.size(); ++b) {
+          if (a_.op_to_proc[static_cast<std::size_t>(out[b].dst)] == up) {
+            mx = std::max(mx, out[b].delta);
+          }
+        }
+        pp_link[{std::min(uc, up), std::max(uc, up)}] += p_.rho * mx;
+      }
     }
     for (const auto& [key, load] : pp_link) {
       if (!fits_within(load, plat.link_proc_proc())) {

@@ -10,8 +10,11 @@ PlacementOutcome place_comm_greedy(PlacementState& state, Rng& /*rng*/) {
 
   // Edges (child -> parent) by non-increasing communication volume: "picks
   // the two operators that have the largest communication requirements".
-  for (int child : edges_by_volume_desc(tree)) {
-    const int parent = tree.op(child).parent;
+  // On a DAG a shared child appears once per consumer, so every
+  // producer/consumer pair gets its co-location attempt.
+  for (const EdgeRef& edge : edges_by_volume_desc(tree)) {
+    const int child = edge.child;
+    const int parent = edge.parent;
     const int uc = state.proc_of(child);
     const int up = state.proc_of(parent);
 

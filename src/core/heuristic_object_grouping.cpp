@@ -70,6 +70,20 @@ PlacementOutcome place_object_grouping(PlacementState& state, Rng& /*rng*/) {
       }
       state.try_place({op}, *pid);
     }
+    // DAG-aware co-consumer pull: a child of an operator seated here ships
+    // its result to this processor once, so the child's *other* consumers
+    // ride the same shipment for free — co-locate the unassigned ones when
+    // they fit.  On trees each child's only consumer is already here, so
+    // this adds zero probes and the tree behavior is unchanged.
+    const std::vector<int> here = state.ops_on(*pid);
+    for (int op : here) {
+      for (int c : tree.op(op).children) {
+        for (const OutEdge& e : tree.op(c).out) {
+          if (state.proc_of(e.dst) != kNoNode) continue;
+          state.try_place({e.dst}, *pid);
+        }
+      }
+    }
   }
 
   // Non-al operators that fit on no seed processor get their own

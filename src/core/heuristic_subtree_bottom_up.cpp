@@ -21,10 +21,13 @@ void grow_to_fixpoint(PlacementState& state, int pid) {
     changed = false;
     const std::vector<int> snapshot = state.ops_on(pid);
     for (int op : snapshot) {
-      // Pull the parent next to its child.
-      const int parent = tree.op(op).parent;
-      if (parent != kNoNode && state.proc_of(parent) != pid) {
-        if (state.try_place({parent}, pid)) changed = true;
+      // Pull every consumer next to its child (the single parent on trees;
+      // each sharing parent on a DAG — co-locating all of them makes the
+      // shared shipment free).
+      for (const OutEdge& e : tree.op(op).out) {
+        if (state.proc_of(e.dst) != pid) {
+          if (state.try_place({e.dst}, pid)) changed = true;
+        }
       }
       // Absorb whole child processors (subtree consolidation).
       for (int c : tree.op(op).children) {
@@ -44,14 +47,31 @@ void grow_to_fixpoint(PlacementState& state, int pid) {
 void consolidation_sweep(PlacementState& state) {
   const OperatorTree& tree = *state.problem().tree;
   for (;;) {
-    // Pairwise crossing traffic.
+    // Pairwise crossing traffic, deduped per (producer, distinct
+    // destination processor) at the max out-edge delta — matching the
+    // charging semantics (docs/DESIGN.md §13); the per-edge output_mb on
+    // trees, as before.
     std::map<std::pair<int, int>, MBps> traffic;
     for (const auto& n : tree.operators()) {
-      if (n.parent == kNoNode) continue;
       const int a = state.proc_of(n.id);
-      const int b = state.proc_of(n.parent);
-      if (a == kNoNode || b == kNoNode || a == b) continue;
-      traffic[{std::min(a, b), std::max(a, b)}] += n.output_mb;
+      if (a == kNoNode) continue;
+      for (std::size_t i = 0; i < n.out.size(); ++i) {
+        const int b = state.proc_of(n.out[i].dst);
+        if (b == kNoNode || b == a) continue;
+        bool first = true;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (state.proc_of(n.out[j].dst) == b) {
+            first = false;
+            break;
+          }
+        }
+        if (!first) continue;
+        MegaBytes mx = n.out[i].delta;
+        for (std::size_t j = i + 1; j < n.out.size(); ++j) {
+          if (state.proc_of(n.out[j].dst) == b) mx = std::max(mx, n.out[j].delta);
+        }
+        traffic[{std::min(a, b), std::max(a, b)}] += mx;
+      }
     }
     std::vector<std::pair<std::pair<int, int>, MBps>> pairs(traffic.begin(),
                                                             traffic.end());

@@ -72,6 +72,14 @@ struct BatchFootprint {
   double ext_total = 0.0;  ///< Σ edge volume toward external neighbors
   double link_cap = 0.0;   ///< uniform processor-pair link capacity
   bool relaxed = false;
+  /// Some external child of the group has more than one *assigned* consumer
+  /// (shared subexpression, docs/DESIGN.md §13): it may already ship to an
+  /// existing candidate, which this candidate-independent footprint cannot
+  /// represent.  PlacementState::batch_probe resolves every lane through
+  /// the sequential probe when set; always false on tree-shaped inputs.
+  /// The fresh-processor path (soa_probe_configs) stays exact regardless —
+  /// a new processor hosts no consumers.
+  bool has_shared_child = false;
 
   /// Distinct processors hosting external neighbors of the group, with the
   /// total edge volume the placement would realize toward each.

@@ -180,18 +180,26 @@ bool PlacementState::touched_no_worse() const {
 
 // --- assignment -------------------------------------------------------------
 
+// Comm charging under multicast dedup (docs/DESIGN.md §13): a producer
+// ships its result ONCE per distinct destination processor, at the largest
+// out-edge delta into it.  The incremental charge when an edge endpoint
+// arrives/leaves is therefore max-over-edges "after" minus "before".  For
+// trees every out-degree is 1, before is always 0, and `x - 0.0 == x`
+// bit-for-bit — the charges reduce exactly to the historical per-edge ones.
+
 void PlacementState::assign_op(int op, int pid) {
   assert(proc_of(op) == kNoNode);
   if (txn_mode_ != TxnMode::kNone) {
     touch_proc(pid);
     if (txn_mode_ == TxnMode::kFull) moved_ops_.emplace_back(op, kNoNode);
   }
+  const OperatorTree& tree = *problem_.tree;
   auto& p = proc(pid);
   op_to_proc_[static_cast<std::size_t>(op)] = pid;
   sorted_erase(unassigned_ids_, op);
   p.ops.push_back(op);
-  p.work += problem_.tree->op(op).work;
-  problem_.tree->visit_object_types(op, [&](int t) {
+  p.work += tree.op(op).work;
+  tree.visit_object_types(op, [&](int t) {
     auto it = std::lower_bound(
         p.type_count.begin(), p.type_count.end(), t,
         [](const std::pair<int, int>& e, int type) { return e.first < type; });
@@ -199,17 +207,59 @@ void PlacementState::assign_op(int op, int pid) {
       ++it->second;
     } else {
       p.type_count.insert(it, {t, 1});
-      p.download += problem_.tree->catalog().type(t).rate();
+      p.download += tree.catalog().type(t).rate();
     }
   });
-  for_each_neighbor(op, [&](int nb, MBps volume) {
-    const int q = proc_of(nb);
-    if (q == kNoNode || q == pid) return;
+  const auto charge = [&](int q, MBps volume) {
     if (txn_mode_ != TxnMode::kNone) touch_proc(q);
     p.comm += volume;
     proc(q).comm += volume;
     pp_links_.add(pid, q, volume);
-  });
+  };
+  // Producer side: op starts shipping its output — once per distinct
+  // destination processor, at the max delta into it (first-occurrence scan;
+  // out-degrees are tiny, so O(deg^2) beats any allocation).
+  const auto& out = tree.op(op).out;
+  for (std::size_t a = 0; a < out.size(); ++a) {
+    const int q = proc_of(out[a].dst);
+    if (q == kNoNode || q == pid) continue;
+    bool first = true;
+    for (std::size_t b = 0; b < a; ++b) {
+      if (proc_of(out[b].dst) == q) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    MegaBytes mx = out[a].delta;
+    for (std::size_t b = a + 1; b < out.size(); ++b) {
+      if (proc_of(out[b].dst) == q) mx = std::max(mx, out[b].delta);
+    }
+    charge(q, problem_.rho * mx);
+  }
+  // Consumer side: each distinct assigned child now (also) ships to pid;
+  // its charge toward pid moves from the pre-assignment max to the new max.
+  const auto& ch = tree.op(op).children;
+  for (std::size_t a = 0; a < ch.size(); ++a) {
+    const int c = ch[a];
+    bool first = true;
+    for (std::size_t b = 0; b < a; ++b) {
+      if (ch[b] == c) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    const int q = proc_of(c);
+    if (q == kNoNode || q == pid) continue;
+    MegaBytes before = 0.0, after = 0.0;
+    for (const OutEdge& e : tree.op(c).out) {
+      if (proc_of(e.dst) != pid) continue;
+      after = std::max(after, e.delta);
+      if (e.dst != op) before = std::max(before, e.delta);
+    }
+    charge(q, problem_.rho * after - problem_.rho * before);
+  }
 }
 
 void PlacementState::unassign_op(int op) {
@@ -219,15 +269,56 @@ void PlacementState::unassign_op(int op) {
     touch_proc(pid);
     if (txn_mode_ == TxnMode::kFull) moved_ops_.emplace_back(op, pid);
   }
+  const OperatorTree& tree = *problem_.tree;
   auto& p = proc(pid);
-  for_each_neighbor(op, [&](int nb, MBps volume) {
-    const int q = proc_of(nb);
-    if (q == kNoNode || q == pid) return;
+  const auto discharge = [&](int q, MBps volume) {
     if (txn_mode_ != TxnMode::kNone) touch_proc(q);
     p.comm -= volume;
     proc(q).comm -= volume;
     pp_links_.remove(pid, q, volume);
-  });
+  };
+  // Producer side: op stops shipping — remove the full deduped charge.
+  const auto& out = tree.op(op).out;
+  for (std::size_t a = 0; a < out.size(); ++a) {
+    const int q = proc_of(out[a].dst);
+    if (q == kNoNode || q == pid) continue;
+    bool first = true;
+    for (std::size_t b = 0; b < a; ++b) {
+      if (proc_of(out[b].dst) == q) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    MegaBytes mx = out[a].delta;
+    for (std::size_t b = a + 1; b < out.size(); ++b) {
+      if (proc_of(out[b].dst) == q) mx = std::max(mx, out[b].delta);
+    }
+    discharge(q, problem_.rho * mx);
+  }
+  // Consumer side: each distinct assigned child drops from the current max
+  // toward pid to the max without op (op is still in op_to_proc_ here).
+  const auto& ch = tree.op(op).children;
+  for (std::size_t a = 0; a < ch.size(); ++a) {
+    const int c = ch[a];
+    bool first = true;
+    for (std::size_t b = 0; b < a; ++b) {
+      if (ch[b] == c) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    const int q = proc_of(c);
+    if (q == kNoNode || q == pid) continue;
+    MegaBytes cur = 0.0, without = 0.0;
+    for (const OutEdge& e : tree.op(c).out) {
+      if (proc_of(e.dst) != pid) continue;
+      cur = std::max(cur, e.delta);
+      if (e.dst != op) without = std::max(without, e.delta);
+    }
+    discharge(q, problem_.rho * cur - problem_.rho * without);
+  }
   problem_.tree->visit_object_types(op, [&](int t) {
     auto it = std::lower_bound(
         p.type_count.begin(), p.type_count.end(), t,
@@ -389,33 +480,103 @@ bool PlacementState::batch_footprint(const int* ops, std::size_t n,
   fp_.relaxed = relaxed;
   fp_.link_cap = pp_links_.capacity();
   fp_.sum_w = 0.0;
+  fp_.has_shared_child = false;
   fp_.gtypes.clear();
   fp_.gtype_rate.clear();
   fp_.ext_pid.clear();
   fp_.ext_vol.clear();
   batch_ext_slot_.assign(procs_.size(), -1);
-  for (int op : batch_group_) {
-    fp_.sum_w += tree.op(op).work;
-    tree.visit_object_types(op, [&](int t) {
+  const auto slot_add = [&](int q, MBps volume) {
+    int slot = batch_ext_slot_[static_cast<std::size_t>(q)];
+    if (slot < 0) {
+      slot = static_cast<int>(fp_.ext_pid.size());
+      batch_ext_slot_[static_cast<std::size_t>(q)] = slot;
+      fp_.ext_pid.push_back(q);
+      fp_.ext_vol.push_back(0.0);
+    }
+    fp_.ext_vol[static_cast<std::size_t>(slot)] += volume;
+  };
+  // Replays the sequential probe's member-by-member charging (docs/DESIGN.md
+  // §10, §13) against a hypothetical candidate hosting the whole group, so
+  // the accumulation order — and thus every FP sum — matches the sequential
+  // path exactly on trees.
+  for (std::size_t ib = 0; ib < batch_group_.size(); ++ib) {
+    const int m = batch_group_[ib];
+    fp_.sum_w += tree.op(m).work;
+    tree.visit_object_types(m, [&](int t) {
       if (std::find(fp_.gtypes.begin(), fp_.gtypes.end(), t) ==
           fp_.gtypes.end()) {
         fp_.gtypes.push_back(t);
         fp_.gtype_rate.push_back(tree.catalog().type(t).rate());
       }
     });
-    for_each_neighbor(op, [&](int nb, MBps volume) {
-      if (batch_group_pos_[static_cast<std::size_t>(nb)] != 0) return;
-      const int q = proc_of(nb);
-      if (q == kNoNode) return;
-      int slot = batch_ext_slot_[static_cast<std::size_t>(q)];
-      if (slot < 0) {
-        slot = static_cast<int>(fp_.ext_pid.size());
-        batch_ext_slot_[static_cast<std::size_t>(q)] = slot;
-        fp_.ext_pid.push_back(q);
-        fp_.ext_vol.push_back(0.0);
+    // Producer side: m ships once per distinct external destination
+    // processor, at the max out-edge delta into it.  Out-edges to group
+    // members are co-located on the candidate: free, like the sequential
+    // assign (their proc is kNoNode under the open baseline anyway).
+    const auto& out = tree.op(m).out;
+    for (std::size_t a = 0; a < out.size(); ++a) {
+      if (batch_group_pos_[static_cast<std::size_t>(out[a].dst)] != 0) {
+        continue;
       }
-      fp_.ext_vol[static_cast<std::size_t>(slot)] += volume;
-    });
+      const int q = proc_of(out[a].dst);
+      if (q == kNoNode) continue;
+      bool first = true;
+      for (std::size_t b = 0; b < a; ++b) {
+        const int dst = out[b].dst;
+        if (batch_group_pos_[static_cast<std::size_t>(dst)] == 0 &&
+            proc_of(dst) == q) {
+          first = false;
+          break;
+        }
+      }
+      if (!first) continue;
+      MegaBytes mx = out[a].delta;
+      for (std::size_t b = a + 1; b < out.size(); ++b) {
+        const int dst = out[b].dst;
+        if (batch_group_pos_[static_cast<std::size_t>(dst)] == 0 &&
+            proc_of(dst) == q) {
+          mx = std::max(mx, out[b].delta);
+        }
+      }
+      slot_add(q, problem_.rho * mx);
+    }
+    // Consumer side: each distinct external assigned child ships to the
+    // candidate; its charge steps from the max over *earlier* group
+    // consumers to the max including m — summed over members this telescopes
+    // to the deduped max, in the sequential accumulation order.
+    const auto& ch = tree.op(m).children;
+    for (std::size_t a = 0; a < ch.size(); ++a) {
+      const int c = ch[a];
+      if (batch_group_pos_[static_cast<std::size_t>(c)] != 0) continue;
+      bool first = true;
+      for (std::size_t b = 0; b < a; ++b) {
+        if (ch[b] == c) {
+          first = false;
+          break;
+        }
+      }
+      if (!first) continue;
+      const int q = proc_of(c);
+      if (q == kNoNode) continue;
+      MegaBytes before = 0.0, after = 0.0;
+      for (const OutEdge& e : tree.op(c).out) {
+        const int pos = batch_group_pos_[static_cast<std::size_t>(e.dst)];
+        if (pos == 0) {
+          // A shared external child with another *assigned* consumer may
+          // already ship to one of the candidates, which this
+          // candidate-independent footprint cannot see — those lanes are
+          // resolved through the sequential path (batch_probe).
+          if (proc_of(e.dst) != kNoNode) fp_.has_shared_child = true;
+          continue;
+        }
+        if (pos - 1 <= static_cast<int>(ib)) {
+          after = std::max(after, e.delta);
+          if (pos - 1 < static_cast<int>(ib)) before = std::max(before, e.delta);
+        }
+      }
+      slot_add(q, problem_.rho * after - problem_.rho * before);
+    }
   }
   double ext_total = 0.0;
   for (double v : fp_.ext_vol) ext_total += v;
@@ -488,7 +649,13 @@ void PlacementState::batch_probe(const int* ops, std::size_t n,
   batch_skip_.assign(num, 0);
   for (std::size_t i = 0; i < num; ++i) {
     assert(is_live(pids[i]));
-    if (proc_is_source_[static_cast<std::size_t>(pids[i])]) {
+    // Candidates hosting group members keep partial-move semantics, and a
+    // shared external child may already ship to *any* existing candidate —
+    // both are invisible to the candidate-independent footprint, so those
+    // lanes fall back to the sequential probe.  has_shared_child is always
+    // false on trees, keeping the fast path byte-identical there.
+    if (proc_is_source_[static_cast<std::size_t>(pids[i])] ||
+        fp_.has_shared_child) {
       batch_skip_[i] = 1;
       any_skip = true;
     }
@@ -664,20 +831,33 @@ void PlacementState::refresh_op_demand(int op, MegaOps old_work,
   if (pid != kNoNode) {
     proc(pid).work += node.work - old_work;
   }
-  // Only op's *output* edge depends on op's own delta; edges to children
+  // Only op's *output* edges depend on op's own delta; edges to children
   // carry the children's deltas and are refreshed by their own calls.
-  const int parent = node.parent;
-  if (pid == kNoNode || parent == kNoNode) return;
-  const int q = proc_of(parent);
-  if (q == kNoNode || q == pid) return;
+  // set_demand writes the new output_mb into every out-edge delta and the
+  // previous deltas were uniform (== old_output_mb) by the same contract,
+  // so each distinct destination's deduped max moves by exactly dv.
+  if (pid == kNoNode) return;
   const MBps dv = problem_.rho * (node.output_mb - old_output_mb);
   if (dv == 0.0) return;
-  proc(pid).comm += dv;
-  proc(q).comm += dv;
-  if (dv > 0.0) {
-    pp_links_.add(pid, q, dv);
-  } else {
-    pp_links_.remove(pid, q, -dv);
+  const auto& out = node.out;
+  for (std::size_t a = 0; a < out.size(); ++a) {
+    const int q = proc_of(out[a].dst);
+    if (q == kNoNode || q == pid) continue;
+    bool first = true;
+    for (std::size_t b = 0; b < a; ++b) {
+      if (proc_of(out[b].dst) == q) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    proc(pid).comm += dv;
+    proc(q).comm += dv;
+    if (dv > 0.0) {
+      pp_links_.add(pid, q, dv);
+    } else {
+      pp_links_.remove(pid, q, -dv);
+    }
   }
 }
 

@@ -2,12 +2,15 @@
 // of purchased processors, the (partial) operator assignment, and the
 // incremental load accounting the feasibility checks run against.
 //
-// Semantics (docs/DESIGN.md §3): tree edges to *unassigned* neighbors
+// Semantics (docs/DESIGN.md §3, §13): edges to *unassigned* neighbors
 // consume no bandwidth; a realized cross-processor edge is charged to both
-// processor NICs and to the pairwise link.  Downloads are charged per
-// processor and per distinct object type (two co-located operators share a
-// download; the same type on two processors is downloaded twice, per the
-// paper).
+// processor NICs and to the pairwise link.  A shared producer (several
+// out-edges) sends its result ONCE per distinct destination processor —
+// the charge to a destination is the max out-edge delta into it, not the
+// sum (multicast dedup); for trees (single out-edge) this is exactly the
+// historical per-edge charge.  Downloads are charged per processor and per
+// distinct object type (two co-located operators share a download; the
+// same type on two processors is downloaded twice, per the paper).
 //
 // `try_place` is transactional (docs/DESIGN.md §5): the move is applied
 // incrementally under an undo journal, only the processors and pairwise
@@ -203,13 +206,14 @@ class PlacementState {
   /// server-selection phase).  Requires all operators assigned.
   Allocation to_allocation() const;
 
-  /// Tree neighbors (parent + operator children) of `op`, with the data
+  /// Graph neighbors (consumers + operator children) of `op`, with the data
   /// volume (rho * delta) carried by the connecting edge.
   std::vector<std::pair<int, MBps>> neighbors(int op) const;
 
   /// Allocation-free neighbors(): calls fn(neighbor op, rho * edge volume)
-  /// for the parent (first) and each operator child, in the same order
-  /// neighbors() lists them.
+  /// for each consumer (out-edges first, in order) and each operator child,
+  /// in the same order neighbors() lists them.  On trees this is the
+  /// historical parent-then-children order.
   template <typename Fn>
   void visit_neighbors(int op, Fn&& fn) const {
     for_each_neighbor(op, static_cast<Fn&&>(fn));
@@ -275,16 +279,16 @@ class PlacementState {
 
   void assign_op(int op, int pid);
   void unassign_op(int op);
-  /// Calls fn(neighbor op, rho * edge volume) for the parent (first) and
-  /// each operator child, exactly like neighbors() but allocation-free.
-  /// Defined here so the public visit_neighbors() wrapper instantiates in
-  /// every caller's TU.
+  /// Calls fn(neighbor op, rho * edge volume) for each consumer (out-edges
+  /// in order, so the tree parent comes first) and each operator child,
+  /// exactly like neighbors() but allocation-free.  Defined here so the
+  /// public visit_neighbors() wrapper instantiates in every caller's TU.
   template <typename Fn>
   void for_each_neighbor(int op, Fn&& fn) const {
     const OperatorTree& tree = *problem_.tree;
     const auto& n = tree.op(op);
-    if (n.parent != kNoNode) {
-      fn(n.parent, problem_.rho * n.output_mb);
+    for (const OutEdge& e : n.out) {
+      fn(e.dst, problem_.rho * e.delta);
     }
     for (int c : n.children) {
       fn(c, problem_.rho * tree.op(c).output_mb);

@@ -43,10 +43,22 @@ std::string build_ilp_lp_format(const Problem& problem,
   const int C = cat.num_configs();
   const int S = plat.num_servers();
 
-  // Edges: child operators with a parent.
-  std::vector<int> edges;
+  // Edges: one (child, parent) pair per out-edge, in operator order then
+  // out-edge order — the historical child-id order on trees.  NOTE: the
+  // model charges each edge independently; it does not apply the multicast
+  // dedup of docs/DESIGN.md §13, so on shared-subexpression DAGs the ILP
+  // bandwidth rows are a conservative over-estimate (any ILP-feasible
+  // placement remains feasible under the deduped semantics).
+  struct IlpEdge {
+    int child;
+    int parent;
+    double delta;
+  };
+  std::vector<IlpEdge> edges;
   for (const auto& n : tree.operators()) {
-    if (n.parent != kNoNode) edges.push_back(n.id);
+    for (const OutEdge& oe : n.out) {
+      edges.push_back(IlpEdge{n.id, oe.dst, oe.delta});
+    }
   }
   // Types actually needed by the application.
   std::set<int> types;
@@ -105,8 +117,8 @@ std::string build_ilp_lp_format(const Problem& problem,
 
   // ---- z linking: z >= xc + xp - 1, z <= xc, z <= xp. ----------------------
   for (std::size_t e = 0; e < edges.size(); ++e) {
-    const int child = edges[e];
-    const int parent = tree.op(child).parent;
+    const int child = edges[e].child;
+    const int parent = edges[e].parent;
     for (int u = 0; u < U; ++u) {
       for (int v = 0; v < U; ++v) {
         if (u == v) continue;
@@ -170,7 +182,7 @@ std::string build_ilp_lp_format(const Problem& problem,
       }
     }
     for (std::size_t e = 0; e < edges.size(); ++e) {
-      const double vol = rho * tree.op(edges[e]).output_mb;
+      const double vol = rho * edges[e].delta;
       for (int v = 0; v < U; ++v) {
         if (v == u) continue;
         // outbound (child here) and inbound (parent here).
@@ -229,7 +241,7 @@ std::string build_ilp_lp_format(const Problem& problem,
       std::ostringstream body;
       bool first = true;
       for (std::size_t e = 0; e < edges.size(); ++e) {
-        const double vol = rho * tree.op(edges[e]).output_mb;
+        const double vol = rho * edges[e].delta;
         body << (first ? "" : " + ") << vol << " "
              << z(static_cast<int>(e), u, v) << " + " << vol << " "
              << z(static_cast<int>(e), v, u);

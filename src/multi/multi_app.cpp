@@ -55,7 +55,7 @@ CombinedApplication combine_applications(
     for (const auto& n : tree.operators()) {
       OperatorNode copy = n;
       copy.id = n.id + op_offset;
-      copy.parent = n.parent == kNoNode ? kNoNode : n.parent + op_offset;
+      for (OutEdge& e : copy.out) e.dst += op_offset;
       for (int& c : copy.children) c += op_offset;
       for (int& l : copy.leaves) l += leaf_offset;
       // Fold the application's throughput into its demands: constraint (1)
@@ -63,6 +63,7 @@ CombinedApplication combine_applications(
       // solved at rho = 1.  Download rates are not folded (eq. rate_k).
       copy.work = rho * n.work;
       copy.output_mb = rho * n.output_mb;
+      for (OutEdge& e : copy.out) e.delta = rho * e.delta;
       ops.push_back(std::move(copy));
       out.app_of_op.push_back(static_cast<int>(a));
     }

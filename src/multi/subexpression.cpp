@@ -82,7 +82,7 @@ std::vector<SharedSubexpression> find_common_subexpressions(
   // duplicated (the parent group already accounts for the sharing).
   auto parent_duplicated = [&](const SubexprOccurrence& occ) {
     const OperatorTree& tree = apps[static_cast<std::size_t>(occ.app)].tree;
-    const int parent = tree.op(occ.op).parent;
+    const int parent = tree.op(occ.op).parent();
     if (parent == kNoNode) return false;
     const auto& psig =
         memos[static_cast<std::size_t>(occ.app)][static_cast<std::size_t>(

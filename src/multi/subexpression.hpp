@@ -9,11 +9,13 @@
 // commutative, as in the paper's "mutable applications" discussion).
 //
 // Executing merged subexpressions requires a DAG execution model (an
-// operator output feeding several parents), which is outside the paper's
-// tree model — and ours.  This module therefore provides the *analysis*:
-// it finds every shared subexpression and bounds the resources (CPU work,
-// download bandwidth) that a DAG-capable engine could save, turning the
-// paper's qualitative remark into numbers.
+// operator output feeding several parents).  The application model supports
+// exactly that — tree/operator_tree.hpp gives every operator an explicit
+// out-edge list — so this module's *analysis* (find every shared
+// subexpression, bound the CPU work and download bandwidth sharing could
+// save) is paired with the *transform* in multi/subexpression_fold.hpp,
+// which rewrites a combined forest into a shared-subexpression DAG and
+// turns the predicted savings into realized fleet-cost reduction.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,129 @@
+#include "multi/subexpression_fold.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace insp {
+
+FoldResult fold_shared_subexpressions(const OperatorTree& forest) {
+  const int n = forest.num_operators();
+  const auto nn = static_cast<std::size_t>(n);
+
+  FoldResult out;
+  out.stats.operators_before = n;
+  out.old_to_new.assign(nn, kNoNode);
+  if (n == 0) {
+    out.dag = forest;
+    return out;
+  }
+
+  // Pass 1 — canonicalize bottom-up.  canon[i] is the first-seen operator
+  // with operator i's signature (leaf-type multiset + canonical-child-id
+  // multiset, order-insensitive).  Roots never join a group and never act
+  // as a representative: each application keeps its own result stream, and
+  // a root gaining out-edges would stop being a root.
+  std::vector<int> canon(nn, kNoNode);
+  std::map<std::string, int> first_seen;
+  for (int op : forest.bottom_up_order()) {
+    const OperatorNode& node = forest.op(op);
+    if (node.out.empty()) {  // declared root
+      canon[static_cast<std::size_t>(op)] = op;
+      continue;
+    }
+    std::vector<std::string> parts;
+    parts.reserve(node.leaves.size() + node.children.size());
+    for (int l : node.leaves) {
+      parts.push_back("o" + std::to_string(forest.leaf(l).object_type));
+    }
+    for (int c : node.children) {
+      parts.push_back(
+          "#" + std::to_string(canon[static_cast<std::size_t>(c)]));
+    }
+    std::sort(parts.begin(), parts.end());
+    std::string sig;
+    for (const std::string& p : parts) {
+      sig += p;
+      sig += ' ';
+    }
+    const auto [it, inserted] = first_seen.emplace(sig, op);
+    canon[static_cast<std::size_t>(op)] = it->second;
+    if (!inserted) {
+      ++out.stats.merged_occurrences;
+      out.stats.work_saved += node.work;
+    }
+  }
+
+  // Pass 2 — renumber survivors densely, preserving id order.
+  std::vector<int> new_id(nn, kNoNode);
+  int next = 0;
+  for (int i = 0; i < n; ++i) {
+    if (canon[static_cast<std::size_t>(i)] == i) {
+      new_id[static_cast<std::size_t>(i)] = next++;
+    }
+  }
+  out.stats.operators_after = next;
+  for (int i = 0; i < n; ++i) {
+    out.old_to_new[static_cast<std::size_t>(i)] =
+        new_id[static_cast<std::size_t>(canon[static_cast<std::size_t>(i)])];
+  }
+
+  // Pass 3 — build the folded node set.  A representative's demands are the
+  // max over its merged occurrences; out-edges are rebuilt from the
+  // surviving consumers' child lists so each consumer edge carries the
+  // occurrence's own folded output_mb.
+  std::vector<OperatorNode> ops(static_cast<std::size_t>(next));
+  std::vector<LeafRef> leaves;
+  for (int i = 0; i < n; ++i) {
+    const OperatorNode& src = forest.op(i);
+    const int rep = canon[static_cast<std::size_t>(i)];
+    OperatorNode& dst =
+        ops[static_cast<std::size_t>(new_id[static_cast<std::size_t>(rep)])];
+    if (rep == i) {
+      dst.id = new_id[static_cast<std::size_t>(i)];
+      dst.work = src.work;
+      dst.output_mb = src.output_mb;
+      for (int c : src.children) {
+        dst.children.push_back(out.old_to_new[static_cast<std::size_t>(c)]);
+      }
+      for (int l : src.leaves) {
+        dst.leaves.push_back(static_cast<int>(leaves.size()));
+        leaves.push_back(
+            LeafRef{forest.leaf(l).object_type, dst.id});
+      }
+    } else {
+      dst.work = std::max(dst.work, src.work);
+      dst.output_mb = std::max(dst.output_mb, src.output_mb);
+    }
+  }
+  // Consumer edges, survivors in id order, children in declaration order.
+  for (int p = 0; p < n; ++p) {
+    if (canon[static_cast<std::size_t>(p)] != p) continue;
+    const int pnew = new_id[static_cast<std::size_t>(p)];
+    for (int c : forest.op(p).children) {
+      OperatorNode& producer = ops[static_cast<std::size_t>(
+          out.old_to_new[static_cast<std::size_t>(c)])];
+      producer.out.push_back(
+          OutEdge{pnew, forest.op(c).output_mb});
+    }
+  }
+  for (OperatorNode& node : ops) {
+    if (node.out.size() > 1) ++out.stats.shared_nodes;
+  }
+
+  std::vector<int> roots;
+  roots.reserve(forest.roots().size());
+  for (int r : forest.roots()) {
+    roots.push_back(out.old_to_new[static_cast<std::size_t>(r)]);
+  }
+
+  out.dag = OperatorTree(std::move(ops), std::move(leaves), std::move(roots),
+                         forest.catalog());
+  if (auto err = out.dag.validate()) {
+    throw std::invalid_argument("fold_shared_subexpressions: " + *err);
+  }
+  return out;
+}
+
+} // namespace insp

@@ -1,0 +1,63 @@
+// Shared-subexpression folding: rewrite a (combined) operator forest so
+// that structurally equivalent subtrees are computed ONCE and their output
+// fans out to every consumer over explicit out-edges — the executable
+// counterpart of the analysis in multi/subexpression.hpp, enabled by the
+// DAG application model of tree/operator_tree.hpp.
+//
+// Equivalence is the same canonical-signature relation the analysis uses:
+// same multiset of leaf object types, same multiset of (canonicalized)
+// child subexpressions, compared order-insensitively (operators are
+// commutative).  Folding runs bottom-up, so nested duplicates collapse
+// into maximal shared nodes.
+//
+// Semantics of a merged node:
+//  - its work and output_mb are the elementwise MAX over the merged
+//    occurrences (a shared result must be produced at the rate and size of
+//    the most demanding application once per-app rho folding is applied);
+//  - each rewired consumer edge keeps the dropped occurrence's own folded
+//    output_mb as its per-edge delta, so a consumer is charged exactly what
+//    its application would have shipped;
+//  - declared roots are never folded (each application keeps its own
+//    result stream), but everything below them may be.
+//
+// On a forest with no duplicate subexpressions the result is the input,
+// ids unchanged.
+#pragma once
+
+#include <vector>
+
+#include "tree/operator_tree.hpp"
+
+namespace insp {
+
+struct FoldStats {
+  int operators_before = 0;
+  int operators_after = 0;
+  /// Duplicate operator occurrences merged away (counted per node, so one
+  /// k-operator subtree duplicated once contributes k).
+  int merged_occurrences = 0;
+  /// Surviving operators whose output now feeds more than one consumer.
+  int shared_nodes = 0;
+  /// Total folded work of the merged-away occurrences — the CPU volume the
+  /// folded DAG no longer has to buy (the realized twin of
+  /// SharingSavings::work_saved, which predicts it on the unfolded trees).
+  MegaOps work_saved = 0.0;
+};
+
+struct FoldResult {
+  /// The folded DAG (a forest with one root per input root; generally not
+  /// tree-shaped).  Demands are preserved, not recomputed.
+  OperatorTree dag;
+  /// Input operator id -> folded operator id (surjective; merged
+  /// occurrences map to their surviving representative).
+  std::vector<int> old_to_new;
+  FoldStats stats;
+};
+
+/// Folds equivalent subtrees of `forest` (typically
+/// CombinedApplication::forest, demands already rho-folded) into shared DAG
+/// nodes.  Throws std::invalid_argument if the folded graph fails
+/// validation (cannot happen for a valid input).
+FoldResult fold_shared_subexpressions(const OperatorTree& forest);
+
+} // namespace insp

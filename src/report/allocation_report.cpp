@@ -47,17 +47,19 @@ std::string allocation_to_dot(const Problem& problem,
     out << "  S" << l << " [shape=house,label=\"S" << l << "\"];\n";
   }
 
-  // Tree edges; crossing edges carry a bandwidth label.
+  // Dataflow edges (one arrow per out-edge); crossing edges carry a
+  // bandwidth label.
   for (const auto& n : tree.operators()) {
-    if (n.parent == kNoNode) continue;
     const int uc = alloc.op_to_proc[static_cast<std::size_t>(n.id)];
-    const int up = alloc.op_to_proc[static_cast<std::size_t>(n.parent)];
-    out << "  n" << n.id << " -> n" << n.parent;
-    if (uc != up) {
-      out << " [label=\"" << problem.rho * n.output_mb
-          << " MB/s\",color=red,penwidth=2]";
+    for (const OutEdge& e : n.out) {
+      const int up = alloc.op_to_proc[static_cast<std::size_t>(e.dst)];
+      out << "  n" << n.id << " -> n" << e.dst;
+      if (uc != up) {
+        out << " [label=\"" << problem.rho * e.delta
+            << " MB/s\",color=red,penwidth=2]";
+      }
+      out << ";\n";
     }
-    out << ";\n";
   }
 
   // Download streams.

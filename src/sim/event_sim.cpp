@@ -24,7 +24,6 @@
 #include <vector>
 
 #include "sim/event_sim_internal.hpp"
-#include "util/simd_kernels.hpp"
 
 namespace insp {
 
@@ -41,7 +40,7 @@ int log2_slack(int d) {
 }
 
 ResolvedSimConfig resolve_config(const EventSimConfig& config, int fill_depth,
-                                 int crossing_depth) {
+                                 int crossing_depth, int max_edge_skew) {
   ResolvedSimConfig r;
   r.sustained_fraction = config.sustained_fraction;
   r.periods = config.periods;
@@ -56,9 +55,16 @@ ResolvedSimConfig resolve_config(const EventSimConfig& config, int fill_depth,
   if (config.warmup_periods < -1 || config.max_results_ahead < 0) {
     r.degenerate = true;
   }
-  r.max_results_ahead = config.max_results_ahead > 0
-                            ? config.max_results_ahead
-                            : 4 + log2_slack(crossing_depth);
+  // On a DAG, a shared producer feeding both a deep path and a near-root
+  // consumer must run fill[p] - fill[c] periods ahead of the shallow edge
+  // before the reconvergence point can fire, so the bound must cover the
+  // largest such skew or backpressure throttles a feasible plan.  Tree
+  // edges have skew 1 (co-located) or 2 (crossing), which the base term
+  // always dominates — tree behavior is unchanged.
+  r.max_results_ahead =
+      config.max_results_ahead > 0
+          ? config.max_results_ahead
+          : std::max(4 + log2_slack(crossing_depth), max_edge_skew + 2);
   if (config.warmup_periods >= 0) {
     // Explicit warmup: honor it when it leaves a measurement window,
     // otherwise flag the config and measure the whole run.  A pipeline
@@ -100,7 +106,7 @@ SimStaticPlan build_sim_plan(const Problem& problem, const Allocation& alloc,
     const int u = alloc.op_to_proc[static_cast<std::size_t>(op)];
     if (u < 0 || u >= plan.n_procs) {
       plan.unassigned_ops = true;
-      plan.cfg = resolve_config(config, 0, 0);
+      plan.cfg = resolve_config(config, 0, 0, 0);
       plan.cfg.degenerate = true;
       return plan;
     }
@@ -108,27 +114,23 @@ SimStaticPlan build_sim_plan(const Problem& problem, const Allocation& alloc,
 
   plan.bottom_up = tree.bottom_up_order();
   plan.proc.resize(n_ops);
-  plan.parent.resize(n_ops);
   plan.work.resize(n_ops);
-  plan.output_mb.resize(n_ops);
   plan.root_index.assign(n_ops, -1);
   plan.starved.assign(n_ops, 0);
-  plan.crossing_of_op.assign(n_ops, -1);
   plan.child_start.assign(n_ops + 1, 0);
 
   for (int op = 0; op < plan.n_ops; ++op) {
     const auto o = static_cast<std::size_t>(op);
     plan.proc[o] = alloc.op_to_proc[o];
-    plan.parent[o] = tree.op(op).parent;
     plan.work[o] = tree.op(op).work;
-    plan.output_mb[o] = tree.op(op).output_mb;
   }
   const auto& roots = tree.roots();
   for (std::size_t r = 0; r < roots.size(); ++r) {
     plan.root_index[static_cast<std::size_t>(roots[r])] = static_cast<int>(r);
   }
 
-  // Children in CSR form, tree order preserved.
+  // Children and out-edges (consumers) in CSR form, declaration order
+  // preserved.
   for (int op = 0; op < plan.n_ops; ++op) {
     plan.child_start[static_cast<std::size_t>(op) + 1] =
         plan.child_start[static_cast<std::size_t>(op)] +
@@ -142,17 +144,53 @@ SimStaticPlan build_sim_plan(const Problem& problem, const Allocation& alloc,
       plan.child_list[static_cast<std::size_t>(w++)] = c;
     }
   }
-
-  // Crossing edges and their distinct processor pairs.
-  std::vector<std::pair<int, int>> pairs;
+  plan.out_start.assign(n_ops + 1, 0);
   for (int op = 0; op < plan.n_ops; ++op) {
-    const int parent = tree.op(op).parent;
-    if (parent == kNoNode) continue;
-    const int u = plan.proc[static_cast<std::size_t>(op)];
-    const int v = plan.proc[static_cast<std::size_t>(parent)];
-    if (u == v) continue;
-    pairs.push_back({std::min(u, v), std::max(u, v)});
+    plan.out_start[static_cast<std::size_t>(op) + 1] =
+        plan.out_start[static_cast<std::size_t>(op)] +
+        static_cast<int>(tree.op(op).out.size());
   }
+  plan.out_dst.resize(static_cast<std::size_t>(plan.out_start[n_ops]));
+  for (int op = 0; op < plan.n_ops; ++op) {
+    int w = plan.out_start[static_cast<std::size_t>(op)];
+    for (const OutEdge& e : tree.op(op).out) {
+      plan.out_dst[static_cast<std::size_t>(w++)] = e.dst;
+    }
+  }
+
+  // Crossing lanes: one per (producer, distinct destination processor) in
+  // producer order then first-occurrence destination order, carrying the max
+  // out-edge delta into that processor (multicast dedup, docs/DESIGN.md
+  // §13) — on trees exactly the crossing child->parent edges, as before.
+  std::vector<std::pair<int, int>> pairs;
+  auto each_crossing_lane = [&](auto&& fn) {
+    for (int op = 0; op < plan.n_ops; ++op) {
+      const auto& out = tree.op(op).out;
+      const int u = plan.proc[static_cast<std::size_t>(op)];
+      for (std::size_t a = 0; a < out.size(); ++a) {
+        const int v = plan.proc[static_cast<std::size_t>(out[a].dst)];
+        if (v == u) continue;
+        bool first = true;
+        for (std::size_t b = 0; b < a; ++b) {
+          if (plan.proc[static_cast<std::size_t>(out[b].dst)] == v) {
+            first = false;
+            break;
+          }
+        }
+        if (!first) continue;
+        MegaBytes mx = out[a].delta;
+        for (std::size_t b = a + 1; b < out.size(); ++b) {
+          if (plan.proc[static_cast<std::size_t>(out[b].dst)] == v) {
+            mx = std::max(mx, out[b].delta);
+          }
+        }
+        fn(op, u, v, mx);
+      }
+    }
+  };
+  each_crossing_lane([&](int /*op*/, int u, int v, MegaBytes /*mx*/) {
+    pairs.push_back({std::min(u, v), std::max(u, v)});
+  });
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   plan.link_pair_budget.resize(pairs.size());
@@ -160,12 +198,7 @@ SimStaticPlan build_sim_plan(const Problem& problem, const Allocation& alloc,
     plan.link_pair_budget[i] =
         view.link_bandwidth(pairs[i].first, pairs[i].second) * plan.period_s;
   }
-  for (int op = 0; op < plan.n_ops; ++op) {
-    const int parent = tree.op(op).parent;
-    if (parent == kNoNode) continue;
-    const int u = plan.proc[static_cast<std::size_t>(op)];
-    const int v = plan.proc[static_cast<std::size_t>(parent)];
-    if (u == v) continue;
+  each_crossing_lane([&](int op, int u, int v, MegaBytes mx) {
     CrossingEdge edge;
     edge.child_op = op;
     edge.proc_u = u;
@@ -173,10 +206,34 @@ SimStaticPlan build_sim_plan(const Problem& problem, const Allocation& alloc,
     const std::pair<int, int> key{std::min(u, v), std::max(u, v)};
     edge.pair_index = static_cast<int>(
         std::lower_bound(pairs.begin(), pairs.end(), key) - pairs.begin());
-    edge.volume = tree.op(op).output_mb;
-    plan.crossing_of_op[static_cast<std::size_t>(op)] =
-        static_cast<int>(plan.crossing.size());
+    edge.volume = mx;
     plan.crossing.push_back(edge);
+  });
+  // Lanes are grouped by producer in producer order, so per-producer ranges
+  // are a prefix sum over them.
+  plan.cross_start.assign(n_ops + 1, 0);
+  for (const CrossingEdge& edge : plan.crossing) {
+    ++plan.cross_start[static_cast<std::size_t>(edge.child_op) + 1];
+  }
+  for (std::size_t o = 0; o < n_ops; ++o) {
+    plan.cross_start[o + 1] += plan.cross_start[o];
+  }
+  // Map each (child occurrence, consumer) to the lane that feeds it.
+  plan.child_edge.assign(plan.child_list.size(), -1);
+  for (int op = 0; op < plan.n_ops; ++op) {
+    const int u = plan.proc[static_cast<std::size_t>(op)];
+    for (int k = plan.child_start[static_cast<std::size_t>(op)];
+         k < plan.child_start[static_cast<std::size_t>(op) + 1]; ++k) {
+      const int c = plan.child_list[static_cast<std::size_t>(k)];
+      if (plan.proc[static_cast<std::size_t>(c)] == u) continue;
+      for (int e = plan.cross_start[static_cast<std::size_t>(c)];
+           e < plan.cross_start[static_cast<std::size_t>(c) + 1]; ++e) {
+        if (plan.crossing[static_cast<std::size_t>(e)].proc_v == u) {
+          plan.child_edge[static_cast<std::size_t>(k)] = e;
+          break;
+        }
+      }
+    }
   }
 
   // Budgets.  The download share follows the seed semantics — distinct
@@ -223,25 +280,43 @@ SimStaticPlan build_sim_plan(const Problem& problem, const Allocation& alloc,
     }
   }
 
-  // Pipeline depths, walked parents-before-children.
+  // Pipeline depths, walked consumers-before-producers: the latency an op's
+  // result accumulates on its way to a root is the max over its out-edges
+  // (a crossing edge costs ~2 periods, a co-located edge 1).
   std::vector<int> fill(n_ops, 0);
   std::vector<int> cross(n_ops, 0);
   for (int op : tree.top_down_order()) {
-    const int parent = tree.op(op).parent;
-    if (parent == kNoNode) continue;
-    const bool crossing =
-        plan.crossing_of_op[static_cast<std::size_t>(op)] >= 0;
-    fill[static_cast<std::size_t>(op)] =
-        fill[static_cast<std::size_t>(parent)] + (crossing ? 2 : 1);
-    cross[static_cast<std::size_t>(op)] =
-        cross[static_cast<std::size_t>(parent)] + (crossing ? 1 : 0);
-    plan.fill_depth =
-        std::max(plan.fill_depth, fill[static_cast<std::size_t>(op)]);
-    plan.crossing_depth =
-        std::max(plan.crossing_depth, cross[static_cast<std::size_t>(op)]);
+    const auto& out = tree.op(op).out;
+    if (out.empty()) continue;
+    const int u = plan.proc[static_cast<std::size_t>(op)];
+    int f = 0, cr = 0;
+    for (const OutEdge& e : out) {
+      const bool crossing =
+          plan.proc[static_cast<std::size_t>(e.dst)] != u;
+      f = std::max(f, fill[static_cast<std::size_t>(e.dst)] +
+                          (crossing ? 2 : 1));
+      cr = std::max(cr, cross[static_cast<std::size_t>(e.dst)] +
+                            (crossing ? 1 : 0));
+    }
+    fill[static_cast<std::size_t>(op)] = f;
+    cross[static_cast<std::size_t>(op)] = cr;
+    plan.fill_depth = std::max(plan.fill_depth, f);
+    plan.crossing_depth = std::max(plan.crossing_depth, cr);
+  }
+  // Largest producer-consumer depth gap across any single edge: always
+  // 1 or 2 on trees, but a shared node's edge to a near-root consumer can
+  // skip arbitrarily many pipeline stages.
+  int max_edge_skew = 0;
+  for (int op = 0; op < plan.n_ops; ++op) {
+    for (const OutEdge& e : tree.op(op).out) {
+      max_edge_skew =
+          std::max(max_edge_skew, fill[static_cast<std::size_t>(op)] -
+                                      fill[static_cast<std::size_t>(e.dst)]);
+    }
   }
 
-  plan.cfg = resolve_config(config, plan.fill_depth, plan.crossing_depth);
+  plan.cfg = resolve_config(config, plan.fill_depth, plan.crossing_depth,
+                            max_edge_skew);
   return plan;
 }
 
@@ -251,7 +326,7 @@ namespace {
 
 using simdetail::SimStaticPlan;
 
-/// One intermediate result in transit over a crossing tree edge.
+/// One intermediate result in transit over a crossing lane.
 struct Token {
   int edge;             ///< index into plan.crossing
   MegaBytes remaining;  ///< MB still to transfer
@@ -272,44 +347,33 @@ EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
   }
 
   // Result counters live in doubles: every value is an exact integer far
-  // below 2^53, and the double layout feeds the vectorized per-period cap
-  // kernel below without a conversion pass.
+  // below 2^53, so min/max/compare arithmetic on them is exact.
   std::vector<double> computed(n_ops, 0.0);  ///< #results finished per op
   std::vector<double> computed_at_start(n_ops, 0.0);
-  std::vector<double> delivered(n_ops, 0.0);  ///< #results handed to the
-                                              ///< parent's processor
+  /// #results landed per crossing lane (usable by that lane's consumers).
+  std::vector<double> delivered(plan.crossing.size(), 0.0);
   std::vector<double> progress(n_ops, 0.0);   ///< Mops spent on current result
   std::vector<int> dirty;  ///< ops whose computed changed this period
   dirty.reserve(n_ops);
 
   // The catch-up loop's three break conditions (one result per period,
-  // backpressure toward the parent, inputs ready) only read counters that
-  // are FROZEN during the compute phase (computed_at_start folds at end of
-  // period, delivered moves in the transfer phase).  So they collapse into
-  // one precomputed per-op bound:
+  // backpressure toward the consumers, inputs ready) only read counters
+  // that are FROZEN during the compute phase (computed_at_start folds at
+  // end of period, delivered moves in the transfer phase).  So they
+  // collapse into one precomputed per-op bound:
   //
   //   caps[o] = min(period + 1,
-  //                 computed_at_start[parent] + bound   (+inf for roots),
+  //                 min over consumers of computed_at_start[dst] + bound
+  //                                                     (+inf for roots),
   //                 min over children of have[c]         (+inf for leaves))
   //
   // and the walk below progresses exactly while computed[o] < caps[o] —
-  // bit-identical to the seed's per-iteration checks (integer-exact doubles,
-  // min/max tie values equal).  The combine dispatches through the SIMD
-  // kernel table; parent_clamped/root_inf make the root case branch-free.
+  // bit-identical to the seed's per-iteration checks (integer-exact
+  // doubles, min/max tie values equal; on trees the consumer min is just
+  // the parent).
   const double kInf = std::numeric_limits<double>::infinity();
-  std::vector<int> parent_clamped(n_ops, 0);
-  std::vector<double> root_inf(n_ops, 0.0);
-  for (std::size_t o = 0; o < n_ops; ++o) {
-    const int parent = plan.parent[o];
-    if (parent == kNoNode) {
-      root_inf[o] = kInf;
-    } else {
-      parent_clamped[o] = parent;
-    }
-  }
   std::vector<double> in_cap(n_ops, kInf);  ///< leaves stay +inf forever
   std::vector<double> caps(n_ops, 0.0);
-  const simdk::KernelTable* const kernels = simdk::active_kernels();
 
   std::vector<double> cpu_left;
   cpu_left.reserve(plan.cpu_budget_mops.size());
@@ -348,33 +412,46 @@ EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
     //      latency, matching the paper's pipelined execution model). -------
     // Inputs-ready bound per op: min over children of the frozen counter
     // the child feeds through (same-processor results via the snapshot,
-    // crossing results via delivered).  Scalar CSR pass; leaves keep +inf.
+    // crossing results via the child's lane into this processor).  Scalar
+    // CSR pass; leaves keep +inf.
     for (std::size_t o = 0; o < n_ops; ++o) {
       const int kb = plan.child_start[o];
       const int ke = plan.child_start[o + 1];
       if (kb == ke) continue;
       double m = kInf;
       for (int k = kb; k < ke; ++k) {
-        const auto c =
-            static_cast<std::size_t>(plan.child_list[static_cast<std::size_t>(k)]);
-        const double have = plan.proc[c] == plan.proc[o]
-                                ? computed_at_start[c]
-                                : delivered[c];
+        const int lane = plan.child_edge[static_cast<std::size_t>(k)];
+        const double have =
+            lane < 0
+                ? computed_at_start[static_cast<std::size_t>(
+                      plan.child_list[static_cast<std::size_t>(k)])]
+                : delivered[static_cast<std::size_t>(lane)];
         m = have < m ? have : m;
       }
       in_cap[o] = m;
     }
+    // Per-op cap: one result per period, backpressure toward the slowest
+    // consumer, inputs ready.  Scalar over the out CSR (the retired
+    // gather/blend kernel lost to this autovectorized form; see
+    // docs/ROADMAP.md).
     {
-      simdk::SimReadyCapsArgs ca;
-      ca.n = n_ops;
-      ca.parent_clamped = parent_clamped.data();
-      ca.root_inf = root_inf.data();
-      ca.cas = computed_at_start.data();
-      ca.in_cap = in_cap.data();
-      ca.bound = static_cast<double>(bound);
-      ca.period_cap = static_cast<double>(period) + 1.0;
-      ca.caps = caps.data();
-      kernels->sim_ready_caps(ca);
+      const double period_cap = static_cast<double>(period) + 1.0;
+      const double dbound = static_cast<double>(bound);
+      for (std::size_t o = 0; o < n_ops; ++o) {
+        const int ob = plan.out_start[o];
+        const int oe = plan.out_start[o + 1];
+        double bp = kInf;
+        for (int k = ob; k < oe; ++k) {
+          const double cas = computed_at_start[static_cast<std::size_t>(
+              plan.out_dst[static_cast<std::size_t>(k)])];
+          bp = cas < bp ? cas : bp;
+        }
+        double cap = period_cap;
+        const double bpb = bp + dbound;  // inf + bound == inf
+        cap = bpb < cap ? bpb : cap;
+        cap = in_cap[o] < cap ? in_cap[o] : cap;
+        caps[o] = cap;
+      }
     }
     cpu_left = plan.cpu_budget_mops;
     for (int op : plan.bottom_up) {
@@ -402,11 +479,18 @@ EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
         if (plan.root_index[o] >= 0) {
           ++root_produced[static_cast<std::size_t>(plan.root_index[o])];
           if (first_output_period < 0) first_output_period = period;
-        } else if (plan.crossing_of_op[o] >= 0) {
-          in_transit.push_back(
-              Token{plan.crossing_of_op[o], plan.output_mb[o], period + 1});
+        } else {
+          // One shipment per crossing lane: remote consumers sharing a
+          // destination processor ride a single copy (lane volume is the
+          // max delta among them).
+          for (int e = plan.cross_start[o]; e < plan.cross_start[o + 1];
+               ++e) {
+            in_transit.push_back(
+                Token{e, plan.crossing[static_cast<std::size_t>(e)].volume,
+                      period + 1});
+          }
         }
-        // Co-located parents see the result next period via
+        // Co-located consumers see the result next period via
         // computed_at_start[]; nothing to enqueue.
       }
     }
@@ -436,9 +520,9 @@ EventSimResult run_sparse(const Problem& problem, const SimStaticPlan& plan) {
         sl -= amount;
       }
       if (token.remaining <= 1e-9) {
-        // Delivered: usable by the parent from the next period on (the
-        // delivered[] counter is only read in the next compute phase).
-        delivered[static_cast<std::size_t>(edge.child_op)] += 1.0;
+        // Delivered: usable by the lane's consumers from the next period on
+        // (the delivered[] counter is only read in the next compute phase).
+        delivered[static_cast<std::size_t>(token.edge)] += 1.0;
       } else {
         next_transit.push_back(token);
       }

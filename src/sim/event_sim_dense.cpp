@@ -21,9 +21,9 @@ namespace insp {
 
 namespace {
 
-/// One intermediate result in transit over a crossing tree edge.
+/// One intermediate result in transit over a crossing lane.
 struct DenseToken {
-  int child_op;         ///< edge identified by its child endpoint
+  int edge;             ///< index into plan.crossing
   MegaBytes remaining;  ///< MB still to transfer
   int eligible_period;  ///< pipelining: send starts the period after compute
 };
@@ -45,7 +45,7 @@ EventSimResult simulate_allocation_dense_reference(
 
   const auto bottom_up = tree.bottom_up_order();
   std::vector<long long> computed(n_ops, 0);
-  std::vector<long long> delivered(n_ops, 0);
+  std::vector<long long> delivered(plan.crossing.size(), 0);  ///< per lane
   std::vector<double> progress(n_ops, 0.0);
   std::deque<DenseToken> in_transit;
 
@@ -66,21 +66,29 @@ EventSimResult simulate_allocation_dense_reference(
       const int u = alloc.op_to_proc[static_cast<std::size_t>(op)];
       double& budget = cpu_left[static_cast<std::size_t>(u)];
       const MegaOps w = tree.op(op).work;
-      const int parent = tree.op(op).parent;
       for (;;) {
         const long long r = computed[static_cast<std::size_t>(op)];
         if (r > period) break;  // basic objects update once per period
-        if (parent != kNoNode &&
-            r >= computed_at_start[static_cast<std::size_t>(parent)] +
-                     bound) {
-          break;
+        // Backpressure toward the slowest consumer (the single parent on
+        // trees).
+        bool throttled = false;
+        for (const OutEdge& e : tree.op(op).out) {
+          if (r >= computed_at_start[static_cast<std::size_t>(e.dst)] +
+                       bound) {
+            throttled = true;
+            break;
+          }
         }
+        if (throttled) break;
         bool inputs_ready = true;
-        for (int c : tree.op(op).children) {
-          const int cu = alloc.op_to_proc[static_cast<std::size_t>(c)];
+        const int kb = plan.child_start[static_cast<std::size_t>(op)];
+        for (std::size_t ci = 0; ci < tree.op(op).children.size(); ++ci) {
+          const int c = tree.op(op).children[ci];
+          const int lane =
+              plan.child_edge[static_cast<std::size_t>(kb) + ci];
           const long long have =
-              cu == u ? computed_at_start[static_cast<std::size_t>(c)]
-                      : delivered[static_cast<std::size_t>(c)];
+              lane < 0 ? computed_at_start[static_cast<std::size_t>(c)]
+                       : delivered[static_cast<std::size_t>(lane)];
           if (have < r + 1) {
             inputs_ready = false;
             break;
@@ -99,11 +107,14 @@ EventSimResult simulate_allocation_dense_reference(
           ++root_produced[static_cast<std::size_t>(root_idx)];
           if (first_output_period < 0) first_output_period = period;
         } else {
-          const int pu =
-              alloc.op_to_proc[static_cast<std::size_t>(parent)];
-          if (pu != u) {
-            in_transit.push_back(
-                DenseToken{op, tree.op(op).output_mb, period + 1});
+          // One shipment per crossing lane (remote consumers sharing a
+          // destination processor ride one copy).
+          for (int e = plan.cross_start[static_cast<std::size_t>(op)];
+               e < plan.cross_start[static_cast<std::size_t>(op) + 1];
+               ++e) {
+            in_transit.push_back(DenseToken{
+                e, plan.crossing[static_cast<std::size_t>(e)].volume,
+                period + 1});
           }
         }
       }
@@ -128,10 +139,9 @@ EventSimResult simulate_allocation_dense_reference(
         still.push_back(token);
         continue;
       }
-      const int u =
-          alloc.op_to_proc[static_cast<std::size_t>(token.child_op)];
-      const int v = alloc.op_to_proc[static_cast<std::size_t>(
-          tree.op(token.child_op).parent)];
+      const auto& edge = plan.crossing[static_cast<std::size_t>(token.edge)];
+      const int u = edge.proc_u;
+      const int v = edge.proc_v;
       MegaBytes& su = card_left[static_cast<std::size_t>(u)];
       MegaBytes& sv = card_left[static_cast<std::size_t>(v)];
       MegaBytes& sl = link_left[static_cast<std::size_t>(std::min(u, v))]
@@ -144,7 +154,7 @@ EventSimResult simulate_allocation_dense_reference(
         sl -= amount;
       }
       if (token.remaining <= 1e-9) {
-        ++delivered[static_cast<std::size_t>(token.child_op)];
+        ++delivered[static_cast<std::size_t>(token.edge)];
       } else {
         still.push_back(token);
       }

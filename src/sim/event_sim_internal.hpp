@@ -24,14 +24,18 @@ struct ResolvedSimConfig {
   bool degenerate = false;
 };
 
-/// One crossing tree edge (child's processor != parent's processor),
-/// identified by its child endpoint.
+/// One crossing shipment lane: a producer whose result must reach a distinct
+/// remote destination processor.  With the DAG model a producer feeding
+/// several consumers on one remote processor ships a single copy there
+/// (multicast dedup, docs/DESIGN.md §13), so lanes are keyed by
+/// (producer, destination processor) — on trees exactly the child->parent
+/// edge with child and parent on different processors.
 struct CrossingEdge {
   int child_op = -1;
-  int proc_u = -1;      ///< sender (child side)
-  int proc_v = -1;      ///< receiver (parent side)
+  int proc_u = -1;      ///< sender (producer side)
+  int proc_v = -1;      ///< receiver (destination processor)
   int pair_index = -1;  ///< index into link_pair_budget
-  MegaBytes volume = 0.0;
+  MegaBytes volume = 0.0;  ///< max out-edge delta into proc_v
 };
 
 /// Everything both cores precompute before the period loop.
@@ -49,15 +53,22 @@ struct SimStaticPlan {
   // Per-operator flat tables (indexed by op id) — the sparse core's period
   // loop never touches an OperatorNode.
   std::vector<int> proc;               ///< op -> processor
-  std::vector<int> parent;             ///< Par(i), kNoNode for roots
   std::vector<double> work;            ///< w_i, Mops
-  std::vector<MegaBytes> output_mb;    ///< delta_i
   std::vector<int> root_index;         ///< position in tree.roots(), -1 else
   std::vector<char> starved;           ///< needs a type routed via a down server
-  std::vector<int> crossing_of_op;     ///< index into crossing, -1 if none
+  /// Consumers (out-edge destinations) of each op in CSR form, declaration
+  /// order preserved — the single parent on trees.
+  std::vector<int> out_start;          ///< size n_ops + 1
+  std::vector<int> out_dst;
+  /// Crossing lanes of producer op are the contiguous range
+  /// crossing[cross_start[op] .. cross_start[op+1]).
+  std::vector<int> cross_start;        ///< size n_ops + 1
   /// Children of each op in CSR form (tree order preserved).
   std::vector<int> child_start;        ///< size n_ops + 1
   std::vector<int> child_list;
+  /// Parallel to child_list: index into `crossing` of the lane that feeds
+  /// this consumer from that child, or -1 when co-located.
+  std::vector<int> child_edge;
 
   // Per-processor budgets, already scaled to one period.
   std::vector<double> cpu_budget_mops;

@@ -96,13 +96,32 @@ FlowAnalysis analyze_flow(const Problem& problem, const Allocation& alloc) {
 
   // Processor<->processor links: linear in rho.
   {
+    // One shipment per (producer, distinct destination processor) at the max
+    // out-edge delta (multicast dedup, docs/DESIGN.md §13) — the lone
+    // child->parent edge on trees.
     std::map<std::pair<int, int>, MegaBytes> link;
     for (const auto& n : tree.operators()) {
-      if (n.parent == kNoNode) continue;
       const int uc = alloc.op_to_proc[static_cast<std::size_t>(n.id)];
-      const int up = alloc.op_to_proc[static_cast<std::size_t>(n.parent)];
-      if (uc == kNoNode || up == kNoNode || uc == up) continue;
-      link[{std::min(uc, up), std::max(uc, up)}] += n.output_mb;
+      if (uc == kNoNode) continue;
+      for (std::size_t a = 0; a < n.out.size(); ++a) {
+        const int up = alloc.op_to_proc[static_cast<std::size_t>(n.out[a].dst)];
+        if (up == kNoNode || up == uc) continue;
+        bool first = true;
+        for (std::size_t b = 0; b < a; ++b) {
+          if (alloc.op_to_proc[static_cast<std::size_t>(n.out[b].dst)] == up) {
+            first = false;
+            break;
+          }
+        }
+        if (!first) continue;
+        MegaBytes mx = n.out[a].delta;
+        for (std::size_t b = a + 1; b < n.out.size(); ++b) {
+          if (alloc.op_to_proc[static_cast<std::size_t>(n.out[b].dst)] == up) {
+            mx = std::max(mx, n.out[b].delta);
+          }
+        }
+        link[{std::min(uc, up), std::max(uc, up)}] += mx;
+      }
     }
     for (const auto& [key, volume] : link) {
       Constraint c;

@@ -7,21 +7,34 @@
 
 namespace insp {
 
-OperatorTree::OperatorTree(std::vector<OperatorNode> ops,
-                           std::vector<LeafRef> leaves, int root,
-                           ObjectCatalog catalog)
-    : OperatorTree(std::move(ops), std::move(leaves), std::vector<int>{root},
-                   std::move(catalog)) {}
+OperatorDag::OperatorDag(std::vector<OperatorNode> ops,
+                         std::vector<LeafRef> leaves, int root,
+                         ObjectCatalog catalog)
+    : OperatorDag(std::move(ops), std::move(leaves), std::vector<int>{root},
+                  std::move(catalog)) {}
 
-OperatorTree::OperatorTree(std::vector<OperatorNode> ops,
-                           std::vector<LeafRef> leaves, std::vector<int> roots,
-                           ObjectCatalog catalog)
+OperatorDag::OperatorDag(std::vector<OperatorNode> ops,
+                         std::vector<LeafRef> leaves, std::vector<int> roots,
+                         ObjectCatalog catalog)
     : ops_(std::move(ops)),
       leaves_(std::move(leaves)),
       roots_(std::move(roots)),
       catalog_(std::move(catalog)) {}
 
-std::vector<int> OperatorTree::object_types_of(int i) const {
+bool OperatorDag::is_tree_shaped() const {
+  for (const auto& n : ops_) {
+    if (n.out.size() > 1) return false;
+  }
+  return true;
+}
+
+int OperatorDag::num_edges() const {
+  int total = 0;
+  for (const auto& n : ops_) total += static_cast<int>(n.out.size());
+  return total;
+}
+
+std::vector<int> OperatorDag::object_types_of(int i) const {
   std::vector<int> types;
   for (int l : op(i).leaves) {
     const int t = leaf(l).object_type;
@@ -32,7 +45,7 @@ std::vector<int> OperatorTree::object_types_of(int i) const {
   return types;
 }
 
-std::vector<int> OperatorTree::al_operators() const {
+std::vector<int> OperatorDag::al_operators() const {
   std::vector<int> out;
   for (const auto& n : ops_) {
     if (n.is_al_operator()) out.push_back(n.id);
@@ -40,25 +53,35 @@ std::vector<int> OperatorTree::al_operators() const {
   return out;
 }
 
-std::vector<int> OperatorTree::top_down_order() const {
+std::vector<int> OperatorDag::top_down_order() const {
+  // Kahn's algorithm seeded with the declared roots, scanning the order list
+  // itself as the FIFO.  A node is appended once all its consumers are in the
+  // order.  On a tree every operator has at most one consumer, so each child
+  // is appended the moment its parent is scanned — exactly the historical BFS.
+  std::vector<int> pending(ops_.size(), 0);
+  for (const auto& n : ops_) {
+    pending[static_cast<std::size_t>(n.id)] = static_cast<int>(n.out.size());
+  }
   std::vector<int> order;
   order.reserve(ops_.size());
   for (int r : roots_) {
     if (r != kNoNode) order.push_back(r);
   }
   for (std::size_t i = 0; i < order.size(); ++i) {
-    for (int c : op(order[i]).children) order.push_back(c);
+    for (int c : op(order[i]).children) {
+      if (--pending[static_cast<std::size_t>(c)] == 0) order.push_back(c);
+    }
   }
   return order;
 }
 
-std::vector<int> OperatorTree::bottom_up_order() const {
+std::vector<int> OperatorDag::bottom_up_order() const {
   std::vector<int> order = top_down_order();
   std::reverse(order.begin(), order.end());
   return order;
 }
 
-void OperatorTree::compute_work_and_outputs(double alpha, double work_scale) {
+void OperatorDag::compute_work_and_outputs(double alpha, double work_scale) {
   for (int i : bottom_up_order()) {
     auto& n = ops_[static_cast<std::size_t>(i)];
     MegaBytes mass = 0.0;
@@ -70,30 +93,50 @@ void OperatorTree::compute_work_and_outputs(double alpha, double work_scale) {
     }
     n.output_mb = mass;
     n.work = work_scale * std::pow(mass, alpha);
+    for (OutEdge& e : n.out) e.delta = mass;
   }
 }
 
-std::optional<std::string> OperatorTree::validate() const {
+std::optional<std::string> OperatorDag::validate() const {
   if (ops_.empty()) return "tree has no operators";
   if (roots_.empty()) return "tree has no roots";
+  std::vector<char> declared_root(ops_.size(), 0);
   for (int r : roots_) {
     if (r < 0 || r >= num_operators()) return "invalid root index";
-    if (op(r).parent != kNoNode) return "root has a parent";
+    if (!op(r).out.empty()) return "root has a parent";
+    if (declared_root[static_cast<std::size_t>(r)]) {
+      return "root " + std::to_string(r) + " declared twice";
+    }
+    declared_root[static_cast<std::size_t>(r)] = 1;
   }
+
+  const auto count_edges_to = [](const OperatorNode& n, int dst) {
+    int c = 0;
+    for (const OutEdge& e : n.out) c += e.dst == dst ? 1 : 0;
+    return c;
+  };
+  const auto count_children = [](const OperatorNode& n, int child) {
+    int c = 0;
+    for (int x : n.children) c += x == child ? 1 : 0;
+    return c;
+  };
 
   int roots = 0;
   for (const auto& n : ops_) {
     if (n.id != &n - ops_.data()) return "operator ids are not dense";
-    if (n.parent == kNoNode) {
+    if (n.out.empty()) {
       ++roots;
     } else {
-      if (n.parent < 0 || n.parent >= num_operators()) {
-        return "operator " + std::to_string(n.id) + " has invalid parent";
-      }
-      const auto& pc = op(n.parent).children;
-      if (std::find(pc.begin(), pc.end(), n.id) == pc.end()) {
-        return "operator " + std::to_string(n.id) +
-               " not listed in its parent's children";
+      for (const OutEdge& e : n.out) {
+        if (e.dst < 0 || e.dst >= num_operators()) {
+          return "operator " + std::to_string(n.id) + " has invalid parent";
+        }
+        // Parallel edges are allowed; the multiplicities must agree
+        // (an edge listed twice = the consumer reads this input twice).
+        if (count_edges_to(n, e.dst) != count_children(op(e.dst), n.id)) {
+          return "operator " + std::to_string(n.id) +
+                 " not listed in its parent's children";
+        }
       }
     }
     const int arity = n.arity();
@@ -105,7 +148,7 @@ std::optional<std::string> OperatorTree::validate() const {
       if (c < 0 || c >= num_operators()) {
         return "operator " + std::to_string(n.id) + " has invalid child";
       }
-      if (op(c).parent != n.id) {
+      if (count_children(n, c) != count_edges_to(op(c), n.id)) {
         return "child " + std::to_string(c) + " does not point back to " +
                std::to_string(n.id);
       }
@@ -124,10 +167,10 @@ std::optional<std::string> OperatorTree::validate() const {
     return "parentless operators do not match the declared roots";
   }
 
-  // Reachability (also catches cycles: a cycle is unreachable from the root
-  // given single-parent consistency checked above).
+  // Kahn completion: a short order means a directed cycle, or operators not
+  // reachable from the declared roots.
   if (static_cast<int>(top_down_order().size()) != num_operators()) {
-    return "not all operators reachable from the root";
+    return "operators form a cycle or are unreachable from the roots";
   }
 
   for (const auto& l : leaves_) {
@@ -142,7 +185,6 @@ int TreeBuilder::add_operator(int parent) {
   const int id = static_cast<int>(ops_.size());
   OperatorNode n;
   n.id = id;
-  n.parent = parent;
   if (parent == kNoNode) {
     if (root_ != kNoNode) {
       throw std::invalid_argument("TreeBuilder: second root added");
@@ -152,6 +194,7 @@ int TreeBuilder::add_operator(int parent) {
     if (parent < 0 || parent >= id) {
       throw std::invalid_argument("TreeBuilder: parent must already exist");
     }
+    n.out.push_back(OutEdge{parent, 0.0});
     ops_[static_cast<std::size_t>(parent)].children.push_back(id);
   }
   ops_.push_back(std::move(n));
@@ -169,6 +212,18 @@ int TreeBuilder::add_leaf(int op, int object_type) {
   leaves_.push_back(LeafRef{object_type, op});
   ops_[static_cast<std::size_t>(op)].leaves.push_back(id);
   return id;
+}
+
+void TreeBuilder::add_edge(int child, int parent) {
+  const int n = static_cast<int>(ops_.size());
+  if (child < 0 || child >= n || parent < 0 || parent >= n) {
+    throw std::invalid_argument("TreeBuilder: edge endpoint does not exist");
+  }
+  if (child == parent) {
+    throw std::invalid_argument("TreeBuilder: self-edge");
+  }
+  ops_[static_cast<std::size_t>(child)].out.push_back(OutEdge{parent, 0.0});
+  ops_[static_cast<std::size_t>(parent)].children.push_back(child);
 }
 
 OperatorTree TreeBuilder::build(double alpha, double work_scale) {

@@ -58,6 +58,40 @@ OperatorTree generate_random_tree(Rng& rng, const TreeGenConfig& config) {
   return generate_random_tree(rng, config, catalog);
 }
 
+OperatorTree generate_shared_dag(Rng& rng, const TreeGenConfig& config,
+                                 double share_prob) {
+  ObjectCatalog catalog = make_catalog(rng, config);
+  const int n = effective_op_count(rng, config);
+  TreeBuilder b(catalog);
+
+  auto arity = [&] { return rng.bernoulli(config.binary_prob) ? 2 : 1; };
+  const int root = b.add_operator(kNoNode);
+  std::vector<int> open_slots;
+  for (int s = arity(); s > 0; --s) open_slots.push_back(root);
+  for (int made = 1; made < n; ++made) {
+    const std::size_t pick = rng.index(open_slots.size());
+    const int parent = open_slots[pick];
+    open_slots[pick] = open_slots.back();
+    open_slots.pop_back();
+    const int id = b.add_operator(parent);
+    for (int s = arity(); s > 0; --s) open_slots.push_back(id);
+  }
+  // Leftover slots: either a fresh leaf, or (share_prob) a re-used operator
+  // of higher id — the shared subexpression.  id ordering makes the extra
+  // edge acyclic by construction.
+  for (int slot_owner : open_slots) {
+    if (slot_owner + 1 < n && rng.bernoulli(share_prob)) {
+      const int shared = static_cast<int>(
+          rng.uniform_int(slot_owner + 1, n - 1));
+      b.add_edge(shared, slot_owner);
+    } else {
+      b.add_leaf(slot_owner, static_cast<int>(rng.index(
+                                 static_cast<std::size_t>(catalog.count()))));
+    }
+  }
+  return b.build(config.alpha, config.work_scale);
+}
+
 namespace {
 
 /// Builds the reduction over sources [lo, hi) under `parent`; returns the

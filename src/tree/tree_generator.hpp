@@ -43,6 +43,17 @@ OperatorTree generate_random_tree(Rng& rng, const TreeGenConfig& config,
 /// one leaf, except the bottom operator which has two leaves.
 OperatorTree generate_left_deep_tree(Rng& rng, const TreeGenConfig& config);
 
+/// Random shared-subexpression DAG: grown exactly like
+/// generate_random_tree, but each leftover open slot becomes, with
+/// probability `share_prob`, an extra edge from an existing operator of
+/// higher id instead of a fresh leaf — that operator's output then feeds
+/// multiple consumers.  Ids are creation-ordered (parent < child), so every
+/// out-edge points to a smaller id and the result is acyclic by
+/// construction.  share_prob = 0 reproduces generate_random_tree's draws
+/// bit-for-bit except for the extra bernoulli per slot.
+OperatorTree generate_shared_dag(Rng& rng, const TreeGenConfig& config,
+                                 double share_prob);
+
 /// Balanced binary reduction over per-source pipelines (the paper's §1
 /// video-surveillance shape): one al-operator per source combining
 /// `leaves_per_source` copies of that source's object type (e.g. frame

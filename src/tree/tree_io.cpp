@@ -23,9 +23,9 @@ std::string to_dot(const OperatorTree& tree) {
         << tree.catalog().type(leaf.object_type).size_mb << "MB\"];\n";
   }
   for (const auto& n : tree.operators()) {
-    if (n.parent != kNoNode) {
-      out << "  n" << n.id << " -> n" << n.parent << " [label=\""
-          << n.output_mb << "MB\"];\n";
+    for (const OutEdge& e : n.out) {
+      out << "  n" << n.id << " -> n" << e.dst << " [label=\"" << e.delta
+          << "MB\"];\n";
     }
   }
   out << "}\n";
@@ -34,9 +34,10 @@ std::string to_dot(const OperatorTree& tree) {
 
 std::string to_text(const OperatorTree& tree, double alpha,
                     double work_scale) {
+  const bool tree_shaped = tree.is_tree_shaped();
   std::ostringstream out;
   out.precision(17);
-  out << "cinsp-tree 1\n";
+  out << "cinsp-tree " << (tree_shaped ? 1 : 2) << "\n";
   out << "alpha " << alpha << " work_scale " << work_scale << "\n";
   out << "objects " << tree.catalog().count() << "\n";
   for (const auto& t : tree.catalog().all()) {
@@ -50,7 +51,14 @@ std::string to_text(const OperatorTree& tree, double alpha,
     out << "\n";
   }
   for (const auto& n : tree.operators()) {
-    out << "op " << n.id << " parent " << n.parent << "\n";
+    out << "op " << n.id << " parent " << n.parent() << "\n";
+  }
+  if (!tree_shaped) {
+    for (const auto& n : tree.operators()) {
+      for (std::size_t e = 1; e < n.out.size(); ++e) {
+        out << "edge " << n.id << " " << n.out[e].dst << "\n";
+      }
+    }
   }
   for (const auto& l : tree.leaf_refs()) {
     out << "leaf " << l.parent_op << " " << l.object_type << "\n";
@@ -69,13 +77,26 @@ OperatorTree from_text(const std::string& text) {
   if (!std::getline(in, line) || line.rfind("cinsp-tree", 0) != 0) {
     fail("missing 'cinsp-tree' header");
   }
+  {
+    std::istringstream hs(line);
+    std::string magic;
+    int version = 0;
+    hs >> magic;
+    if (hs >> version) {
+      if (version < 1 || version > 2) {
+        fail("unsupported format version " + std::to_string(version));
+      }
+    }
+  }
 
   double alpha = 1.0, work_scale = 1.0;
   int declared_objects = -1, declared_ops = -1, root = kNoNode;
   std::vector<int> forest_roots;
   std::vector<ObjectType> types;
-  // op id -> parent; leaves as (op, type) pairs, kept in file order.
+  // op id -> parent; extra out-edges beyond the first as (child, parent)
+  // pairs; leaves as (op, type) pairs — all kept in file order.
   std::map<int, int> op_parent;
+  std::vector<std::pair<int, int>> extra_edges;
   std::vector<std::pair<int, int>> leaves;
 
   while (std::getline(in, line)) {
@@ -109,6 +130,10 @@ OperatorTree from_text(const std::string& text) {
       std::string p;
       if (!(ls >> id >> p >> parent) || p != "parent") fail("bad op line");
       if (!op_parent.emplace(id, parent).second) fail("duplicate op id");
+    } else if (tok == "edge") {
+      int child, parent;
+      if (!(ls >> child >> parent)) fail("bad edge line");
+      extra_edges.emplace_back(child, parent);
     } else if (tok == "leaf") {
       int op, type;
       if (!(ls >> op >> type)) fail("bad leaf line");
@@ -131,22 +156,31 @@ OperatorTree from_text(const std::string& text) {
     if (types[i].id != static_cast<int>(i)) fail("object ids not dense");
   }
 
-  // Forests are rebuilt directly (TreeBuilder is single-root).  Note that
-  // w/delta are recomputed from alpha: demand folding applied by
-  // combine_applications is not preserved — serialize the member
-  // applications individually when that matters.
-  if (!forest_roots.empty()) {
+  // Forests and shared-subexpression DAGs are rebuilt directly (TreeBuilder
+  // is single-root and single-parent-per-op at creation).  Note that w/delta
+  // are recomputed from alpha: demand folding applied by
+  // combine_applications or fold_shared_subexpressions is not preserved —
+  // serialize the member applications individually when that matters.
+  if (!forest_roots.empty() || !extra_edges.empty()) {
     const int n_ops = static_cast<int>(op_parent.size());
     std::vector<OperatorNode> ops(static_cast<std::size_t>(n_ops));
     for (int id = 0; id < n_ops; ++id) {
       auto it = op_parent.find(id);
       if (it == op_parent.end()) fail("op ids not dense");
       ops[static_cast<std::size_t>(id)].id = id;
-      ops[static_cast<std::size_t>(id)].parent = it->second;
       if (it->second != kNoNode) {
         if (it->second < 0 || it->second >= n_ops) fail("bad parent");
+        ops[static_cast<std::size_t>(id)].out.push_back(
+            OutEdge{it->second, 0.0});
         ops[static_cast<std::size_t>(it->second)].children.push_back(id);
       }
+    }
+    for (const auto& [child, parent] : extra_edges) {
+      if (child < 0 || child >= n_ops || parent < 0 || parent >= n_ops) {
+        fail("edge endpoint does not exist");
+      }
+      ops[static_cast<std::size_t>(child)].out.push_back(OutEdge{parent, 0.0});
+      ops[static_cast<std::size_t>(parent)].children.push_back(child);
     }
     std::vector<LeafRef> leaf_refs;
     for (const auto& [op, type] : leaves) {
@@ -155,9 +189,10 @@ OperatorTree from_text(const std::string& text) {
       leaf_refs.push_back(LeafRef{type, op});
       ops[static_cast<std::size_t>(op)].leaves.push_back(lid);
     }
+    if (forest_roots.empty()) forest_roots.push_back(root);
     OperatorTree t(std::move(ops), std::move(leaf_refs),
                    std::move(forest_roots), ObjectCatalog(std::move(types)));
-    if (auto err = t.validate()) fail("forest: " + *err);
+    if (auto err = t.validate()) fail("graph: " + *err);
     t.compute_work_and_outputs(alpha, work_scale);
     return t;
   }

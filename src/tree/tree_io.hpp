@@ -14,7 +14,8 @@ namespace insp {
 /// object type, edge labels = delta volumes).
 std::string to_dot(const OperatorTree& tree);
 
-/// Text format:
+/// Text format (version 1, written for every tree-shaped graph so existing
+/// fixtures stay byte-identical):
 ///   cinsp-tree 1
 ///   objects <count>
 ///   object <id> <size_mb> <freq_hz>
@@ -22,7 +23,15 @@ std::string to_dot(const OperatorTree& tree);
 ///   op <id> parent <id|-1>
 ///   leaf <op_id> <object_type>
 ///   alpha <alpha> work_scale <scale>
-/// Lines may appear in any order within their section; `#` starts a comment.
+/// Version 2 is emitted only when some operator has more than one consumer;
+/// it adds one line per out-edge beyond the first:
+///   cinsp-tree 2
+///   ...
+///   edge <child_id> <parent_id>
+/// (a repeated edge line is a parallel edge: the consumer reads that shared
+/// input twice).  Edge deltas are recomputed from alpha on load, like all
+/// demands.  Lines may appear in any order within their section; `#` starts
+/// a comment.  The parser accepts both versions; v1 files parse unchanged.
 std::string to_text(const OperatorTree& tree, double alpha,
                     double work_scale = 1.0);
 

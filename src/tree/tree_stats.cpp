@@ -22,8 +22,8 @@ TreeStats compute_tree_stats(const OperatorTree& tree) {
   for (const auto& n : tree.operators()) {
     if (n.is_al_operator()) ++s.num_al_operators;
     s.total_work += n.work;
-    if (n.parent != kNoNode) {
-      s.max_edge_volume = std::max(s.max_edge_volume, n.output_mb);
+    for (const OutEdge& e : n.out) {
+      s.max_edge_volume = std::max(s.max_edge_volume, e.delta);
     }
     s.depth = std::max(s.depth, depths[static_cast<std::size_t>(n.id)]);
   }
@@ -40,25 +40,30 @@ std::vector<int> object_popularity(const OperatorTree& tree) {
   return pop;
 }
 
-std::vector<int> edges_by_volume_desc(const OperatorTree& tree) {
-  std::vector<int> children;
+std::vector<EdgeRef> edges_by_volume_desc(const OperatorTree& tree) {
+  std::vector<EdgeRef> edges;
   for (const auto& n : tree.operators()) {
-    if (n.parent != kNoNode) children.push_back(n.id);
+    for (const OutEdge& e : n.out) edges.push_back(EdgeRef{n.id, e.dst, e.delta});
   }
-  std::sort(children.begin(), children.end(), [&](int a, int b) {
-    const MegaBytes va = tree.op(a).output_mb, vb = tree.op(b).output_mb;
-    if (va != vb) return va > vb;
-    return a < b;
+  std::sort(edges.begin(), edges.end(), [](const EdgeRef& a, const EdgeRef& b) {
+    if (a.delta != b.delta) return a.delta > b.delta;
+    if (a.child != b.child) return a.child < b.child;
+    return a.parent < b.parent;
   });
-  return children;
+  return edges;
 }
 
 std::vector<int> operator_depths(const OperatorTree& tree) {
+  // top_down_order guarantees every consumer precedes its producers, so the
+  // max over parents is final by the time a node is visited.
   std::vector<int> depth(static_cast<std::size_t>(tree.num_operators()), 0);
   for (int i : tree.top_down_order()) {
     const auto& n = tree.op(i);
-    depth[static_cast<std::size_t>(i)] =
-        n.parent == kNoNode ? 1 : depth[static_cast<std::size_t>(n.parent)] + 1;
+    int d = 1;
+    for (const OutEdge& e : n.out) {
+      d = std::max(d, depth[static_cast<std::size_t>(e.dst)] + 1);
+    }
+    depth[static_cast<std::size_t>(i)] = d;
   }
   return depth;
 }

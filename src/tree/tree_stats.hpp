@@ -26,9 +26,17 @@ TreeStats compute_tree_stats(const OperatorTree& tree);
 /// (paper, Object-Grouping heuristic).
 std::vector<int> object_popularity(const OperatorTree& tree);
 
-/// Tree edges (child op -> parent op) sorted by non-increasing data volume
-/// delta_child; ties broken by child id for determinism.
-std::vector<int> edges_by_volume_desc(const OperatorTree& tree);
+/// One producer->consumer edge.  On trees there is exactly one per
+/// non-root operator and delta == op(child).output_mb.
+struct EdgeRef {
+  int child = kNoNode;
+  int parent = kNoNode;
+  MegaBytes delta = 0.0;
+};
+
+/// All operator edges (child -> parent) sorted by non-increasing data
+/// volume delta; ties broken by child id then parent id for determinism.
+std::vector<EdgeRef> edges_by_volume_desc(const OperatorTree& tree);
 
 /// Depth of each operator (root = 1).
 std::vector<int> operator_depths(const OperatorTree& tree);

@@ -55,15 +55,6 @@ void probe_configs_range(const ProbeConfigsArgs& a, std::size_t begin,
   }
 }
 
-void sim_ready_caps_range(const SimReadyCapsArgs& a, std::size_t begin,
-                          std::size_t end) {
-  for (std::size_t o = begin; o < end; ++o) {
-    const double bp = a.cas[a.parent_clamped[o]] + a.bound + a.root_inf[o];
-    const double inner = bp < a.in_cap[o] ? bp : a.in_cap[o];
-    a.caps[o] = a.period_cap < inner ? a.period_cap : inner;
-  }
-}
-
 namespace {
 
 void scalar_probe_candidates(const ProbeBatchArgs& a) {
@@ -72,14 +63,10 @@ void scalar_probe_candidates(const ProbeBatchArgs& a) {
 void scalar_probe_configs(const ProbeConfigsArgs& a) {
   probe_configs_range(a, 0, a.num);
 }
-void scalar_sim_ready_caps(const SimReadyCapsArgs& a) {
-  sim_ready_caps_range(a, 0, a.n);
-}
 
 constexpr KernelTable kScalarTable{simd::Isa::kScalar,
                                    &scalar_probe_candidates,
-                                   &scalar_probe_configs,
-                                   &scalar_sim_ready_caps};
+                                   &scalar_probe_configs};
 
 } // namespace
 

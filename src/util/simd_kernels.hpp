@@ -92,33 +92,18 @@ struct ProbeConfigsArgs {
   unsigned char* verdicts;
 };
 
-/// Arguments for the event-sim per-period progress cap: for each op,
-///   caps[o] = min(period_cap,
-///                 cas[parent_clamped[o]] + bound + root_inf[o],
-///                 in_cap[o])
-/// where `parent_clamped[o]` is 0 for parentless ops and `root_inf[o]` is
-/// +inf for them (0.0 otherwise), so the backpressure term vanishes without
-/// a per-lane select; `in_cap` carries the inputs-ready bound the caller
-/// pre-folds over the CSR children (min over frozen start-of-period
-/// counters, +inf for leaves).
-struct SimReadyCapsArgs {
-  std::size_t n;
-  const int* parent_clamped;
-  const double* root_inf;
-  const double* cas;     ///< computed_at_start, frozen for the period
-  const double* in_cap;
-  double bound;
-  double period_cap;     ///< period + 1
-  double* caps;          ///< out
-};
-
 /// One entry per kernel; filled per-ISA.  All tables compute bit-identical
 /// results — wider tables are just faster.
+///
+/// A third kernel (the event-sim per-period ready-caps pass) used to live
+/// here; it was retired when benchmarking showed its gather-heavy body
+/// losing to the compiler-autovectorized scalar loop, and the DAG out-edge
+/// generalization made the gather pattern irregular anyway.  The sim now
+/// folds caps inline over its CSR plan (src/sim/event_sim.cpp).
 struct KernelTable {
   simd::Isa isa;
   void (*probe_candidates)(const ProbeBatchArgs&);
   void (*probe_configs)(const ProbeConfigsArgs&);
-  void (*sim_ready_caps)(const SimReadyCapsArgs&);
 };
 
 /// Table for exactly `isa` if this build can target it, else the widest
@@ -141,7 +126,5 @@ void probe_candidates_range(const ProbeBatchArgs& a, std::size_t begin,
                             std::size_t end);
 void probe_configs_range(const ProbeConfigsArgs& a, std::size_t begin,
                          std::size_t end);
-void sim_ready_caps_range(const SimReadyCapsArgs& a, std::size_t begin,
-                          std::size_t end);
 
 } // namespace insp::simdk

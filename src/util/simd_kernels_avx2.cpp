@@ -20,12 +20,9 @@ void avx2_probe_candidates(const ProbeBatchArgs& a) {
 void avx2_probe_configs(const ProbeConfigsArgs& a) {
   probe_configs_t<simd::VAvx2>(a);
 }
-void avx2_sim_ready_caps(const SimReadyCapsArgs& a) {
-  sim_ready_caps_t<simd::VAvx2>(a);
-}
 
 constexpr KernelTable kAvx2Table{simd::Isa::kAvx2, &avx2_probe_candidates,
-                                 &avx2_probe_configs, &avx2_sim_ready_caps};
+                                 &avx2_probe_configs};
 
 } // namespace
 

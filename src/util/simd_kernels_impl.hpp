@@ -112,23 +112,4 @@ void probe_configs_t(const ProbeConfigsArgs& a) {
   probe_configs_range(a, i, a.num);
 }
 
-template <class V>
-void sim_ready_caps_t(const SimReadyCapsArgs& a) {
-  constexpr std::size_t L = static_cast<std::size_t>(V::kLanes);
-  const typename V::reg bound = V::broadcast(a.bound);
-  const typename V::reg period_cap = V::broadcast(a.period_cap);
-  std::size_t i = 0;
-  for (; i + L <= a.n; i += L) {
-    // Backpressure term: cas[parent] + bound, pushed to +inf for parentless
-    // ops via root_inf so no per-lane select is needed.
-    const typename V::reg bp =
-        V::add(V::add(V::gather(a.cas, a.parent_clamped + i), bound),
-               V::load(a.root_inf + i));
-    const typename V::reg caps =
-        V::min(period_cap, V::min(bp, V::load(a.in_cap + i)));
-    V::store(a.caps + i, caps);
-  }
-  sim_ready_caps_range(a, i, a.n);
-}
-
 } // namespace insp::simdk

@@ -17,12 +17,9 @@ void sse2_probe_candidates(const ProbeBatchArgs& a) {
 void sse2_probe_configs(const ProbeConfigsArgs& a) {
   probe_configs_t<simd::VSse2>(a);
 }
-void sse2_sim_ready_caps(const SimReadyCapsArgs& a) {
-  sim_ready_caps_t<simd::VSse2>(a);
-}
 
 constexpr KernelTable kSse2Table{simd::Isa::kSse2, &sse2_probe_candidates,
-                                 &sse2_probe_configs, &sse2_sim_ready_caps};
+                                 &sse2_probe_configs};
 
 } // namespace
 

@@ -125,8 +125,8 @@ class Oracle {
       // Crossing edges: parent edge plus child edges with the far endpoint
       // assigned elsewhere (unassigned neighbors are free).
       const auto& n = tree.op(op);
-      if (n.parent != kNoNode) {
-        const int q = assign[static_cast<std::size_t>(n.parent)];
+      if (n.parent() != kNoNode) {
+        const int q = assign[static_cast<std::size_t>(n.parent())];
         if (q != kNoNode && q != pid) out.comm += p_->rho * n.output_mb;
       }
       for (int c : n.children) {
@@ -157,9 +157,9 @@ class Oracle {
     const OperatorTree& tree = *p_->tree;
     for (int op = 0; op < tree.num_operators(); ++op) {
       const auto& n = tree.op(op);
-      if (n.parent == kNoNode) continue;
+      if (n.parent() == kNoNode) continue;
       const int a = assign[static_cast<std::size_t>(op)];
-      const int b = assign[static_cast<std::size_t>(n.parent)];
+      const int b = assign[static_cast<std::size_t>(n.parent())];
       if (a == kNoNode || b == kNoNode || a == b) continue;
       links[{std::min(a, b), std::max(a, b)}] += p_->rho * n.output_mb;
     }

@@ -24,7 +24,7 @@ TEST(ExperimentHarness, MakeInstanceDeterministic) {
   const Instance b = make_instance(7, cfg);
   EXPECT_EQ(a.tree().num_operators(), b.tree().num_operators());
   for (int i = 0; i < a.tree().num_operators(); ++i) {
-    EXPECT_EQ(a.tree().op(i).parent, b.tree().op(i).parent);
+    EXPECT_EQ(a.tree().op(i).parent(), b.tree().op(i).parent());
   }
   for (int l = 0; l < a.platform().num_servers(); ++l) {
     EXPECT_EQ(a.platform().server(l).object_types,
@@ -33,7 +33,7 @@ TEST(ExperimentHarness, MakeInstanceDeterministic) {
   const Instance c = make_instance(8, cfg);
   bool differs = c.tree().num_leaves() != a.tree().num_leaves();
   for (int i = 0; !differs && i < a.tree().num_operators(); ++i) {
-    differs = a.tree().op(i).parent != c.tree().op(i).parent;
+    differs = a.tree().op(i).parent() != c.tree().op(i).parent();
   }
   EXPECT_TRUE(differs);
 }

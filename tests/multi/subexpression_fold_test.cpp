@@ -1,0 +1,214 @@
+// The fold pass and its differential oracle: folding a combined forest's
+// shared subexpressions must (a) be the identity on duplicate-free input,
+// (b) merge exactly the occurrences the analysis predicts, and (c) never
+// cost more than the unfolded forest while every allocation stays
+// sim-sustained — the realized counterpart of estimate_sharing_savings.
+#include "multi/subexpression_fold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/constraints.hpp"
+#include "multi/multi_app.hpp"
+#include "multi/subexpression.hpp"
+#include "platform/server_distribution.hpp"
+#include "sim/event_sim.hpp"
+
+namespace insp {
+namespace {
+
+using testhelpers::fig1a_tree;
+using testhelpers::simple_platform;
+
+ObjectCatalog small_catalog() {
+  return ObjectCatalog({{0, 10.0, 0.5}, {1, 20.0, 0.5}, {2, 30.0, 0.5}});
+}
+
+TEST(SubexpressionFold, IdentityOnDuplicateFreeForest) {
+  const ObjectCatalog objects = small_catalog();
+  std::vector<ApplicationSpec> apps;
+  {
+    TreeBuilder b(objects);
+    const int root = b.add_operator(kNoNode);
+    b.add_leaf(root, 0);
+    b.add_leaf(root, 1);
+    apps.push_back({b.build(1.0), 1.0});
+  }
+  {
+    TreeBuilder b(objects);
+    const int root = b.add_operator(kNoNode);
+    b.add_leaf(root, 1);
+    b.add_leaf(root, 2);
+    apps.push_back({b.build(1.0), 1.0});
+  }
+  const CombinedApplication c = combine_applications(apps);
+  const FoldResult f = fold_shared_subexpressions(c.forest);
+  EXPECT_EQ(f.stats.operators_before, 2);
+  EXPECT_EQ(f.stats.operators_after, 2);
+  EXPECT_EQ(f.stats.merged_occurrences, 0);
+  EXPECT_EQ(f.stats.shared_nodes, 0);
+  EXPECT_DOUBLE_EQ(f.stats.work_saved, 0.0);
+  EXPECT_EQ(f.old_to_new, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(f.dag.is_tree_shaped());
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(f.dag.op(i).work, c.forest.op(i).work);
+    EXPECT_DOUBLE_EQ(f.dag.op(i).output_mb, c.forest.op(i).output_mb);
+  }
+}
+
+TEST(SubexpressionFold, MergesIdenticalApplications) {
+  // Two copies of fig1a: everything below the roots is equivalent, so the
+  // second application keeps only its root and reads the first one's nodes.
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  const CombinedApplication c = combine_applications(apps);
+  const FoldResult f = fold_shared_subexpressions(c.forest);
+
+  EXPECT_EQ(f.stats.operators_before, 10);
+  EXPECT_EQ(f.stats.operators_after, 6);
+  EXPECT_EQ(f.stats.merged_occurrences, 4);
+  // The two direct inputs of the duplicated root (n5, n3) fan out to both
+  // roots; the deeper merged nodes keep a single consumer.
+  EXPECT_EQ(f.stats.shared_nodes, 2);
+  EXPECT_GT(f.stats.work_saved, 0.0);
+  EXPECT_FALSE(f.dag.validate().has_value());
+  EXPECT_FALSE(f.dag.is_tree_shaped());
+  ASSERT_EQ(f.dag.roots().size(), 2u);
+  // The roots stay distinct; each non-root pair collapses to one node.
+  EXPECT_NE(f.old_to_new[0], f.old_to_new[5]);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(f.old_to_new[static_cast<std::size_t>(i)],
+              f.old_to_new[static_cast<std::size_t>(i + 5)]);
+  }
+
+  // Realized savings are the prediction minus the duplicated ROOT's work:
+  // the analysis counts the whole duplicated tree, but each application
+  // keeps its own result stream, so the fold never merges roots.
+  const SharingSavings predicted =
+      estimate_sharing_savings(apps, PriceCatalog::paper_default());
+  const MegaOps root_work = apps[0].tree.op(apps[0].tree.root()).work;
+  EXPECT_NEAR(f.stats.work_saved, predicted.work_saved - root_work,
+              1e-9 * (1.0 + predicted.work_saved));
+}
+
+TEST(SubexpressionFold, MergedNodeTakesMaxDemandAndPerEdgeDeltas) {
+  // Same application at rho 1 and rho 2: after combine_applications folds
+  // the throughputs into the demands, the merged producer must be sized for
+  // the demanding consumer (max), while each consumer edge still carries
+  // the volume its own application ships.
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  apps.push_back({fig1a_tree(1.0, 10.0), 2.0});
+  const CombinedApplication c = combine_applications(apps);
+  const FoldResult f = fold_shared_subexpressions(c.forest);
+  ASSERT_EQ(f.stats.operators_after, 6);
+
+  // Forest id 1 is app 0's n5; id 6 is app 1's (merged into 1).
+  const int n5 = f.old_to_new[1];
+  EXPECT_EQ(n5, f.old_to_new[6]);
+  const OperatorNode& shared = f.dag.op(n5);
+  EXPECT_DOUBLE_EQ(shared.work, c.forest.op(6).work);           // 2x > 1x
+  EXPECT_DOUBLE_EQ(shared.output_mb, c.forest.op(6).output_mb);
+  ASSERT_EQ(shared.out.size(), 2u);
+  // Edge to app 0's root keeps the rho=1 volume; edge to app 1's root the
+  // rho=2 volume.
+  const int root0 = f.old_to_new[0];
+  const int root1 = f.old_to_new[5];
+  for (const OutEdge& e : shared.out) {
+    if (e.dst == root0) {
+      EXPECT_DOUBLE_EQ(e.delta, c.forest.op(1).output_mb);
+    } else {
+      EXPECT_EQ(e.dst, root1);
+      EXPECT_DOUBLE_EQ(e.delta, c.forest.op(6).output_mb);
+    }
+  }
+}
+
+TEST(SubexpressionFold, FoldedDagCostsNoMoreAndBothSimSustain) {
+  // Differential oracle over seeded workloads with guaranteed sharing (two
+  // of the three applications are identical): allocate the unfolded forest
+  // and the folded DAG with the same strategy and seeds; whenever both
+  // succeed, the folded plan must be valid, cost no more, and both plans
+  // must sustain rho = 1 in the event simulator.
+  int compared = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng gen(seed);
+    ObjectCatalog objects = ObjectCatalog::random(gen, 15, 5.0, 30.0, 0.5);
+    TreeGenConfig cfg;
+    cfg.num_operators = 15;
+    cfg.alpha = 1.0;
+    std::vector<ApplicationSpec> apps;
+    {
+      Rng t(seed * 3 + 1);
+      apps.push_back({generate_random_tree(t, cfg, objects), 1.0});
+    }
+    {
+      Rng t(seed * 3 + 1);  // identical draw: shared subexpressions
+      apps.push_back({generate_random_tree(t, cfg, objects), 1.0});
+    }
+    {
+      Rng t(seed * 3 + 2);
+      apps.push_back({generate_random_tree(t, cfg, objects), 1.0});
+    }
+    ServerDistConfig dist;
+    const Platform platform = make_paper_platform(gen, dist);
+    const PriceCatalog catalog = PriceCatalog::paper_default();
+
+    const CombinedApplication c = combine_applications(apps);
+    const FoldResult f = fold_shared_subexpressions(c.forest);
+    ASSERT_FALSE(f.dag.validate().has_value()) << "seed " << seed;
+    EXPECT_GT(f.stats.merged_occurrences, 0) << "seed " << seed;
+
+    Problem unfolded;
+    unfolded.tree = &c.forest;
+    unfolded.platform = &platform;
+    unfolded.catalog = &catalog;
+    Problem folded = unfolded;
+    folded.tree = &f.dag;
+
+    Rng r1(99), r2(99);
+    const AllocationOutcome before =
+        allocate(unfolded, HeuristicKind::SubtreeBottomUp, r1);
+    const AllocationOutcome after =
+        allocate(folded, HeuristicKind::SubtreeBottomUp, r2);
+    if (!before.success || !after.success) continue;
+    ++compared;
+
+    EXPECT_TRUE(check_allocation(folded, after.allocation).ok())
+        << "seed " << seed;
+    EXPECT_LE(after.cost, before.cost + 1e-9) << "seed " << seed;
+    EXPECT_TRUE(simulate_allocation(unfolded, before.allocation).sustained)
+        << "seed " << seed;
+    EXPECT_TRUE(simulate_allocation(folded, after.allocation).sustained)
+        << "seed " << seed;
+  }
+  EXPECT_GE(compared, 3);
+}
+
+TEST(SubexpressionFold, FoldedDagAllocationServesEveryRoot) {
+  std::vector<ApplicationSpec> apps;
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  apps.push_back({fig1a_tree(1.0, 10.0), 1.0});
+  const CombinedApplication c = combine_applications(apps);
+  const FoldResult f = fold_shared_subexpressions(c.forest);
+  const Platform platform = simple_platform({{0, 1, 2}, {0, 1, 2}}, 3);
+  const PriceCatalog catalog = PriceCatalog::paper_default();
+
+  Problem prob;
+  prob.tree = &f.dag;
+  prob.platform = &platform;
+  prob.catalog = &catalog;
+  Rng rng(11);
+  const AllocationOutcome out =
+      allocate(prob, HeuristicKind::CompGreedy, rng);
+  ASSERT_TRUE(out.success) << out.failure_reason;
+  EXPECT_TRUE(check_allocation(prob, out.allocation).ok());
+  const EventSimResult sim = simulate_allocation(prob, out.allocation);
+  EXPECT_TRUE(sim.sustained) << sim.achieved_throughput;
+  // Two result streams come off the shared pipeline.
+  EXPECT_GT(sim.results_produced, 400);
+}
+
+} // namespace
+} // namespace insp

@@ -1,0 +1,150 @@
+// The DAG side of the application model: shared nodes via TreeBuilder's
+// add_edge, cycle and root-consistency rejection in validate(), topological
+// orders on non-tree graphs, and the shared-subexpression generator's
+// structural invariants.
+#include "tree/operator_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tree/tree_generator.hpp"
+
+namespace insp {
+namespace {
+
+/// Diamond: c = JOIN(o0, o1) feeds both a and b, which feed the root.
+OperatorTree diamond_dag() {
+  ObjectCatalog objects({{0, 10.0, 0.5}, {1, 20.0, 0.5}});
+  TreeBuilder b(objects);
+  const int root = b.add_operator(kNoNode);
+  const int a = b.add_operator(root);
+  const int bb = b.add_operator(root);
+  const int c = b.add_operator(a);
+  b.add_leaf(c, 0);
+  b.add_leaf(c, 1);
+  b.add_edge(c, bb);
+  return b.build(1.0);
+}
+
+TEST(DagModel, BuilderAddEdgeCreatesSharedNode) {
+  const OperatorTree t = diamond_dag();
+  EXPECT_FALSE(t.validate().has_value());
+  EXPECT_FALSE(t.is_tree_shaped());
+  EXPECT_EQ(t.num_edges(), 4);
+  const OperatorNode& shared = t.op(3);
+  ASSERT_TRUE(shared.is_shared());
+  ASSERT_EQ(shared.out.size(), 2u);
+  // build() fills every out-edge delta with the producer's output_mb.
+  for (const OutEdge& e : shared.out) {
+    EXPECT_DOUBLE_EQ(e.delta, shared.output_mb);
+  }
+  // Both consumers see the shared node as a child exactly once.
+  EXPECT_EQ(t.op(1).children, (std::vector<int>{3}));
+  EXPECT_EQ(t.op(2).children, (std::vector<int>{3}));
+}
+
+TEST(DagModel, TopologicalOrdersRespectSharedEdges) {
+  const OperatorTree t = diamond_dag();
+  const std::vector<int> down = t.top_down_order();
+  ASSERT_EQ(down.size(), 4u);
+  auto pos = [&](int id) {
+    return std::find(down.begin(), down.end(), id) - down.begin();
+  };
+  // Consumers before producers: the shared node comes after BOTH its
+  // consumers, not just the first.
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+  const std::vector<int> up = t.bottom_up_order();
+  ASSERT_EQ(up.size(), 4u);
+  std::vector<int> reversed(down.rbegin(), down.rend());
+  EXPECT_EQ(up, reversed);
+}
+
+TEST(DagModel, ValidateRejectsCycle) {
+  // r <- a <-> b: a and b feed each other, so Kahn's algorithm never
+  // reaches them.
+  ObjectCatalog objects({{0, 10.0, 0.5}});
+  std::vector<OperatorNode> ops(3);
+  ops[0].id = 0;  // root
+  ops[0].children = {1};
+  ops[1].id = 1;
+  ops[1].out = {{0, 1.0}, {2, 1.0}};
+  ops[1].children = {2};
+  ops[2].id = 2;
+  ops[2].out = {{1, 1.0}};
+  ops[2].children = {1};
+  std::vector<LeafRef> leaves;
+  OperatorTree cyclic(ops, leaves, 0, objects);
+  const auto issue = cyclic.validate();
+  ASSERT_TRUE(issue.has_value());
+}
+
+TEST(DagModel, ValidateRejectsRootWithOutEdge) {
+  ObjectCatalog objects({{0, 10.0, 0.5}});
+  std::vector<OperatorNode> ops(2);
+  ops[0].id = 0;
+  ops[0].out = {{1, 1.0}};  // declared root must not feed anyone
+  std::vector<LeafRef> leaves = {{0, 0}, {0, 1}};
+  ops[0].leaves = {0};
+  ops[1].id = 1;
+  ops[1].children = {0};
+  ops[1].leaves = {1};
+  OperatorTree bad(ops, leaves, 0, objects);
+  EXPECT_TRUE(bad.validate().has_value());
+}
+
+TEST(DagModel, ValidateRejectsEdgeChildMismatch) {
+  // Producer claims two consumers, but only one lists it as a child.
+  ObjectCatalog objects({{0, 10.0, 0.5}});
+  std::vector<OperatorNode> ops(3);
+  ops[0].id = 0;
+  ops[0].children = {2};
+  ops[1].id = 1;
+  ops[1].out = {{0, 1.0}};  // 0 does not list 1 as a child
+  std::vector<LeafRef> leaves = {{0, 0}, {0, 1}, {0, 2}};
+  ops[1].leaves = {0};
+  ops[2].id = 2;
+  ops[2].out = {{0, 1.0}};
+  ops[2].leaves = {1};
+  ops[0].leaves = {2};
+  OperatorTree bad(ops, leaves, 0, objects);
+  EXPECT_TRUE(bad.validate().has_value());
+}
+
+TEST(DagModel, SharedDagGeneratorProducesValidAcyclicDags) {
+  TreeGenConfig cfg;
+  cfg.num_operators = 30;
+  cfg.alpha = 1.0;
+  bool any_shared = false;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const OperatorTree t = generate_shared_dag(rng, cfg, 0.4);
+    ASSERT_FALSE(t.validate().has_value()) << "seed " << seed;
+    ASSERT_EQ(t.top_down_order().size(),
+              static_cast<std::size_t>(t.num_operators()));
+    for (const OperatorNode& n : t.operators()) {
+      // Ids are creation-ordered consumer-first, so every out-edge points
+      // to an older (smaller-id) operator: acyclic by construction.
+      for (const OutEdge& e : n.out) EXPECT_LT(e.dst, n.id);
+      any_shared = any_shared || n.is_shared();
+    }
+  }
+  EXPECT_TRUE(any_shared);
+}
+
+TEST(DagModel, SharedDagZeroShareProbIsTree) {
+  TreeGenConfig cfg;
+  cfg.num_operators = 25;
+  cfg.alpha = 1.0;
+  Rng rng(9);
+  const OperatorTree t = generate_shared_dag(rng, cfg, 0.0);
+  EXPECT_TRUE(t.is_tree_shaped());
+  EXPECT_FALSE(t.validate().has_value());
+}
+
+} // namespace
+} // namespace insp

@@ -139,13 +139,12 @@ TEST(TreeBuilder, RejectsArityThree) {
 TEST(OperatorTree, ValidateCatchesBrokenParentLink) {
   OperatorTree t = fig1a_tree();
   // Validation is also exercised through the builder; break a link via the
-  // public surface: a tree constructed directly with inconsistent parents.
+  // public surface: a tree constructed directly with inconsistent out-edges.
   std::vector<OperatorNode> ops(2);
   ops[0].id = 0;
-  ops[0].parent = kNoNode;
   ops[0].children = {1};
   ops[1].id = 1;
-  ops[1].parent = 0;
+  ops[1].out = {{0, 0.0}};
   std::vector<LeafRef> leaves = {{0, 0}, {0, 1}};
   ops[0].leaves = {0};
   ops[1].leaves = {1};
@@ -153,7 +152,7 @@ TEST(OperatorTree, ValidateCatchesBrokenParentLink) {
   OperatorTree ok(ops, leaves, 0, objects);
   EXPECT_FALSE(ok.validate().has_value());
 
-  ops[1].parent = 1;  // self-parent, not matching children list
+  ops[1].out = {{1, 0.0}};  // self-edge, not matching the children list
   OperatorTree bad(ops, leaves, 0, objects);
   EXPECT_TRUE(bad.validate().has_value());
 }

@@ -48,7 +48,7 @@ TEST(TreeGenerator, DeterministicGivenSeed) {
   ASSERT_EQ(ta.num_operators(), tb.num_operators());
   ASSERT_EQ(ta.num_leaves(), tb.num_leaves());
   for (int i = 0; i < ta.num_operators(); ++i) {
-    EXPECT_EQ(ta.op(i).parent, tb.op(i).parent);
+    EXPECT_EQ(ta.op(i).parent(), tb.op(i).parent());
     EXPECT_DOUBLE_EQ(ta.op(i).work, tb.op(i).work);
   }
   for (int l = 0; l < ta.num_leaves(); ++l) {

@@ -19,7 +19,7 @@ TEST(TreeIo, TextRoundTripPreservesStructure) {
   ASSERT_EQ(r.num_leaves(), t.num_leaves());
   EXPECT_EQ(r.root(), t.root());
   for (int i = 0; i < t.num_operators(); ++i) {
-    EXPECT_EQ(r.op(i).parent, t.op(i).parent);
+    EXPECT_EQ(r.op(i).parent(), t.op(i).parent());
     EXPECT_EQ(r.op(i).children, t.op(i).children);
     EXPECT_DOUBLE_EQ(r.op(i).work, t.op(i).work);
     EXPECT_DOUBLE_EQ(r.op(i).output_mb, t.op(i).output_mb);
@@ -40,7 +40,7 @@ TEST(TreeIo, RoundTripRandomTrees) {
     const OperatorTree r = from_text(to_text(t, cfg.alpha));
     ASSERT_EQ(r.num_operators(), t.num_operators());
     for (int op = 0; op < t.num_operators(); ++op) {
-      ASSERT_EQ(r.op(op).parent, t.op(op).parent);
+      ASSERT_EQ(r.op(op).parent(), t.op(op).parent());
       ASSERT_NEAR(r.op(op).work, t.op(op).work, 1e-9 * (1 + t.op(op).work));
     }
   }
@@ -117,7 +117,7 @@ TEST(TreeIo, ForestRoundTripPreservesRootsAndStructure) {
   std::vector<LeafRef> leaves;
   ops[0].id = 0;
   ops[1].id = 1;
-  ops[1].parent = 0;
+  ops[1].out = {{0, 0.0}};
   ops[0].children = {1};
   ops[2].id = 2;  // second root
   leaves.push_back({0, 1});
@@ -135,7 +135,7 @@ TEST(TreeIo, ForestRoundTripPreservesRootsAndStructure) {
   EXPECT_EQ(r.roots(), (std::vector<int>{0, 2}));
   ASSERT_EQ(r.num_operators(), 3);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(r.op(i).parent, forest.op(i).parent);
+    EXPECT_EQ(r.op(i).parent(), forest.op(i).parent());
     EXPECT_DOUBLE_EQ(r.op(i).work, forest.op(i).work);
   }
 }

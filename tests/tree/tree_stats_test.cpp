@@ -49,10 +49,10 @@ TEST(TreeStats, EdgesSortedByVolumeDesc) {
   const auto edges = edges_by_volume_desc(t);
   ASSERT_EQ(edges.size(), 4u);  // every non-root op
   for (std::size_t i = 1; i < edges.size(); ++i) {
-    EXPECT_GE(t.op(edges[i - 1]).output_mb, t.op(edges[i]).output_mb);
+    EXPECT_GE(edges[i - 1].delta, edges[i].delta);
   }
   // n3 (id 2) carries 50 MB: the largest edge.
-  EXPECT_EQ(edges.front(), 2);
+  EXPECT_EQ(edges.front().child, 2);
 }
 
 TEST(TreeStats, DepthsRootIsOne) {
@@ -60,9 +60,9 @@ TEST(TreeStats, DepthsRootIsOne) {
   const auto d = operator_depths(t);
   EXPECT_EQ(d[static_cast<std::size_t>(t.root())], 1);
   for (const auto& n : t.operators()) {
-    if (n.parent != kNoNode) {
+    if (n.parent() != kNoNode) {
       EXPECT_EQ(d[static_cast<std::size_t>(n.id)],
-                d[static_cast<std::size_t>(n.parent)] + 1);
+                d[static_cast<std::size_t>(n.parent())] + 1);
     }
   }
 }

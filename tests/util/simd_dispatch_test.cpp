@@ -56,7 +56,6 @@ TEST(SimdDispatch, KernelTableFallbackNeverReturnsMissingTier) {
     EXPECT_LE(table->isa, isa);
     EXPECT_NE(table->probe_candidates, nullptr);
     EXPECT_NE(table->probe_configs, nullptr);
-    EXPECT_NE(table->sim_ready_caps, nullptr);
   }
   // The active table always matches the active ISA's resolution.
   simd::set_forced_isa(simd::Isa::kScalar);
