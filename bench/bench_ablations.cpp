@@ -4,10 +4,14 @@
 // three-loop server selection succeed where random selection fails, and
 // (d) how much of the subexpression analysis' *predicted* sharing savings
 // the fold pass (multi/subexpression_fold) actually *realizes* as fleet
-// cost, sim-verified.  Section (d) emits machine-readable
-// BENCH_ablations.json (schema checked in CI by
-// scripts/check_bench_json.py); --gate makes an unrealized saving or an
-// unsustained plan a hard failure.
+// cost, sim-verified, and (e) how far each registry heuristic's full-
+// pipeline cost sits above the PROVED exact optimum at paper sizes
+// (docs/DESIGN.md §14).  Sections (d) and (e) emit machine-readable
+// BENCH_ablations.json rows tagged "section": "fold" / "optimality_gap"
+// (schema checked in CI by scripts/check_bench_json.py); --gate makes an
+// unrealized saving, an unsustained plan, an unproved gap anchor or a
+// heuristic gap above its pinned ceiling a hard failure.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -19,6 +23,7 @@
 #include "multi/subexpression.hpp"
 #include "multi/subexpression_fold.hpp"
 #include "platform/server_distribution.hpp"
+#include "report/optimality_gap.hpp"
 #include "sim/event_sim.hpp"
 
 using namespace insp;
@@ -149,21 +154,82 @@ FoldRow run_fold_rep(int rep, std::uint64_t seed) {
   return row;
 }
 
-void write_fold_json(const std::string& path, std::uint64_t seed,
-                     const std::vector<FoldRow>& rows) {
+// ---- (e) heuristic cost vs PROVED exact optimum at paper sizes. ------------
+
+struct GapRow {
+  int n = 0;
+  double alpha = 0.0;
+  std::string heuristic;
+  int attempts = 0;   ///< instances where the heuristic pipeline succeeded
+  int measured = 0;   ///< ... and the exact anchor proved Optimal
+  double gap_mean = 0.0;  ///< heuristic cost / optimum over measured
+  double gap_max = 0.0;
+  std::uint64_t nodes_total = 0;  ///< branch-and-bound nodes across anchors
+};
+
+std::vector<GapRow> run_gap_section(std::uint64_t seed, int reps) {
+  std::vector<GapRow> rows;
+  for (double alpha : {0.9, 1.7}) {
+    for (int n : {10, 16, 20}) {
+      std::vector<GapRow> per_h;
+      for (HeuristicKind h : all_heuristics()) {
+        GapRow row;
+        row.n = n;
+        row.alpha = alpha;
+        row.heuristic = heuristic_name(h);
+        per_h.push_back(row);
+      }
+      for (int rep = 0; rep < reps; ++rep) {
+        const Instance inst = make_instance(seed + 1000 * rep + n,
+                                            paper_instance(n, alpha));
+        const Problem prob = inst.problem();
+        // One exact solve anchors every heuristic on this instance.
+        const ExactResult ex = solve_exact(prob, ExactSolverConfig{});
+        std::size_t idx = 0;
+        for (HeuristicKind h : all_heuristics()) {
+          GapRow& row = per_h[idx++];
+          Rng rng(seed + rep);
+          const AllocationOutcome out = allocate(prob, h, rng);
+          if (!out.success) continue;
+          ++row.attempts;
+          OptimalityGap gap;
+          gap.exact_status = ex.status;
+          gap.exact_cost = ex.cost;
+          gap.observed_cost = out.cost;
+          gap.nodes_visited = ex.nodes_visited;
+          row.nodes_total += ex.nodes_visited;
+          if (!gap.measured()) continue;
+          ++row.measured;
+          row.gap_mean += gap.ratio();
+          row.gap_max = std::max(row.gap_max, gap.ratio());
+        }
+      }
+      for (GapRow& row : per_h) {
+        if (row.measured > 0) row.gap_mean /= row.measured;
+        rows.push_back(row);
+      }
+    }
+  }
+  return rows;
+}
+
+void write_json(const std::string& path, std::uint64_t seed,
+                const std::vector<FoldRow>& rows,
+                const std::vector<GapRow>& gap_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"ablations\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(seed));
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const FoldRow& r = rows[i];
     std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"section\": \"fold\",\n");
     std::fprintf(f, "      \"rep\": %d,\n", r.rep);
     std::fprintf(f, "      \"num_apps\": %d,\n", r.num_apps);
     std::fprintf(f, "      \"operators_forest\": %d,\n", r.operators_forest);
@@ -185,7 +251,23 @@ void write_fold_json(const std::string& path, std::uint64_t seed,
                  r.unfolded_sustained ? "true" : "false");
     std::fprintf(f, "      \"folded_sustained\": %s\n",
                  r.folded_sustained ? "true" : "false");
-    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+    const bool last = i + 1 == rows.size() && gap_rows.empty();
+    std::fprintf(f, "    }%s\n", last ? "" : ",");
+  }
+  for (std::size_t i = 0; i < gap_rows.size(); ++i) {
+    const GapRow& r = gap_rows[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"section\": \"optimality_gap\",\n");
+    std::fprintf(f, "      \"n\": %d,\n", r.n);
+    std::fprintf(f, "      \"alpha\": %.2f,\n", r.alpha);
+    std::fprintf(f, "      \"heuristic\": \"%s\",\n", r.heuristic.c_str());
+    std::fprintf(f, "      \"attempts\": %d,\n", r.attempts);
+    std::fprintf(f, "      \"measured\": %d,\n", r.measured);
+    std::fprintf(f, "      \"gap_mean\": %.4f,\n", r.gap_mean);
+    std::fprintf(f, "      \"gap_max\": %.4f,\n", r.gap_max);
+    std::fprintf(f, "      \"nodes_total\": %llu\n",
+                 static_cast<unsigned long long>(r.nodes_total));
+    std::fprintf(f, "    }%s\n", i + 1 < gap_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -292,7 +374,19 @@ int main(int argc, char** argv) {
   std::printf("  folding lowered fleet cost in %d/%d comparable runs\n",
               saved, compared);
 
-  write_fold_json(json_path, flags.seed, fold_rows);
+  // ---- (e) heuristic gap vs the exact optimum (docs/DESIGN.md §14). --------
+  std::printf("\nOptimality gap vs exact branch-and-bound (full pipeline, "
+              "paper catalog):\n");
+  std::printf("  %-4s %-6s %-22s %-9s %-10s %s\n", "N", "alpha", "heuristic",
+              "measured", "gap mean", "gap max");
+  const std::vector<GapRow> gap_rows = run_gap_section(flags.seed, reps);
+  for (const GapRow& r : gap_rows) {
+    std::printf("  %-4d %-6.1f %-22s %d/%-7d %-10.3f %.3f\n", r.n, r.alpha,
+                r.heuristic.c_str(), r.measured, r.attempts, r.gap_mean,
+                r.gap_max);
+  }
+
+  write_json(json_path, flags.seed, fold_rows, gap_rows);
   std::printf("\njson written to %s\n", json_path.c_str());
 
   if (gate) {
@@ -310,9 +404,35 @@ int main(int argc, char** argv) {
                    compared, unsustained, regressed ? 1 : 0, saved);
       return 1;
     }
-    std::printf("gate passed: %d comparable runs, all sustained, "
-                "%d with strictly lower cost\n",
-                compared, saved);
+    // Gap-regression gate: at these sizes the exact anchor must prove every
+    // attempted instance (measured == attempts, anchors never time out),
+    // and the workhorse heuristic must stay near-optimal.  The 1.35x
+    // ceiling is pinned well above the measured Subtree-bottom-up mean so
+    // only a genuine regression trips it.
+    bool gap_ok = !gap_rows.empty();
+    for (const GapRow& r : gap_rows) {
+      if (r.measured != r.attempts) {
+        std::fprintf(stderr,
+                     "GATE FAILED: gap anchor unproved for %s N=%d "
+                     "alpha=%.1f (%d/%d)\n",
+                     r.heuristic.c_str(), r.n, r.alpha, r.measured,
+                     r.attempts);
+        gap_ok = false;
+      }
+      if (r.heuristic == "Subtree-bottom-up" && r.measured > 0 &&
+          r.gap_mean > 1.35) {
+        std::fprintf(stderr,
+                     "GATE FAILED: SBU gap regressed: mean %.3fx at N=%d "
+                     "alpha=%.1f (ceiling 1.35x)\n",
+                     r.gap_mean, r.n, r.alpha);
+        gap_ok = false;
+      }
+    }
+    if (!gap_ok) return 1;
+    std::printf("gate passed: %d comparable fold runs, all sustained, "
+                "%d with strictly lower cost; %zu gap rows, all anchors "
+                "proved\n",
+                compared, saved, gap_rows.size());
   }
   return 0;
 }

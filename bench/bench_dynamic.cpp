@@ -12,15 +12,24 @@
 // emitting machine-readable BENCH_dynamic.json.  Every repaired allocation
 // is cross-checked with the discrete-event simulator (sustained == true).
 //
+// Rows small enough for the exact anchor (N <= --gap-nmax, which covers the
+// dedicated small gap row in both sweeps) additionally replay the trace
+// through the repair-vs-scratch gap study (docs/DESIGN.md §14): after every
+// event both engines survive, the folded problem is solved exactly and the
+// per-event repair/scratch costs are reported as ratios to the PROVED
+// optimum.  Larger rows keep the gap columns with zero measured events.
+//
 // --smoke shrinks the sweep to one small row for CI; --dump-trace /
 // --trace round-trip the bundled trace through the text format.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "bench_support/dynamic_world.hpp"
+#include "bench_support/gap_study.hpp"
 #include "dynamic/scenario_engine.hpp"
 
 using namespace insp;
@@ -52,6 +61,13 @@ struct ScaleResult {
   // comparisons
   double latency_speedup = 0.0;
   double cost_ratio = 0.0;  ///< repair final cost / scratch final cost
+  // optimality-gap anchor (only rows with N <= --gap-nmax are measured)
+  int gap_events_comparable = 0;  ///< events where both engines succeeded
+  int gap_events_measured = 0;    ///< ... and the exact anchor proved Optimal
+  double repair_gap_mean = 0.0;   ///< repair cost / optimum over measured
+  double repair_gap_max = 0.0;
+  double scratch_gap_mean = 0.0;  ///< scratch cost / optimum over measured
+  double scratch_gap_max = 0.0;
 };
 
 void write_json(const std::string& path, std::uint64_t seed,
@@ -92,6 +108,14 @@ void write_json(const std::string& path, std::uint64_t seed,
     std::fprintf(f, "      \"reconfigures\": %d,\n", r.reconfigures);
     std::fprintf(f, "      \"events_simulated\": %d,\n", r.simulated);
     std::fprintf(f, "      \"events_sustained\": %d,\n", r.sustained);
+    std::fprintf(f, "      \"gap_events_comparable\": %d,\n",
+                 r.gap_events_comparable);
+    std::fprintf(f, "      \"gap_events_measured\": %d,\n",
+                 r.gap_events_measured);
+    std::fprintf(f, "      \"repair_gap_mean\": %.4f,\n", r.repair_gap_mean);
+    std::fprintf(f, "      \"repair_gap_max\": %.4f,\n", r.repair_gap_max);
+    std::fprintf(f, "      \"scratch_gap_mean\": %.4f,\n", r.scratch_gap_mean);
+    std::fprintf(f, "      \"scratch_gap_max\": %.4f,\n", r.scratch_gap_max);
     std::fprintf(f, "      \"repair_signature\": \"%016llx\"\n",
                  static_cast<unsigned long long>(r.repair_signature));
     std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
@@ -111,11 +135,18 @@ int main(int argc, char** argv) {
   const std::string dump_trace_path = args.get("dump-trace", "");
   const std::string load_trace_path = args.get("trace", "");
   const bool simulate = args.get_bool("simulate", true);
+  const int gap_nmax = static_cast<int>(args.get_int("gap-nmax", 24));
+  const std::uint64_t gap_budget = args.get_u64("gap-budget", 500'000);
 
+  // The first row is the gap anchor: small enough that the exact solver can
+  // prove the per-event optimum, which turns the repair-vs-scratch cost
+  // comparison into a measured optimality gap.
   std::vector<Scale> scales;
   if (smoke) {
+    scales.push_back({16, 2, 24});
     scales.push_back({40, 2, 24});
   } else {
+    scales.push_back({16, 2, 60});
     scales.push_back({100, 2, 200});
     scales.push_back({200, 4, 200});
     scales.push_back({400, 6, 200});
@@ -127,9 +158,18 @@ int main(int argc, char** argv) {
   std::vector<ScaleResult> results;
   for (const Scale& scale : scales) {
     DynamicWorld world = make_dynamic_world(flags.seed, scale);
-    // --trace replays one bundled trace file against every row, so pair it
-    // with --smoke (single row); --dump-trace writes one file per row.
-    if (!load_trace_path.empty()) world.trace = load_trace(load_trace_path);
+    // --dump-trace writes one file per row (bare path when the sweep has a
+    // single row, path.nNN otherwise); --trace mirrors that convention so a
+    // dump/load round-trip reproduces every row: a bare file is replayed
+    // against all rows (legacy single-row pairing), otherwise each row loads
+    // its own .nNN file.  A row's trace must come from that row's world —
+    // arrival trees embed the generation-time object catalog.
+    if (!load_trace_path.empty()) {
+      const std::string per_row =
+          load_trace_path + ".n" + std::to_string(scale.n);
+      world.trace = load_trace(
+          std::ifstream(load_trace_path) ? load_trace_path : per_row);
+    }
     if (!dump_trace_path.empty()) {
       const std::string path =
           scales.size() == 1
@@ -174,6 +214,16 @@ int main(int argc, char** argv) {
                        ? r.repair_final_cost / r.scratch_final_cost
                        : 0.0;
     r.repair_signature = repair.signature;
+
+    if (scale.n <= gap_nmax) {
+      const GapStudyResult gaps = run_gap_study(world, flags.seed, gap_budget);
+      r.gap_events_comparable = gaps.events_comparable;
+      r.gap_events_measured = gaps.events_measured;
+      r.repair_gap_mean = gaps.repair_gap_mean;
+      r.repair_gap_max = gaps.repair_gap_max;
+      r.scratch_gap_mean = gaps.scratch_gap_mean;
+      r.scratch_gap_max = gaps.scratch_gap_max;
+    }
     results.push_back(r);
 
     std::printf(
@@ -188,9 +238,17 @@ int main(int argc, char** argv) {
         r.repair_fallbacks, r.repair_failures, r.scratch_failures);
     std::printf(
         "      disruption: %d ops moved, %d bought, %d retired, %d "
-        "re-priced   sim sustained %d/%d\n\n",
+        "re-priced   sim sustained %d/%d\n",
         r.ops_moved, r.procs_bought, r.procs_retired, r.reconfigures,
         r.sustained, r.simulated);
+    if (r.gap_events_measured > 0) {
+      std::printf(
+          "      optimality gap (over %d/%d proved events): repair mean "
+          "%.3fx max %.3fx   scratch mean %.3fx max %.3fx\n",
+          r.gap_events_measured, r.gap_events_comparable, r.repair_gap_mean,
+          r.repair_gap_max, r.scratch_gap_mean, r.scratch_gap_max);
+    }
+    std::printf("\n");
   }
 
   write_json(json_path, flags.seed, results);

@@ -37,7 +37,14 @@ REQUIRED_ROW_KEYS = {
     },
     "dynamic": {
         "num_operators", "events", "median_repair_ms", "median_scratch_ms",
-        "latency_speedup", "repair_signature",
+        "latency_speedup", "repair_signature", "gap_events_comparable",
+        "gap_events_measured", "repair_gap_mean", "repair_gap_max",
+        "scratch_gap_mean", "scratch_gap_max",
+    },
+    "ilp": {
+        "n", "alpha", "instances", "solved", "reference_solved",
+        "nodes_incremental", "nodes_reference", "node_ratio", "costs_match",
+        "best_heuristic_ratio",
     },
     "service": {
         "num_operators", "shards", "worker_threads", "events",
@@ -49,17 +56,28 @@ REQUIRED_ROW_KEYS = {
         "sim_caps_throughput", "speedup_vs_scalar", "verdicts_match",
         "allocations_per_probe",
     },
-    "ablations": {
-        "rep", "num_apps", "operators_forest", "operators_folded",
+    "chaos": {
+        "chaos_class", "faults", "truth_down", "detected", "detection_rate",
+        "mean_detection_beats", "median_repair_ms", "mean_recovery_beats",
+        "events_simulated", "events_sustained", "signature",
+    },
+}
+
+# bench_ablations emits heterogeneous rows keyed by a "section" field:
+# "fold" rows carry the realized-vs-predicted sharing study, and
+# "optimality_gap" rows carry the per-heuristic gap to the exact optimum.
+# Rows whose section is unknown are rejected outright.
+ABLATIONS_SECTION_KEYS = {
+    "fold": {
+        "section", "rep", "num_apps", "operators_forest", "operators_folded",
         "shared_nodes", "predicted_work_saved", "predicted_cost_bound",
         "realized_work_saved", "unfolded_cost", "folded_cost",
         "realized_cost_saving", "both_allocated", "unfolded_sustained",
         "folded_sustained",
     },
-    "chaos": {
-        "chaos_class", "faults", "truth_down", "detected", "detection_rate",
-        "mean_detection_beats", "median_repair_ms", "mean_recovery_beats",
-        "events_simulated", "events_sustained", "signature",
+    "optimality_gap": {
+        "section", "n", "alpha", "heuristic", "attempts", "measured",
+        "gap_mean", "gap_max", "nodes_total",
     },
 }
 
@@ -94,6 +112,16 @@ def check_file(path):
     for i, row in enumerate(results):
         if not isinstance(row, dict) or not row:
             return fail(path, f"results[{i}] must be a non-empty object")
+        if bench == "ablations":
+            section = row.get("section")
+            if section not in ABLATIONS_SECTION_KEYS:
+                return fail(
+                    path,
+                    f"results[{i}] has unknown ablations section "
+                    f"{section!r} (expected one of "
+                    f"{', '.join(sorted(ABLATIONS_SECTION_KEYS))})",
+                )
+            required = ABLATIONS_SECTION_KEYS[section]
         missing = required - row.keys()
         if missing:
             return fail(

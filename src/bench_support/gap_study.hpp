@@ -1,0 +1,51 @@
+// Repair-vs-scratch optimality-gap study (docs/DESIGN.md §14): replays one
+// seeded event trace through TWO DynamicAllocators in lockstep — the
+// incremental-repair engine and the always-fallback scratch baseline — and
+// anchors both post-event costs to the exact optimum of the folded problem.
+// World mutation is event-driven (never allocation-driven), so after any
+// event prefix the two engines face the SAME folded problem and one exact
+// solve anchors both.  Used by bench_dynamic's gap columns and by
+// tests/integration/optimality_gap_test, which turns PR 3's "repair is
+// cheaper AND better than scratch" claim into a measured, gated assertion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_support/dynamic_world.hpp"
+#include "ilp/exact_solver.hpp"
+
+namespace insp::benchx {
+
+struct GapEventSample {
+  int event_index = 0;     ///< 0 = initial allocation, i = trace event i
+  bool measured = false;   ///< the exact anchor proved Optimal
+  double repair_ratio = 0.0;   ///< repair cost / optimum (>= 1), when measured
+  double scratch_ratio = 0.0;  ///< scratch cost / optimum, when measured
+  std::uint64_t nodes_visited = 0;
+};
+
+struct GapStudyResult {
+  int events_applied = 0;    ///< trace events fed to both engines
+  int events_comparable = 0; ///< both engines succeeded (initial incl.)
+  int events_measured = 0;   ///< comparable AND the anchor proved Optimal
+  int repair_failures = 0;
+  int scratch_failures = 0;
+  /// Means/maxima over the measured events (1.0 = always optimal).
+  double repair_gap_mean = 0.0;
+  double repair_gap_max = 0.0;
+  double scratch_gap_mean = 0.0;
+  double scratch_gap_max = 0.0;
+  std::vector<GapEventSample> samples;
+};
+
+/// Replays `world.trace` through repair and scratch engines seeded
+/// identically, solving the folded problem exactly after the initial
+/// allocation and after every event both engines survived.  Events whose
+/// anchor ran out of `exact_node_budget` nodes are counted but excluded
+/// from the gap statistics (measured == false) — a gap is only ever
+/// reported against a PROVED optimum.
+GapStudyResult run_gap_study(const DynamicWorld& world, std::uint64_t seed,
+                             std::uint64_t exact_node_budget = 2'000'000);
+
+} // namespace insp::benchx

@@ -4,29 +4,180 @@
 #include <cmath>
 #include <limits>
 #include <set>
+#include <vector>
 
 namespace insp {
 
-int processor_count_lower_bound(const Problem& problem) {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int ceil_count(double x) {
+  return static_cast<int>(std::ceil(x - kCapacityEpsilon));
+}
+
+/// rho-scaled total operator work (CPU volume any allocation must supply).
+MegaOps total_cpu_volume(const Problem& problem) {
+  MegaOps total = 0.0;
+  for (const auto& n : problem.tree->operators()) total += n.work;
+  return problem.rho * total;
+}
+
+/// Every distinct object type some leaf references must stream into at
+/// least one processor card; constraint (2) charges downloads at the raw
+/// type rate (not rho-scaled).
+MBps distinct_download_volume(const Problem& problem) {
   const OperatorTree& tree = *problem.tree;
-  const PriceCatalog& cat = *problem.catalog;
-
-  // CPU volume.
-  MegaOps total_work = 0.0;
-  for (const auto& n : tree.operators()) total_work += n.work;
-  const double by_cpu =
-      std::ceil(problem.rho * total_work / cat.max_speed() - kCapacityEpsilon);
-
-  // Download volume: each distinct type needed by the application must be
-  // streamed into at least one processor card.
   std::set<int> types;
   for (const auto& l : tree.leaf_refs()) types.insert(l.object_type);
-  MBps total_rate = 0.0;
-  for (int t : types) total_rate += tree.catalog().type(t).rate();
-  const double by_nic =
-      std::ceil(total_rate / cat.max_bandwidth() - kCapacityEpsilon);
+  MBps total = 0.0;
+  for (int t : types) total += tree.catalog().type(t).rate();
+  return total;
+}
 
-  return std::max({1, static_cast<int>(by_cpu), static_cast<int>(by_nic)});
+int uf_find(std::vector<int>& parent, int x) {
+  while (parent[static_cast<std::size_t>(x)] != x) {
+    parent[static_cast<std::size_t>(x)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    x = parent[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+} // namespace
+
+MBps forced_communication_volume(const Problem& problem) {
+  const OperatorTree& tree = *problem.tree;
+  const int n = tree.num_operators();
+  const MopsPerSec s_max = problem.catalog->max_speed();
+  if (n == 0 || s_max <= 0.0) return 0.0;
+
+  // Whole-forest certificate.  If the operators of the forest end up on q
+  // distinct processors, contracting each weakly-connected component onto
+  // its processors leaves at least q - (#components) distinct crossing
+  // (processor, processor) pairs; each pair carries at least one
+  // deduplicated shipment — a distinct (producer, destination-processor)
+  // key — of volume >= rho * (smallest edge delta), charged to the
+  // producer's and the consumer's NIC.  q >= ceil(rho*W / s_max) because
+  // only hosting processors supply work.
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+  MegaBytes min_delta_global = kInf;
+  int num_edges = 0;
+  MegaOps total_work = 0.0;
+  for (const auto& node : tree.operators()) {
+    total_work += node.work;
+    for (const OutEdge& e : node.out) {
+      min_delta_global = std::min(min_delta_global, e.delta);
+      ++num_edges;
+      parent[static_cast<std::size_t>(uf_find(parent, node.id))] =
+          uf_find(parent, e.dst);
+    }
+  }
+  int components = 0;
+  for (int i = 0; i < n; ++i) {
+    if (uf_find(parent, i) == i) ++components;
+  }
+
+  MBps best = 0.0;
+  const int k_all = ceil_count(problem.rho * total_work / s_max);
+  if (num_edges > 0 && k_all > components) {
+    best = 2.0 * (k_all - components) * problem.rho * min_delta_global;
+  }
+
+  // Per-closure refinement: the closure of v (v plus everything reachable
+  // through children edges) is connected via closure-internal edges, so
+  // its k_v - 1 forced crossings all carry closure-internal deltas —
+  // usually far larger than the global minimum, and unaffected by cheap
+  // edges elsewhere in the forest.
+  std::vector<char> in_closure(static_cast<std::size_t>(n), 0);
+  std::vector<int> stack;
+  for (int v = 0; v < n; ++v) {
+    std::fill(in_closure.begin(), in_closure.end(), 0);
+    stack.assign(1, v);
+    in_closure[static_cast<std::size_t>(v)] = 1;
+    MegaOps w_closure = 0.0;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      w_closure += tree.op(u).work;
+      for (int c : tree.op(u).children) {
+        if (!in_closure[static_cast<std::size_t>(c)]) {
+          in_closure[static_cast<std::size_t>(c)] = 1;
+          stack.push_back(c);
+        }
+      }
+    }
+    const int k_v = ceil_count(problem.rho * w_closure / s_max);
+    if (k_v < 2) continue;
+    MegaBytes min_delta = kInf;
+    for (int u = 0; u < n; ++u) {
+      if (!in_closure[static_cast<std::size_t>(u)]) continue;
+      for (const OutEdge& e : tree.op(u).out) {
+        if (in_closure[static_cast<std::size_t>(e.dst)]) {
+          min_delta = std::min(min_delta, e.delta);
+        }
+      }
+    }
+    if (min_delta == kInf) continue;  // k_v >= 2 needs >= 2 ops, so a
+                                      // closure this heavy has edges
+    best = std::max(best, 2.0 * (k_v - 1) * problem.rho * min_delta);
+  }
+  return best;
+}
+
+Dollars fractional_packing_cost(const PriceCatalog& catalog,
+                                MegaOps cpu_volume, MBps nic_volume) {
+  if (cpu_volume <= 0.0 && nic_volume <= 0.0) return 0.0;
+  const auto& configs = catalog.by_cost();
+  Dollars best = kInf;
+
+  // Single configuration: scale until the binding constraint is tight.
+  for (const auto& c : configs) {
+    double x = 0.0;
+    if (cpu_volume > 0.0) {
+      if (catalog.speed(c) <= 0.0) continue;
+      x = std::max(x, cpu_volume / catalog.speed(c));
+    }
+    if (nic_volume > 0.0) {
+      if (catalog.bandwidth(c) <= 0.0) continue;
+      x = std::max(x, nic_volume / catalog.bandwidth(c));
+    }
+    best = std::min(best, x * catalog.cost(c));
+  }
+
+  // Configuration pairs with both constraints tight (the only other basic
+  // feasible solutions of a 2-row covering LP).
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const double si = catalog.speed(configs[i]);
+    const double bi = catalog.bandwidth(configs[i]);
+    for (std::size_t j = i + 1; j < configs.size(); ++j) {
+      const double sj = catalog.speed(configs[j]);
+      const double bj = catalog.bandwidth(configs[j]);
+      const double det = si * bj - sj * bi;
+      if (std::abs(det) < 1e-12) continue;
+      const double xi = (cpu_volume * bj - nic_volume * sj) / det;
+      const double xj = (si * nic_volume - bi * cpu_volume) / det;
+      if (xi < 0.0 || xj < 0.0) continue;
+      best = std::min(best, xi * catalog.cost(configs[i]) +
+                                xj * catalog.cost(configs[j]));
+    }
+  }
+  // Shave one relative ulp-cushion: the vertex arithmetic may round a hair
+  // ABOVE the true LP optimum, and a lower bound must never exceed a
+  // feasible cost it is exactly tight against.
+  return best * (1.0 - 1e-9);
+}
+
+int processor_count_lower_bound(const Problem& problem) {
+  const PriceCatalog& cat = *problem.catalog;
+  const int by_cpu = ceil_count(total_cpu_volume(problem) / cat.max_speed());
+  // NIC volume: every distinct type downloads at least once, and forced
+  // inter-processor shipments consume NIC on top of that.
+  const MBps nic_volume =
+      distinct_download_volume(problem) + forced_communication_volume(problem);
+  const int by_nic = ceil_count(nic_volume / cat.max_bandwidth());
+  return std::max({1, by_cpu, by_nic});
 }
 
 CostLowerBound cost_lower_bound(const Problem& problem) {
@@ -36,25 +187,38 @@ CostLowerBound cost_lower_bound(const Problem& problem) {
 
   CostLowerBound lb{cheapest, "one-processor"};
 
+  // The heaviest operator must fit some CPU; infeasible instances get +inf.
+  MegaOps w_max = 0.0;
+  for (const auto& n : tree.operators()) w_max = std::max(w_max, n.work);
+  const auto heavy = cat.cheapest_meeting(problem.rho * w_max, 0.0);
+  if (!heavy) {
+    lb.value = kInf;
+    lb.binding = "heaviest-operator-unplaceable";
+    return lb;
+  }
+
   const int nproc = processor_count_lower_bound(problem);
   if (nproc * cheapest > lb.value) {
     lb.value = nproc * cheapest;
     lb.binding = "processor-count";
   }
-
-  // The heaviest operator must fit some CPU; charge the cheapest config
-  // that can host it alone (infeasible instances get +inf).
-  MegaOps w_max = 0.0;
-  for (const auto& n : tree.operators()) w_max = std::max(w_max, n.work);
-  const auto cfg = cat.cheapest_meeting(problem.rho * w_max, 0.0);
-  if (!cfg) {
-    lb.value = std::numeric_limits<double>::infinity();
-    lb.binding = "heaviest-operator-unplaceable";
-    return lb;
-  }
-  if (cat.cost(*cfg) > lb.value) {
-    lb.value = cat.cost(*cfg);
+  if (cat.cost(*heavy) > lb.value) {
+    lb.value = cat.cost(*heavy);
     lb.binding = "heaviest-operator";
+  }
+
+  const MegaOps cpu_volume = total_cpu_volume(problem);
+  const MBps downloads = distinct_download_volume(problem);
+  const MBps forced = forced_communication_volume(problem);
+  const Dollars frac_plain = fractional_packing_cost(cat, cpu_volume, downloads);
+  const Dollars frac_forced =
+      forced > 0.0 ? fractional_packing_cost(cat, cpu_volume, downloads + forced)
+                   : frac_plain;
+  if (frac_forced > lb.value) {
+    lb.value = frac_forced;
+    lb.binding =
+        frac_forced > frac_plain + 1e-9 ? "forced-communication"
+                                        : "fractional-packing";
   }
   return lb;
 }

@@ -1,6 +1,18 @@
-// Coarse but provable lower bounds on the optimal platform cost, used by
-// the exact solver for pruning and by the experiment reports as the
-// "theoretical bound" the paper compares against.
+// Provable lower bounds on the optimal platform cost, used by the exact
+// solver for pruning and by the experiment reports as the "theoretical
+// bound" the paper compares against.  Three families are combined
+// (docs/DESIGN.md §14):
+//
+//  - combinatorial: one cheapest processor, processor-count x cheapest,
+//    and the cheapest configuration hosting the heaviest single operator;
+//  - fractional packing: the exact optimum of the 2-constraint covering LP
+//    "buy fractional configurations whose summed CPU covers rho*sum(w) and
+//    whose summed NIC covers the download + forced-communication volume"
+//    (solved by vertex enumeration over configuration pairs);
+//  - forced communication: when a connected (sub)graph's work cannot fit
+//    the fastest CPU, its operators span k >= 2 processors and at least
+//    k-1 deduplicated shipments must cross, each consuming producer and
+//    consumer NIC — multicast-dedup-aware, so valid on shared DAGs.
 #pragma once
 
 #include "core/problem.hpp"
@@ -9,24 +21,43 @@ namespace insp {
 
 struct CostLowerBound {
   Dollars value = 0.0;
-  /// Which argument achieved the max (for reports).
+  /// Which argument achieved the max (for reports): "one-processor",
+  /// "processor-count", "heaviest-operator" ("-unplaceable" when no CPU can
+  /// host it: the instance is infeasible and the bound is +inf),
+  /// "fractional-packing", or "forced-communication" (fractional packing
+  /// where the forced shipment volume is what pushed it past every other
+  /// term).
   const char* binding = "";
 };
 
-/// max of:
-///  - one cheapest processor (at least one must be bought),
-///  - CPU packing: ceil(rho * sum w / s_max) processors, each at least the
-///    cheapest configuration whose CPU can take an equal share,
-///  - per-operator requirement: the most demanding single operator needs a
-///    configuration with speed >= rho * w_i (infinite when none exists —
-///    the instance is infeasible),
-///  - download volume: every distinct object type needed by the tree flows
-///    through processor cards at least once, so
-///    ceil(total_distinct_rate / B_max) processors are needed.
+/// max of the combinatorial terms, the fractional packing relaxation, and
+/// the forced-communication strengthening; see the header comment.
 CostLowerBound cost_lower_bound(const Problem& problem);
 
-/// Lower bound on the number of processors (homogeneous reasoning with the
-/// catalog's best models); >= 1 for any non-empty tree.
+/// Lower bound on the number of processors any feasible allocation buys:
+/// CPU volume over the fastest model, and download + forced-communication
+/// volume over the widest NIC; >= 1 for any non-empty tree.
 int processor_count_lower_bound(const Problem& problem);
+
+/// Exact optimum of the fractional covering relaxation
+///   min sum_c cost(c) * x_c
+///   s.t. sum_c speed(c) * x_c >= cpu_volume,
+///        sum_c bandwidth(c) * x_c >= nic_volume,  x >= 0,
+/// a valid lower bound on the cost of any processor multiset that jointly
+/// supplies the two volumes.  An optimal basic solution uses at most two
+/// configurations, so the LP is solved exactly by enumerating single
+/// configurations and configuration pairs with both constraints tight.
+Dollars fractional_packing_cost(const PriceCatalog& catalog,
+                                MegaOps cpu_volume, MBps nic_volume);
+
+/// Multicast-dedup-aware lower bound on the total NIC bandwidth (producer
+/// and consumer endpoints summed) consumed by inter-processor shipments in
+/// ANY feasible allocation.  For the whole forest and for every operator's
+/// closure (the operator plus everything reachable through children
+/// edges), if the contained work w forces k = ceil(rho*w / s_max) >= 2
+/// processors, connectivity forces at least k-1 distinct crossing
+/// (producer, destination-processor) shipments, each of at least the
+/// smallest internal edge delta; the best such certificate is returned.
+MBps forced_communication_volume(const Problem& problem);
 
 } // namespace insp

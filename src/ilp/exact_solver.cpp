@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <sstream>
 
+#include "core/allocator.hpp"
 #include "core/placement_common.hpp"
 #include "core/placement_state.hpp"
 #include "core/server_selection.hpp"
+#include "core/strategy_registry.hpp"
 #include "ilp/bounds.hpp"
 #include "net/bandwidth_ledger.hpp"
+#include "util/rng.hpp"
 
 namespace insp {
 
@@ -27,6 +31,8 @@ std::string ExactResult::describe() const {
 }
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Backtracking router over (processor, type) download demands.
 class ExactRouter {
@@ -94,9 +100,52 @@ class ExactRouter {
   LinkLedger links_;
 };
 
-class Search {
+/// Exact cost of a complete partition: cheapest configuration meeting each
+/// processor's full load (CPU + NIC including downloads and comm).
+std::optional<Dollars> complete_partition_cost(const Problem& problem,
+                                               const PlacementState& state,
+                                               int opened) {
+  Dollars total = 0.0;
+  for (int u = 0; u < opened; ++u) {
+    const auto cfg = problem.catalog->cheapest_meeting(state.cpu_demand(u),
+                                                       state.nic_load(u));
+    if (!cfg) return std::nullopt;
+    total += problem.catalog->cost(*cfg);
+  }
+  return total;
+}
+
+/// Shared leaf handler of both searches: price the complete partition,
+/// route servers exactly, and install the allocation as the new incumbent
+/// when strictly better.
+void try_complete_partition(const Problem& problem, const PlacementState& state,
+                            int opened, Dollars* best_cost,
+                            std::optional<Allocation>* best_alloc) {
+  const auto cost = complete_partition_cost(problem, state, opened);
+  if (!cost || *cost >= *best_cost - 1e-9) return;
+
+  Allocation alloc = state.to_allocation();
+  // Server routing: fast path, then exact.
+  if (!route_downloads_exact(problem, alloc)) return;
+
+  // Apply cheapest-meeting configs now that routes exist (routes do not
+  // change NIC loads — rates are server-independent).
+  const auto loads = compute_processor_loads(problem, alloc);
+  for (std::size_t u = 0; u < alloc.processors.size(); ++u) {
+    const auto cfg = problem.catalog->cheapest_meeting(loads[u].cpu_demand,
+                                                       loads[u].nic_total());
+    assert(cfg.has_value());
+    alloc.processors[u].config = *cfg;
+  }
+  *best_cost = *cost;
+  *best_alloc = std::move(alloc);
+}
+
+/// The pre-incremental search, kept verbatim as the differential oracle:
+/// copy-era pruning (per-processor CPU demand only), no incumbent seeding.
+class ReferenceSearch {
  public:
-  Search(const Problem& problem, const ExactSolverConfig& config)
+  ReferenceSearch(const Problem& problem, const ExactSolverConfig& config)
       : problem_(problem),
         config_(config),
         state_(problem),
@@ -133,52 +182,18 @@ class Search {
 
  private:
   /// Cost of the partition if completed as-is: per opened processor the
-  /// cheapest configuration covering its *current* CPU demand (downloads
-  /// and communications are ignored — they are not monotone under future
-  /// co-location, CPU demand is).  A valid lower bound for every extension.
+  /// cheapest configuration covering its *current* CPU demand only (the
+  /// historical bound; the incremental search proves NIC loads are monotone
+  /// too and charges them — see IncrementalSearch::partial_cost_bound).
   Dollars partial_cost_bound(int opened) const {
     Dollars total = 0.0;
     for (int u = 0; u < opened; ++u) {
       const auto cfg =
           problem_.catalog->cheapest_meeting(state_.cpu_demand(u), 0.0);
-      if (!cfg) return std::numeric_limits<double>::infinity();
+      if (!cfg) return kInf;
       total += problem_.catalog->cost(*cfg);
     }
     return total;
-  }
-
-  /// Exact cost of a complete partition: cheapest configuration meeting
-  /// each processor's full load (CPU + NIC including downloads and comm).
-  std::optional<Dollars> complete_cost(int opened) const {
-    Dollars total = 0.0;
-    for (int u = 0; u < opened; ++u) {
-      const auto cfg = problem_.catalog->cheapest_meeting(
-          state_.cpu_demand(u), state_.nic_load(u));
-      if (!cfg) return std::nullopt;
-      total += problem_.catalog->cost(*cfg);
-    }
-    return total;
-  }
-
-  void try_complete(int opened) {
-    const auto cost = complete_cost(opened);
-    if (!cost || *cost >= best_cost_ - 1e-9) return;
-
-    Allocation alloc = state_.to_allocation();
-    // Server routing: fast path, then exact.
-    if (!route_downloads_exact(problem_, alloc)) return;
-
-    // Apply cheapest-meeting configs now that routes exist (routes do not
-    // change NIC loads — rates are server-independent).
-    const auto loads = compute_processor_loads(problem_, alloc);
-    for (std::size_t u = 0; u < alloc.processors.size(); ++u) {
-      const auto cfg = problem_.catalog->cheapest_meeting(
-          loads[u].cpu_demand, loads[u].nic_total());
-      assert(cfg.has_value());
-      alloc.processors[u].config = *cfg;
-    }
-    best_cost_ = *cost;
-    best_alloc_ = std::move(alloc);
   }
 
   void dfs(std::size_t depth, int opened) {
@@ -190,7 +205,8 @@ class Search {
     ++nodes_;
 
     if (depth == order_.size()) {
-      try_complete(opened);
+      try_complete_partition(problem_, state_, opened, &best_cost_,
+                             &best_alloc_);
       return;
     }
     if (partial_cost_bound(opened) >= best_cost_ - 1e-9) return;
@@ -214,7 +230,174 @@ class Search {
   const ExactSolverConfig& config_;
   PlacementState state_;
   std::vector<int> order_;
-  Dollars best_cost_ = std::numeric_limits<double>::infinity();
+  Dollars best_cost_ = kInf;
+  std::optional<Allocation> best_alloc_;
+  std::uint64_t nodes_ = 0;
+  bool budget_ok_ = true;
+};
+
+/// The incremental branch-and-bound (docs/DESIGN.md §14): one live
+/// PlacementState, SoA batch probes for child expansion, composite root
+/// bound plus a CPU+NIC partial bound with a remaining-work processor
+/// charge, and registry-heuristic incumbent seeding.
+class IncrementalSearch {
+ public:
+  IncrementalSearch(const Problem& problem, const ExactSolverConfig& config)
+      : problem_(problem),
+        config_(config),
+        state_(problem),
+        order_(ops_by_work_desc(*problem.tree)) {
+    const std::size_t n = order_.size();
+    // suffix_work_[d] = total (unscaled) work of order_[d..): how much CPU
+    // demand the not-yet-assigned operators will add, whatever the shape of
+    // the completion.
+    suffix_work_.assign(n + 1, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+      suffix_work_[i] =
+          suffix_work_[i + 1] + problem.tree->op(order_[i]).work;
+    }
+    frames_.resize(n);
+  }
+
+  ExactResult run() {
+    ExactResult result;
+    root_lb_ = cost_lower_bound(problem_).value;
+    if (config_.incumbent) best_cost_ = *config_.incumbent;
+    if (config_.seed_with_heuristics) seed_incumbent();
+
+    // Proof by bound: a seeded incumbent meeting the root lower bound is
+    // already optimal; no node needs visiting.
+    if (best_alloc_ && best_cost_ <= root_lb_ + 1e-9) {
+      result.status = ExactStatus::Optimal;
+      result.cost = best_cost_;
+      result.allocation = std::move(best_alloc_);
+      result.nodes_visited = 0;
+      return result;
+    }
+
+    // Pre-buy the maximum number of processors; only the first `opened`
+    // count toward cost and candidate targets.
+    const int n = problem_.tree->num_operators();
+    for (int i = 0; i < n; ++i) {
+      state_.buy(problem_.catalog->most_expensive());
+    }
+
+    budget_ok_ = true;
+    dfs(0, 0);
+
+    result.nodes_visited = nodes_;
+    if (!budget_ok_) {
+      result.status = ExactStatus::BudgetExhausted;
+    } else if (best_alloc_.has_value()) {
+      result.status = ExactStatus::Optimal;
+    } else {
+      result.status = ExactStatus::Infeasible;
+    }
+    if (best_alloc_) {
+      result.cost = best_cost_;
+      result.allocation = std::move(best_alloc_);
+    }
+    return result;
+  }
+
+ private:
+  struct Frame {
+    std::vector<int> group;                // the one operator being placed
+    std::vector<int> pids;                 // candidate targets
+    std::vector<unsigned char> verdicts;   // batch feasibility answers
+  };
+
+  void seed_incumbent() {
+    for (const PlacementStrategy& s : placement_registry()) {
+      // Fixed per-strategy seed: the solver's result must not depend on any
+      // caller RNG state.
+      Rng rng(0xB0B5'0000ull + static_cast<std::uint64_t>(s.kind));
+      const AllocationOutcome out = allocate(problem_, s.kind, rng);
+      if (!out.success) continue;
+      if (out.cost < best_cost_ - 1e-9 || (!best_alloc_ && out.cost <= best_cost_)) {
+        best_cost_ = out.cost;
+        best_alloc_ = out.allocation;
+      }
+    }
+  }
+
+  /// Lower bound on any completion of the current partial partition.  Every
+  /// load is monotone non-decreasing along a descent (operators are only
+  /// ever added; multicast dedup takes a max over edges, which never
+  /// shrinks), so each opened processor costs at least the cheapest
+  /// configuration meeting its CURRENT CPU demand and NIC load.  The
+  /// remaining operators add rho * suffix_work_[depth] CPU demand; whatever
+  /// does not fit the opened processors' residual CPU headroom forces new
+  /// processors at the cheapest configuration each.
+  Dollars partial_cost_bound(int opened, std::size_t depth) const {
+    const PriceCatalog& cat = *problem_.catalog;
+    const MopsPerSec s_max = cat.max_speed();
+    Dollars total = 0.0;
+    MopsPerSec headroom = 0.0;
+    for (int u = 0; u < opened; ++u) {
+      const MegaOps cpu = state_.cpu_demand(u);
+      const auto cfg = cat.cheapest_meeting(cpu, state_.nic_load(u));
+      if (!cfg) return kInf;
+      total += cat.cost(*cfg);
+      headroom += std::max(0.0, s_max - cpu);
+    }
+    const MegaOps overflow = problem_.rho * suffix_work_[depth] - headroom;
+    if (overflow > kCapacityEpsilon) {
+      const double extra = std::ceil(overflow / s_max - kCapacityEpsilon);
+      total += extra * cat.cost(cat.cheapest());
+    }
+    return total;
+  }
+
+  void dfs(std::size_t depth, int opened) {
+    if (!budget_ok_) return;
+    if (config_.node_budget && nodes_ >= config_.node_budget) {
+      budget_ok_ = false;
+      return;
+    }
+    ++nodes_;
+
+    if (depth == order_.size()) {
+      try_complete_partition(problem_, state_, opened, &best_cost_,
+                             &best_alloc_);
+      return;
+    }
+    const Dollars bound =
+        std::max(partial_cost_bound(opened, depth), root_lb_);
+    if (bound >= best_cost_ - 1e-9) return;
+
+    const int op = order_[depth];
+    const int max_target = std::min(opened + 1,
+                                    problem_.tree->num_operators());
+    // One SoA batch probe screens every child: infeasible targets never pay
+    // a journal transaction.  Verdicts equal search_place's touched-set
+    // answer because every state on the search path is feasible.
+    Frame& f = frames_[depth];
+    f.group.assign(1, op);
+    f.pids.resize(static_cast<std::size_t>(max_target));
+    for (int u = 0; u < max_target; ++u) {
+      f.pids[static_cast<std::size_t>(u)] = u;
+    }
+    state_.can_place_batch(f.group, f.pids, f.verdicts);
+    for (int u = 0; u < max_target; ++u) {
+      if (!f.verdicts[static_cast<std::size_t>(u)]) continue;
+      const bool ok = state_.search_place(op, u);
+      assert(ok);
+      (void)ok;
+      dfs(depth + 1, std::max(opened, u + 1));
+      state_.search_unassign(op);
+      if (!budget_ok_) return;
+    }
+  }
+
+  const Problem& problem_;
+  const ExactSolverConfig& config_;
+  PlacementState state_;
+  std::vector<int> order_;
+  std::vector<MegaOps> suffix_work_;
+  std::vector<Frame> frames_;
+  Dollars root_lb_ = 0.0;
+  Dollars best_cost_ = kInf;
   std::optional<Allocation> best_alloc_;
   std::uint64_t nodes_ = 0;
   bool budget_ok_ = true;
@@ -252,7 +435,12 @@ bool route_downloads_exact(const Problem& problem, Allocation& alloc) {
 
 ExactResult solve_exact(const Problem& problem,
                         const ExactSolverConfig& config) {
-  return Search(problem, config).run();
+  return IncrementalSearch(problem, config).run();
+}
+
+ExactResult solve_exact_reference(const Problem& problem,
+                                  const ExactSolverConfig& config) {
+  return ReferenceSearch(problem, config).run();
 }
 
 } // namespace insp

@@ -1,22 +1,35 @@
 // Exact optimal-cost solver, standing in for the paper's CPLEX runs
-// (docs/DESIGN.md §4).  Branch-and-bound over operator->processor partitions:
+// (docs/DESIGN.md §4, §14).  Incremental branch-and-bound over
+// operator->processor partitions, walking ONE live PlacementState through
+// the transactional engine instead of copying and re-provisioning:
 //
 //  - operators are assigned in non-increasing w order; a new processor may
 //    only be opened as the next unused index (symmetry breaking);
-//  - during the search every processor is provisioned with the catalog's
-//    most expensive configuration; realized loads grow monotonically along
-//    a search path, so an infeasible partial state prunes its whole subtree;
+//  - every processor is pre-provisioned with the catalog's most expensive
+//    configuration; descent uses `search_place`/`search_unassign` (journal
+//    rollback, touched-set verdicts), and child targets are screened in one
+//    SoA batch probe (`can_place_batch`) per node — realized loads grow
+//    monotonically along a search path, so a failed touched verdict prunes
+//    the whole subtree;
+//  - the incumbent is seeded from every registry heuristic before the
+//    search starts, and nodes prune against the composite lower bound
+//    (ilp/bounds.hpp: fractional packing + forced communication) plus a
+//    partial-state bound: per opened processor the cheapest configuration
+//    covering its CURRENT CPU and NIC load (both monotone under descent —
+//    including multicast-dedup comm, since descent never unassigns), plus
+//    cheapest-configuration charges for the processors the remaining work
+//    cannot avoid opening;
 //  - at a complete partition the per-processor configuration choice is
 //    independent: the optimal cost is the sum of cheapest-meeting configs;
 //  - server selection feasibility is decided exactly by a backtracking
 //    router over (processor, type) demands (the three-loop heuristic is
-//    tried first as a fast path);
-//  - the cost lower bound (opened processors at cheapest-meeting CPU cost)
-//    prunes against the incumbent.
+//    tried first as a fast path).
 //
 // Practical for the paper's comparison sizes (N <= ~16, where CPLEX itself
 // topped out at 20); a node budget turns the result into a lower-bound
-// status instead of hanging.
+// status instead of hanging.  `solve_exact_reference` keeps the previous
+// copy-era search (CPU-only bound, no seeding) alive as the differential
+// oracle for tests/ilp and the node-count baseline for bench_ilp_comparison.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +46,10 @@ struct ExactSolverConfig {
   std::uint64_t node_budget = 20'000'000;
   /// Optional upper bound seed (e.g. a heuristic's cost) to prune earlier.
   std::optional<Dollars> incumbent;
+  /// Run every registry heuristic first and adopt the best feasible result
+  /// as the starting incumbent (and as the answer, when it meets the root
+  /// lower bound).  The reference solver ignores this.
+  bool seed_with_heuristics = true;
 };
 
 enum class ExactStatus {
@@ -52,9 +69,20 @@ struct ExactResult {
 ExactResult solve_exact(const Problem& problem,
                         const ExactSolverConfig& config = {});
 
+/// The pre-incremental branch-and-bound (copy-era pruning: CPU-only partial
+/// bound, no incumbent seeding, no composite root bound).  Kept verbatim as
+/// a differential oracle: tests/ilp assert cost/status agreement with
+/// solve_exact, and bench_ilp_comparison reports the node-count ratio.
+ExactResult solve_exact_reference(const Problem& problem,
+                                  const ExactSolverConfig& config = {});
+
 /// Exact feasibility of server selection for a fixed operator placement:
 /// backtracking over per-(processor, type) demands.  Fills `alloc`'s
-/// download routes on success.
+/// download routes on success.  DAG semantics: demands are the distinct
+/// object types each processor's operators reference (shared types
+/// deduplicate per processor, exactly as constraint (2) charges them);
+/// operator->operator edges and multicast shipments never touch servers,
+/// so shared-subexpression DAGs need no extra routing work.
 bool route_downloads_exact(const Problem& problem, Allocation& alloc);
 
 } // namespace insp

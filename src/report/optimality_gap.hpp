@@ -1,0 +1,39 @@
+// Optimality-gap accounting (docs/DESIGN.md §14): how far an observed
+// allocation cost sits above the exact optimum of the same problem.  The
+// exact anchor is solve_exact (incremental branch-and-bound); when its node
+// budget runs out the gap is reported as unmeasured rather than against an
+// unproved incumbent — a gap column must never silently compare against a
+// non-optimal anchor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/problem.hpp"
+#include "ilp/exact_solver.hpp"
+
+namespace insp {
+
+struct OptimalityGap {
+  ExactStatus exact_status = ExactStatus::BudgetExhausted;
+  /// The proved optimum (Optimal), or the solver's best upper bound
+  /// (BudgetExhausted, if any); absent when Infeasible and nothing found.
+  std::optional<Dollars> exact_cost;
+  /// The cost whose gap is being measured (heuristic / repair / scratch).
+  Dollars observed_cost = 0.0;
+  std::uint64_t nodes_visited = 0;
+
+  /// True when the anchor is a PROVED optimum.
+  bool measured() const { return exact_status == ExactStatus::Optimal; }
+  /// observed / optimal; 1.0 means the observed allocation is optimal.
+  /// Quiet NaN when the gap is not measured.
+  double ratio() const;
+  /// 100 * (ratio() - 1): percent above the optimum.
+  double percent() const;
+};
+
+/// Solves `problem` exactly and relates `observed_cost` to the result.
+OptimalityGap measure_gap(const Problem& problem, Dollars observed_cost,
+                          const ExactSolverConfig& config = {});
+
+} // namespace insp

@@ -95,8 +95,24 @@ TEST(ExactSolver, NodeBudgetReportsExhaustion) {
   const Fixture f = testhelpers::random_fixture(1, 12, 1.6);
   ExactSolverConfig cfg;
   cfg.node_budget = 5;
+  cfg.seed_with_heuristics = false;  // force a real descent
   const ExactResult r = solve_exact(f.problem(), cfg);
   EXPECT_EQ(r.status, ExactStatus::BudgetExhausted);
+}
+
+TEST(ExactSolver, BudgetExhaustionStillCarriesSeededUpperBound) {
+  // With heuristic seeding the incumbent exists before the first node, so
+  // even a one-node budget reports a usable upper bound (or proves
+  // optimality outright via the root bound and reports that instead).
+  const Fixture f = testhelpers::random_fixture(1, 12, 1.6);
+  ExactSolverConfig cfg;
+  cfg.node_budget = 1;
+  const ExactResult r = solve_exact(f.problem(), cfg);
+  ASSERT_TRUE(r.status == ExactStatus::BudgetExhausted ||
+              r.status == ExactStatus::Optimal)
+      << r.describe();
+  EXPECT_TRUE(r.cost.has_value());
+  EXPECT_TRUE(r.allocation.has_value());
 }
 
 TEST(ExactRouter, FindsRoutingWhereThreeLoopSucceeds) {
